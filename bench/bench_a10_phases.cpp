@@ -1,0 +1,45 @@
+// A10 — Ablation: number of degradation phases at fixed mean lifetime.
+// Phased (Erlang) degradation is what makes condition-based maintenance
+// work: with one exponential phase there is no observable precursor and
+// inspections cannot reduce that mode's failures. More phases concentrate
+// the lifetime around its mean and widen the warning window.
+#include "bench/common.hpp"
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("A10", "Ablation: Erlang phase count of 'contamination'",
+                "design decision 1 in DESIGN.md: phased degradation, not "
+                "exponential");
+  const smc::AnalysisSettings settings = bench::default_settings(20.0, 8000);
+
+  TextTable t({"phases", "threshold", "contamination failures/yr",
+               "contamination repairs/yr", "system failures/yr"});
+  t.set_alignment({Align::Right, Align::Right, Align::Right, Align::Right,
+                   Align::Right});
+  std::vector<double> mode_rates;
+  for (int phases : {1, 2, 3, 6, 12}) {
+    eijoint::EiJointParameters p = eijoint::EiJointParameters::defaults();
+    p.contamination.phases = phases;
+    // Keep the threshold at ~2/3 of the way through degradation; for a
+    // single phase there is no intermediate state at all.
+    p.contamination.threshold = phases == 1 ? 2 : (2 * phases + 2) / 3;
+    const auto model = eijoint::build_ei_joint(p, eijoint::current_policy());
+    const smc::KpiReport k = smc::analyze(model, settings);
+    const std::size_t idx = model.ebe_index(*model.find("contamination"));
+    const double mode_rate = k.failures_per_leaf[idx] / settings.horizon;
+    mode_rates.push_back(mode_rate);
+    t.add_row({cell(phases), cell(p.contamination.threshold), cell(mode_rate, 4),
+               cell(k.repairs_per_leaf[idx] / settings.horizon, 2),
+               cell(k.failures_per_year.point, 4)});
+  }
+  t.print(std::cout);
+
+  const bool exponential_defeats_inspection = mode_rates.front() > 5 * mode_rates.back();
+  std::cout << "\nShape check (1 phase defeats inspections: mode failure rate "
+               ">> 12-phase rate): "
+            << (exponential_defeats_inspection ? "PASS" : "FAIL") << "\n";
+  return exponential_defeats_inspection ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// A18 — Value of each repair action (one-at-a-time knockouts, common random
+// numbers): for each EI-joint failure mode, what does keeping it under
+// inspection buy in failures and cost? The line-item version of claim C4.
+// Expected shape: cleaning contamination is by far the most valuable action
+// (fast mode, cheap repair); dropping it costs more than any other knockout.
+#include "bench/common.hpp"
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "maintenance/repair_value.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("A18", "Value of each condition-based repair action",
+                "claim C4, per line item: which repairs pay for themselves");
+  const auto model = eijoint::build_ei_joint(eijoint::EiJointParameters::defaults(),
+                                             eijoint::current_policy());
+  smc::AnalysisSettings settings = bench::default_settings(20.0, 8000);
+
+  const auto values = maintenance::repair_value_analysis(model, settings);
+
+  TextTable t({"mode (action)", "extra failures if dropped", "extra cost if dropped",
+               "spend on action"});
+  t.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right});
+  for (const maintenance::RepairValue& v : values) {
+    t.add_row({v.mode + " (" + v.action + ")", bench::ci_cell(v.extra_failures, 3),
+               bench::ci_cell(v.extra_cost, 0), cell(v.repair_spend, 0)});
+  }
+  t.print(std::cout);
+
+  const bool contamination_on_top = values.front().mode == "contamination";
+  const bool it_pays = values.front().extra_cost.lo > 0;
+  std::cout << "\nReading: per 20 joint-years, dropping the cleaning of\n"
+               "contamination costs far more than the cleaning itself; slow\n"
+               "wear-out modes contribute little at this horizon, matching\n"
+               "the tornado (A17).\n"
+            << "Shape check (cleaning contamination is the top-value action "
+               "and pays for itself): "
+            << (contamination_on_top && it_pays ? "PASS" : "FAIL") << "\n";
+  return contamination_on_top && it_pays ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// A9 — Ablation: rate dependencies (battered joint accelerating lipping and
+// glue) on vs off. Expected shape: removing RDEP underestimates failures,
+// most visibly under sparse inspection where batter degradation lingers.
+#include "bench/common.hpp"
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("A9", "Ablation: RDEP acceleration on/off",
+                "design decision 2 in DESIGN.md: RDEP as rate multiplication");
+  eijoint::EiJointParameters with_rdep = eijoint::EiJointParameters::defaults();
+  eijoint::EiJointParameters without_rdep = with_rdep;
+  without_rdep.enable_rdep = false;
+  const smc::AnalysisSettings settings = bench::default_settings(20.0, 8000);
+
+  TextTable t({"inspections/yr", "E[fail]/yr with RDEP", "E[fail]/yr without",
+               "underestimate"});
+  t.set_alignment({Align::Right, Align::Right, Align::Right, Align::Right});
+  bool sparse_underestimates = true;
+  for (double freq : {0.0, 0.5, 1.0, 4.0}) {
+    const auto policy = eijoint::inspections_per_year(freq);
+    const smc::KpiReport k_with =
+        smc::analyze(eijoint::build_ei_joint(with_rdep, policy), settings);
+    const smc::KpiReport k_without =
+        smc::analyze(eijoint::build_ei_joint(without_rdep, policy), settings);
+    const double delta =
+        100.0 * (1.0 - k_without.failures_per_year.point / k_with.failures_per_year.point);
+    // The dependency only matters while batter lingers past its trigger
+    // phase, i.e. under sparse inspection; at 4x/yr the repairs suppress it.
+    if (freq <= 0.5 &&
+        k_without.failures_per_year.point >= k_with.failures_per_year.point)
+      sparse_underestimates = false;
+    t.add_row({cell(freq, 1), cell(k_with.failures_per_year.point, 4),
+               cell(k_without.failures_per_year.point, 4), cell(delta, 1) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: the acceleration inflates failures under sparse\n"
+               "inspection; frequent inspection repairs batter before its\n"
+               "trigger phase, suppressing the dependency entirely.\n"
+            << "Shape check (RDEP underestimated when inspections sparse "
+               "(<= 0.5x/yr)): "
+            << (sparse_underestimates ? "PASS" : "FAIL") << "\n";
+  return sparse_underestimates ? 0 : 1;
+}

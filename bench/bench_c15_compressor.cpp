@@ -1,0 +1,46 @@
+// C15 — Generality study: the pneumatic-compressor FMT under its
+// maintenance-plan catalogue. Extension beyond the paper (the formalism's
+// other railway case study): two-tier inspection plans, timed repairs, and
+// the oil→wear rate coupling in one model.
+#include "bench/common.hpp"
+#include "compressor/compressor.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("C15", "Compressor maintenance plans (second case study)",
+                "library generality: multi-tier plans on a different asset");
+  const auto params = compressor::CompressorParameters::defaults();
+  const smc::AnalysisSettings settings = bench::default_settings(20.0, 8000);
+
+  TextTable t({"plan", "E[failures]/yr", "R(20y)", "planned/yr", "unplanned/yr",
+               "total/yr"});
+  t.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right,
+                   Align::Right, Align::Right});
+  double best = 1e300, current = 0, minor_only = 0, major_only = 0;
+  for (const compressor::CompressorPlan& plan : compressor::compressor_plans()) {
+    const smc::KpiReport k =
+        smc::analyze(compressor::build_compressor(params, plan), settings);
+    const fmt::CostBreakdown py = k.mean_cost / settings.horizon;
+    t.add_row({plan.name, cell(k.failures_per_year.point, 4),
+               cell(k.reliability.point, 3),
+               cell(py.inspection + py.repair + py.replacement, 0),
+               cell(py.corrective + py.downtime, 0),
+               cell(k.cost_per_year.point, 0)});
+    best = std::min(best, k.cost_per_year.point);
+    if (plan.name == "current") current = k.cost_per_year.point;
+    if (plan.name == "minor-only") minor_only = k.cost_per_year.point;
+    if (plan.name == "major-only") major_only = k.cost_per_year.point;
+  }
+  t.print(std::cout);
+
+  const bool shape = current <= best * 1.02 && minor_only < major_only;
+  std::cout << "\nReading: the consumables (oil, dryer, separator) dominate the\n"
+               "failure intensity, and degraded oil accelerates the wear parts\n"
+               "(RDEP) - so the cheap minor service outperforms the expensive\n"
+               "major inspection alone; the combined plan wins overall.\n"
+            << "Shape check (combined plan cheapest; minor-only beats "
+               "major-only): "
+            << (shape ? "PASS" : "FAIL") << "\n";
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// F3 — The FMT of the EI-joint (the paper's model figure), as Graphviz DOT
+// plus a structural summary.
+#include "bench/common.hpp"
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "ft/cutsets.hpp"
+#include "ft/dot.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("F3", "EI-joint fault maintenance tree",
+                "the model figure (taxonomy in DESIGN.md)");
+  const fmt::FaultMaintenanceTree model = eijoint::build_ei_joint(
+      eijoint::EiJointParameters::defaults(), eijoint::current_policy());
+
+  std::cout << ft::to_dot(model.structure(), "ei_joint") << "\n";
+
+  std::cout << "Structural summary:\n"
+            << "  leaves: " << model.num_ebes() << "\n"
+            << "  gates:  " << model.structure().gates().size() << "\n"
+            << "  rate dependencies: " << model.rdeps().size() << "\n"
+            << "  inspection modules: " << model.inspections().size() << "\n";
+  const auto cuts = ft::minimal_cut_sets(model.structure());
+  std::size_t singletons = 0;
+  for (const auto& c : cuts)
+    if (c.size() == 1) ++singletons;
+  std::cout << "  minimal cut sets: " << cuts.size() << " (" << singletons
+            << " single-mode, " << cuts.size() - singletons << " bolt pairs)\n"
+            << "\n(pipe the DOT block above through `dot -Tpdf` to render the "
+               "figure)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// F7 — Expected yearly cost vs inspection frequency, with breakdown.
+// Expected shape: U-shaped curve; failure costs dominate on the left,
+// inspection+repair costs on the right; the minimum sits at/near the current
+// 4x-per-year policy (abstract claim C4).
+#include "bench/common.hpp"
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "maintenance/optimizer.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("F7", "Yearly cost vs inspection frequency (breakdown)",
+                "claim C4: current policy close to cost-optimal; extra "
+                "inspections cost more than the failures they avoid");
+  const auto factory = eijoint::ei_joint_factory(eijoint::EiJointParameters::defaults());
+  const auto candidates = maintenance::inspection_frequency_candidates(
+      eijoint::current_policy(), eijoint::cost_curve_frequencies());
+  const smc::AnalysisSettings settings = bench::default_settings(20.0, 8000);
+  const maintenance::SweepResult sweep =
+      maintenance::sweep_policies(factory, candidates, settings);
+
+  TextTable t({"inspections/yr", "inspection", "repairs", "corrective", "downtime",
+               "total/yr (95% CI)"});
+  t.set_alignment({Align::Right, Align::Right, Align::Right, Align::Right,
+                   Align::Right, Align::Right});
+  for (std::size_t i = 0; i < sweep.curve.size(); ++i) {
+    const maintenance::PolicyEvaluation& e = sweep.curve[i];
+    const fmt::CostBreakdown per_year = e.kpis.mean_cost / settings.horizon;
+    std::string total = bench::ci_cell(e.kpis.cost_per_year, 0);
+    if (i == sweep.best_index) total += "  <-- optimum";
+    t.add_row({cell(e.policy.inspections_per_year(), 1), cell(per_year.inspection, 0),
+               cell(per_year.repair, 0), cell(per_year.corrective, 0),
+               cell(per_year.downtime, 0), std::move(total)});
+  }
+  t.print(std::cout);
+
+  const double best_freq = sweep.best().policy.inspections_per_year();
+  double current_cost = 0;
+  for (const auto& e : sweep.curve)
+    if (e.policy.inspections_per_year() == 4.0) current_cost = e.cost_per_year();
+  const double best_cost = sweep.best().cost_per_year();
+  const bool near_optimal = current_cost <= 1.15 * best_cost;
+  std::cout << "\nOptimum: " << cell(best_freq, 1) << " inspections/yr at "
+            << cell(best_cost, 0) << "/yr; current policy (4x) costs "
+            << cell(current_cost, 0) << "/yr ("
+            << cell(100.0 * (current_cost / best_cost - 1.0), 1)
+            << "% above optimum).\n"
+            << "Shape check (current within 15% of optimum): "
+            << (near_optimal ? "PASS" : "FAIL") << "\n";
+  return near_optimal ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// M13 — Microbenchmarks of the simulation engine (google-benchmark):
+// trajectory throughput on the EI-joint model and event-queue operations.
+#include <benchmark/benchmark.h>
+
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fmt_executor.hpp"
+#include "smc/runner.hpp"
+
+using namespace fmtree;
+
+namespace {
+
+const fmt::FaultMaintenanceTree& ei_joint_current() {
+  static const fmt::FaultMaintenanceTree model = eijoint::build_ei_joint(
+      eijoint::EiJointParameters::defaults(), eijoint::current_policy());
+  return model;
+}
+
+void BM_TrajectoryEiJoint(benchmark::State& state) {
+  const sim::FmtSimulator simulator(ei_joint_current());
+  sim::SimOptions opts;
+  opts.horizon = static_cast<double>(state.range(0));
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(RandomStream(1, stream++), opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["sim-years/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * opts.horizon,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrajectoryEiJoint)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_ParallelRunner(benchmark::State& state) {
+  const sim::FmtSimulator simulator(ei_joint_current());
+  const smc::ParallelRunner runner(simulator,
+                                   static_cast<unsigned>(state.range(0)));
+  sim::SimOptions opts;
+  opts.horizon = 20.0;
+  std::uint64_t first = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(1, first, 512, opts));
+    first += 512;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_ParallelRunner)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(3, 0);
+  for (auto _ : state) {
+    sim::EventQueue<std::uint32_t> q;
+    for (std::size_t i = 0; i < n; ++i)
+      q.schedule(rng.uniform01(), static_cast<std::uint32_t>(i));
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DistributionSampling(benchmark::State& state) {
+  const Distribution d = Distribution::erlang(6, 0.6);
+  RandomStream rng(9, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DistributionSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// M14 — Microbenchmarks of the static-analysis backends (google-benchmark):
+// BDD compilation/evaluation and minimal cut sets.
+#include <benchmark/benchmark.h>
+
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "ft/bdd.hpp"
+#include "ft/cutsets.hpp"
+
+using namespace fmtree;
+
+namespace {
+
+const ft::FaultTree& ei_joint_structure() {
+  static const fmt::FaultMaintenanceTree model = eijoint::build_ei_joint(
+      eijoint::EiJointParameters::defaults(), eijoint::current_policy());
+  return model.structure();
+}
+
+ft::FaultTree voting_tree(int n, int k) {
+  ft::FaultTree t;
+  std::vector<ft::NodeId> leaves;
+  for (int i = 0; i < n; ++i)
+    leaves.push_back(
+        t.add_basic_event("l" + std::to_string(i), Distribution::exponential(0.1)));
+  t.set_top(t.add_voting("top", k, leaves));
+  return t;
+}
+
+void BM_BddBuildEiJoint(benchmark::State& state) {
+  const ft::FaultTree& tree = ei_joint_structure();
+  for (auto _ : state) {
+    ft::BddManager mgr(static_cast<std::uint32_t>(tree.basic_events().size()));
+    benchmark::DoNotOptimize(ft::build_bdd(mgr, tree));
+  }
+}
+BENCHMARK(BM_BddBuildEiJoint);
+
+void BM_BddProbabilityEiJoint(benchmark::State& state) {
+  const ft::FaultTree& tree = ei_joint_structure();
+  ft::BddManager mgr(static_cast<std::uint32_t>(tree.basic_events().size()));
+  const ft::BddRef f = ft::build_bdd(mgr, tree);
+  const std::vector<double> p = tree.probabilities_at(10.0);
+  for (auto _ : state) benchmark::DoNotOptimize(mgr.probability(f, p));
+}
+BENCHMARK(BM_BddProbabilityEiJoint);
+
+void BM_BddVoting(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ft::FaultTree tree = voting_tree(n, n / 2);
+  for (auto _ : state) {
+    ft::BddManager mgr(static_cast<std::uint32_t>(n));
+    const ft::BddRef f = ft::build_bdd(mgr, tree);
+    benchmark::DoNotOptimize(
+        mgr.probability(f, tree.probabilities_at(5.0)));
+  }
+}
+BENCHMARK(BM_BddVoting)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MinimalCutSetsEiJoint(benchmark::State& state) {
+  const ft::FaultTree& tree = ei_joint_structure();
+  for (auto _ : state) benchmark::DoNotOptimize(ft::minimal_cut_sets(tree));
+}
+BENCHMARK(BM_MinimalCutSetsEiJoint);
+
+void BM_MinimalCutSetsVoting(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ft::FaultTree tree = voting_tree(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(ft::minimal_cut_sets(tree));
+}
+BENCHMARK(BM_MinimalCutSetsVoting)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

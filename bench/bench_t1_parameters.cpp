@@ -1,0 +1,48 @@
+// T1 — Degradation parameters of the EI-joint failure modes.
+// (Paper: the basic-event parameter table from incident data + expert
+// interviews. Values here are the documented synthetic defaults.)
+#include "bench/common.hpp"
+#include "eijoint/params.hpp"
+#include "fmt/degradation.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("T1", "EI-joint degradation parameters",
+                "model inventory (abstract claim C1: FMTs capture the modes)");
+  const eijoint::EiJointParameters p = eijoint::EiJointParameters::defaults();
+
+  TextTable t({"failure mode", "phases", "mean TTF (y)", "threshold phase",
+               "mean warning (y)", "repair action", "repair cost"});
+  t.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right, Align::Right,
+                   Align::Left, Align::Right});
+  for (const eijoint::ModeParams* mode : p.all_modes()) {
+    const bool detectable = mode->threshold <= mode->phases;
+    // Mean residual time from reaching the threshold phase to failure: the
+    // inspection's window of opportunity.
+    const double warning =
+        detectable ? mode->mean_ttf *
+                         (static_cast<double>(mode->phases - mode->threshold + 1) /
+                          static_cast<double>(mode->phases))
+                   : 0.0;
+    t.add_row({mode->name, cell(mode->phases), cell(mode->mean_ttf, 1),
+               detectable ? cell(mode->threshold) : "-(invisible)",
+               detectable ? cell(warning, 2) : "-",
+               mode->repair_action == "none" ? "-" : mode->repair_action,
+               mode->repair_cost > 0 ? cell(mode->repair_cost, 0) : "-"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nStructural notes:\n"
+            << "  * '" << p.bolt.name << "' appears " << p.num_bolts
+            << " times under a " << p.bolt_vote << "/" << p.num_bolts
+            << " voting gate.\n"
+            << "  * RDEP: " << p.batter.name << " at phase >= "
+            << p.batter_trigger_phase << " accelerates " << p.lipping.name << " x"
+            << p.batter_lipping_factor << " and " << p.glue.name << " x"
+            << p.batter_glue_factor << ".\n"
+            << "  * '" << p.impact_damage.name
+            << "' is memoryless (no precursor) - the floor that inspections "
+               "cannot remove.\n";
+  return 0;
+}

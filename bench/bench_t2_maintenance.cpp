@@ -1,0 +1,36 @@
+// T2 — Maintenance actions and cost model of the EI-joint study.
+#include "bench/common.hpp"
+#include "eijoint/scenarios.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("T2", "Maintenance actions and costs",
+                "strategy catalogue (abstract claim C1: condition-based "
+                "maintenance with periodic inspections modeled naturally)");
+
+  std::cout << "Maintenance strategies compared:\n\n";
+  TextTable t({"strategy", "inspections/yr", "inspection cost", "renewal period (y)",
+               "renewal cost"});
+  t.set_alignment(
+      {Align::Left, Align::Right, Align::Right, Align::Right, Align::Right});
+  for (const maintenance::MaintenancePolicy& p : eijoint::paper_strategies()) {
+    t.add_row({p.name,
+               p.has_inspections() ? cell(p.inspections_per_year(), 1) : "0",
+               p.has_inspections() ? cell(p.inspection_cost, 0) : "-",
+               p.has_replacements() ? cell(p.replacement_period, 0) : "-",
+               p.has_replacements() ? cell(p.replacement_cost, 0) : "-"});
+  }
+  t.print(std::cout);
+
+  const fmt::CorrectivePolicy c = eijoint::standard_corrective();
+  std::cout << "\nCorrective maintenance (all strategies):\n";
+  TextTable t2({"parameter", "value"});
+  t2.add_row({"cost per failure (emergency renewal + penalty)", cell(c.cost, 0)});
+  t2.add_row({"repair lead time (downtime per failure, years)", cell(c.delay, 3)});
+  t2.add_row({"downtime cost rate (per year down)", cell(c.downtime_cost_rate, 0)});
+  t2.print(std::cout);
+
+  std::cout << "\nCondition-based repair actions are per failure mode (T1).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// T6 — Calibration & validation: fit the model from synthetic "field data"
+// and check it predicts the failures observed in a held-out incident
+// database (abstract claim C3: "a model that faithfully predicts the
+// expected number of failures at system level").
+//
+// Pipeline (mirrors the paper's data sources):
+//   ground truth --> elicitation datasets (expert interviews)   --> fitted modes
+//   ground truth --> train incident DB (incident registration)  --> sanity rates
+//   fitted model --> SMC prediction  vs  held-out incident DB   --> validation
+#include "bench/common.hpp"
+#include "data/estimate.hpp"
+#include "data/generator.hpp"
+#include "data/validate.hpp"
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "maintenance/policy.hpp"
+
+using namespace fmtree;
+
+int main() {
+  bench::header("T6", "Predicted vs observed failures (calibration/validation)",
+                "claim C3: calibrated FMT faithfully predicts system failures");
+  const auto params = eijoint::EiJointParameters::defaults();
+  const maintenance::MaintenancePolicy policy = eijoint::current_policy();
+  const fmt::FaultMaintenanceTree truth = eijoint::build_ei_joint(params, policy);
+
+  // --- Calibration: fit each mode from elicited degradation durations -------
+  const std::size_t elicitation_n = static_cast<std::size_t>(bench::trajectories(3000));
+  std::cout << "Fitting degradation models from " << elicitation_n
+            << " elicited trajectories per mode:\n\n";
+  TextTable fit_table({"failure mode", "true phases/mean/thr", "fitted phases/mean/thr"});
+  fmt::FaultMaintenanceTree calibrated;
+  {
+    // Rebuild the same structure with fitted leaves.
+    std::vector<fmt::NodeId> electrical_kids, mechanical_kids, bolts;
+    auto fitted_leaf = [&](const std::string& name) {
+      const fmt::NodeId leaf = *truth.find(name);
+      const auto samples = data::elicit_degradation(truth, leaf, elicitation_n, 2016);
+      const fmt::DegradationModel fitted = data::fit_degradation(samples);
+      const fmt::DegradationModel& real = truth.ebe(leaf).degradation;
+      fit_table.add_row(
+          {name,
+           cell(real.phases()) + "/" + cell(real.mean_time_to_failure(), 1) + "/" +
+               cell(real.threshold_phase()),
+           cell(fitted.phases()) + "/" + cell(fitted.mean_time_to_failure(), 1) + "/" +
+               cell(fitted.threshold_phase())});
+      return calibrated.add_ebe(name, fitted, truth.ebe(leaf).repair);
+    };
+    electrical_kids.push_back(fitted_leaf("lipping"));
+    electrical_kids.push_back(fitted_leaf("contamination"));
+    electrical_kids.push_back(fitted_leaf("endpost_wear"));
+    electrical_kids.push_back(fitted_leaf("impact_damage"));
+    for (int b = 1; b <= params.num_bolts; ++b)
+      bolts.push_back(fitted_leaf("bolt_" + std::to_string(b)));
+    mechanical_kids.push_back(calibrated.add_voting("bolt_group", params.bolt_vote, bolts));
+    mechanical_kids.push_back(fitted_leaf("fishplate_crack"));
+    mechanical_kids.push_back(fitted_leaf("glue_degradation"));
+    mechanical_kids.push_back(fitted_leaf("joint_batter"));
+    const fmt::NodeId electrical =
+        calibrated.add_or("electrical_failure", electrical_kids);
+    const fmt::NodeId mechanical =
+        calibrated.add_or("mechanical_failure", mechanical_kids);
+    calibrated.set_top(calibrated.add_or("ei_joint_failure", {electrical, mechanical}));
+    if (params.enable_rdep) {
+      calibrated.add_rdep("batter_accelerates_lipping", *calibrated.find("joint_batter"),
+                          {*calibrated.find("lipping")}, params.batter_lipping_factor,
+                          params.batter_trigger_phase);
+      calibrated.add_rdep("batter_accelerates_glue", *calibrated.find("joint_batter"),
+                          {*calibrated.find("glue_degradation")},
+                          params.batter_glue_factor, params.batter_trigger_phase);
+    }
+    maintenance::apply_policy(calibrated, policy);
+  }
+  fit_table.print(std::cout);
+
+  // --- Held-out incident database --------------------------------------------
+  const auto fleet = static_cast<std::uint32_t>(bench::trajectories(4000));
+  const double window = 10.0;
+  const data::IncidentDatabase holdout =
+      data::generate_incidents(truth, fleet, window, 77001);
+  std::cout << "\nHeld-out incident registration DB: " << fleet << " joints x "
+            << window << " years, " << holdout.size() << " incidents ("
+            << cell(holdout.failure_rate(), 4) << " per joint-year)\n\n";
+
+  // --- Validation --------------------------------------------------------------
+  smc::AnalysisSettings s = bench::default_settings(window, 8000, 5150);
+  const data::ValidationReport report = data::validate_against(calibrated, holdout, s);
+
+  TextTable v({"level", "observed /joint-yr (95% CI)", "predicted /joint-yr (95% CI)",
+               "verdict"});
+  v.set_alignment({Align::Left, Align::Right, Align::Right, Align::Left});
+  auto rate_cell = [](const data::RateEstimate& r) {
+    return cell(r.rate, 4) + " [" + cell(r.lo, 4) + ", " + cell(r.hi, 4) + "]";
+  };
+  v.add_row({"system", rate_cell(report.system.observed),
+             bench::ci_cell(report.system.predicted, 4),
+             report.system.intervals_overlap ? "MATCH" : "MISMATCH"});
+  for (const data::ValidationRow& row : report.modes) {
+    v.add_row({"  " + row.label, rate_cell(row.observed),
+               bench::ci_cell(row.predicted, 4),
+               row.intervals_overlap ? "match" : "mismatch"});
+  }
+  v.print(std::cout);
+
+  std::cout << "\nShape check (system-level prediction matches holdout): "
+            << (report.system.intervals_overlap ? "PASS" : "FAIL") << "\n";
+  return report.system.intervals_overlap ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the experiment benches. Each bench regenerates one
+// table/figure from the DESIGN.md experiment index and prints the rows the
+// paper reports. Sample counts can be scaled with FMTREE_BENCH_TRAJECTORIES.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "smc/kpi.hpp"
+#include "util/table.hpp"
+
+namespace fmtree::bench {
+
+inline std::uint64_t trajectories(std::uint64_t dflt) {
+  if (const char* env = std::getenv("FMTREE_BENCH_TRAJECTORIES")) {
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return v;
+  }
+  return dflt;
+}
+
+inline smc::AnalysisSettings default_settings(double horizon, std::uint64_t dflt_n,
+                                              std::uint64_t seed = 20160628) {
+  smc::AnalysisSettings s;
+  s.horizon = horizon;
+  s.trajectories = trajectories(dflt_n);
+  s.seed = seed;
+  return s;
+}
+
+inline void header(const std::string& id, const std::string& title,
+                   const std::string& claim) {
+  std::cout << "================================================================\n"
+            << id << ": " << title << "\n"
+            << "Reproduces: " << claim << "\n"
+            << "================================================================\n\n";
+}
+
+inline std::string ci_cell(const ConfidenceInterval& ci, int decimals) {
+  return cell(ci.point, decimals) + " [" + cell(ci.lo, decimals) + ", " +
+         cell(ci.hi, decimals) + "]";
+}
+
+}  // namespace fmtree::bench

@@ -1,0 +1,66 @@
+// Maintenance planning for the pneumatic compressor: compare the two-tier
+// service plans, rank components by both static importance and simulated
+// attribution, and use a paired (common-random-numbers) comparison to decide
+// a close call that independent runs cannot resolve.
+#include <iostream>
+
+#include "compressor/compressor.hpp"
+#include "ft/importance.hpp"
+#include "smc/compare.hpp"
+#include "smc/kpi.hpp"
+#include "util/table.hpp"
+
+using namespace fmtree;
+
+int main() {
+  const auto params = compressor::CompressorParameters::defaults();
+  smc::AnalysisSettings settings;
+  settings.horizon = 20.0;
+  settings.trajectories = 10000;
+  settings.seed = 11;
+
+  // ---- Plan comparison -------------------------------------------------------
+  std::cout << "Compressor maintenance plans (20-year horizon):\n\n";
+  TextTable t({"plan", "failures/yr", "availability", "cost/yr"});
+  t.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right});
+  for (const compressor::CompressorPlan& plan : compressor::compressor_plans()) {
+    const smc::KpiReport k =
+        smc::analyze(compressor::build_compressor(params, plan), settings);
+    t.add_row({plan.name, cell(k.failures_per_year.point, 4),
+               cell(k.availability.point, 5), cell(k.cost_per_year.point, 0)});
+  }
+  t.print(std::cout);
+
+  // ---- Who drives the failures? ----------------------------------------------
+  const auto current = compressor::build_compressor(params, compressor::current_plan());
+  const smc::KpiReport k = smc::analyze(current, settings);
+  std::cout << "\nComponent ranking under the current plan:\n";
+  TextTable rank({"component", "failures/yr (simulated)", "Birnbaum (static)"});
+  rank.set_alignment({Align::Left, Align::Right, Align::Right});
+  const auto importances = ft::importance_measures(current.structure(), 10.0);
+  for (std::size_t i = 0; i < current.num_ebes(); ++i) {
+    rank.add_row({current.ebes()[i].name,
+                  cell(k.failures_per_leaf[i] / settings.horizon, 4),
+                  cell(importances[i].birnbaum, 3)});
+  }
+  rank.print(std::cout);
+  std::cout << "\n(The static ranking ignores maintenance: it overrates the\n"
+               " consumables that the minor service actually keeps in check.)\n";
+
+  // ---- A close call, settled with common random numbers -----------------------
+  compressor::CompressorPlan faster_major = compressor::current_plan();
+  faster_major.name = "major-18mo";
+  faster_major.major_period = 1.5;
+  const auto variant = compressor::build_compressor(params, faster_major);
+  const smc::PairedComparison cmp = smc::compare_models(variant, current, settings);
+  std::cout << "\nIs a major inspection every 18 months worth it? (paired runs)\n"
+            << "  cost difference (18mo - 24mo): " << cell(cmp.cost_diff.point, 0)
+            << " [" << cell(cmp.cost_diff.lo, 0) << ", " << cell(cmp.cost_diff.hi, 0)
+            << "] per 20 years\n"
+            << "  verdict: "
+            << (cmp.cost_significantly_different()
+                    ? (cmp.cost_diff.point > 0 ? "no - it adds cost" : "yes - it saves")
+                    : "statistically indistinguishable at this budget")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Authoring fault maintenance trees in the text format: parse an .fmt model
+// of a water-pumping station, export the structure as Graphviz, and analyse
+// two maintenance variants — no C++ model-building code needed.
+#include <iostream>
+
+#include "fmt/parser.hpp"
+#include "ft/dot.hpp"
+#include "smc/kpi.hpp"
+#include "util/table.hpp"
+
+using namespace fmtree;
+
+namespace {
+
+// A pumping station: two redundant pumps (1-of-2 must survive, so the
+// station fails when both fail = VOT 2/2), a shared control unit, and pipe
+// corrosion. Pumps wear visibly; the controller fails abruptly.
+const char* kStation = R"(
+  toplevel Station;
+  Station or PumpsDown Controller Corrosion;
+  PumpsDown vot 2 PumpA PumpB;
+
+  PumpA ebe phases=4 mean=6  threshold=3 repair_cost=400 repair=overhaul;
+  PumpB ebe phases=4 mean=6  threshold=3 repair_cost=400 repair=overhaul;
+  Corrosion ebe phases=5 mean=25 threshold=3 repair_cost=1500 repair=recoat;
+  Controller be exp(0.04);
+
+  # A failed pump overloads the survivor.
+  rdep Overload factor=2 trigger=PumpA targets PumpB;
+  rdep Overload2 factor=2 trigger=PumpB targets PumpA;
+
+  corrective cost=20000 delay=0.05 downtime_rate=100000;
+)";
+
+}  // namespace
+
+int main() {
+  std::cout << "Parsing the station model from its .fmt text...\n";
+  const fmt::FaultMaintenanceTree base = fmt::parse_fmt(kStation);
+  std::cout << "  " << base.num_ebes() << " leaves, "
+            << base.structure().gates().size() << " gates, " << base.rdeps().size()
+            << " rate dependencies\n\n";
+
+  std::cout << "Graphviz of the structure:\n"
+            << ft::to_dot(base.structure(), "station") << "\n";
+
+  // Compare maintenance variants by appending module statements to the text.
+  const std::string base_text(kStation);
+  const std::string with_inspections =
+      base_text + "inspection Rounds period=0.25 cost=80 targets all;\n";
+  const std::string with_renewal =
+      with_inspections + "replacement Overhaul period=10 cost=9000 targets all;\n";
+  // Design variant: run one pump and keep the other as a cold standby
+  // (SPARE gate) instead of active-active with overload RDEPs.
+  std::string standby = with_inspections;
+  const auto replace_all_in = [](std::string& text, const std::string& from,
+                                 const std::string& to) {
+    for (std::size_t pos = 0; (pos = text.find(from, pos)) != std::string::npos;
+         pos += to.size())
+      text.replace(pos, from.size(), to);
+  };
+  replace_all_in(standby, "PumpsDown vot 2 PumpA PumpB;",
+                 "PumpsDown spare dormancy=0.1 PumpA PumpB;");
+  replace_all_in(standby, "rdep Overload factor=2 trigger=PumpA targets PumpB;", "");
+  replace_all_in(standby, "rdep Overload2 factor=2 trigger=PumpB targets PumpA;", "");
+
+  smc::AnalysisSettings settings;
+  settings.horizon = 15.0;
+  settings.trajectories = 20000;
+  settings.seed = 3;
+
+  TextTable t({"variant", "R(15y)", "failures/yr", "cost/yr"});
+  t.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right});
+  for (const auto& [name, text] :
+       {std::pair<const char*, const std::string*>{"corrective only", &base_text},
+        {"quarterly rounds", &with_inspections},
+        {"rounds + 10y overhaul", &with_renewal},
+        {"cold-standby pumps", &standby}}) {
+    const fmt::FaultMaintenanceTree model = fmt::parse_fmt(*text);
+    const smc::KpiReport k = smc::analyze(model, settings);
+    t.add_row({name, cell(k.reliability.point, 3), cell(k.failures_per_year.point, 4),
+               cell(k.cost_per_year.point, 0)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe standby design keeps the second pump almost unworn while\n"
+               "it waits, trading throughput for reliability.\n";
+
+  std::cout << "\nRound-trip check: serializing and re-parsing preserves the "
+               "model:\n"
+            << (fmt::to_text(fmt::parse_fmt(fmt::to_text(base))) == fmt::to_text(base)
+                    ? "  stable fixpoint reached - OK\n"
+                    : "  MISMATCH\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The EI-joint case study, end to end: build the fault maintenance tree of
+// the electrically insulated railway joint under the current maintenance
+// policy, and compute every KPI the DSN'16 study reports — reliability,
+// expected number of failures (with per-mode attribution), availability and
+// cost — plus the classic static-analysis view (importance measures).
+#include <iostream>
+
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "ft/importance.hpp"
+#include "smc/kpi.hpp"
+#include "util/table.hpp"
+
+using namespace fmtree;
+
+int main() {
+  const auto params = eijoint::EiJointParameters::defaults();
+  const fmt::FaultMaintenanceTree model =
+      eijoint::build_ei_joint(params, eijoint::current_policy());
+
+  std::cout << "EI-joint FMT: " << model.num_ebes() << " failure modes, "
+            << model.structure().gates().size() << " gates, "
+            << model.rdeps().size() << " rate dependencies\n"
+            << "Policy: quarterly inspections + corrective renewal\n\n";
+
+  // ---- Full FMT analysis (statistical model checking) ----------------------
+  smc::AnalysisSettings settings;
+  settings.horizon = 20.0;
+  settings.trajectories = 20000;
+  settings.seed = 1;
+  const smc::KpiReport k = smc::analyze(model, settings);
+
+  std::cout << "KPIs over a 20-year horizon (" << k.trajectories << " runs):\n";
+  TextTable kpis({"KPI", "estimate", "95% CI"});
+  auto ci = [](const ConfidenceInterval& c, int d) {
+    return "[" + cell(c.lo, d) + ", " + cell(c.hi, d) + "]";
+  };
+  kpis.add_row({"reliability R(20y)", cell(k.reliability.point, 4),
+                ci(k.reliability, 4)});
+  kpis.add_row({"expected failures / year", cell(k.failures_per_year.point, 4),
+                ci(k.failures_per_year, 4)});
+  kpis.add_row({"availability", cell(k.availability.point, 6),
+                ci(k.availability, 6)});
+  kpis.add_row({"cost / year", cell(k.cost_per_year.point, 1),
+                ci(k.cost_per_year, 1)});
+  kpis.print(std::cout);
+
+  std::cout << "\nCost breakdown per year:\n";
+  const fmt::CostBreakdown per_year = k.mean_cost / settings.horizon;
+  TextTable costs({"component", "euro/yr"});
+  costs.set_alignment({Align::Left, Align::Right});
+  costs.add_row({"inspections", cell(per_year.inspection, 1)});
+  costs.add_row({"condition-based repairs", cell(per_year.repair, 1)});
+  costs.add_row({"corrective (failures)", cell(per_year.corrective, 1)});
+  costs.add_row({"downtime", cell(per_year.downtime, 1)});
+  costs.print(std::cout);
+
+  std::cout << "\nFailure attribution (per joint-year):\n";
+  TextTable attr({"mode", "failures/yr", "repairs/yr"});
+  attr.set_alignment({Align::Left, Align::Right, Align::Right});
+  for (std::size_t i = 0; i < model.num_ebes(); ++i) {
+    attr.add_row({model.ebes()[i].name,
+                  cell(k.failures_per_leaf[i] / settings.horizon, 4),
+                  cell(k.repairs_per_leaf[i] / settings.horizon, 3)});
+  }
+  attr.print(std::cout);
+
+  // ---- Classic static fault-tree view (maintenance ignored) -----------------
+  std::cout << "\nStatic view at a 10-year mission (no maintenance), importance:\n";
+  TextTable imp({"mode", "P(fail by 10y)", "Birnbaum", "Fussell-Vesely"});
+  imp.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right});
+  for (const ft::Importance& i : ft::importance_measures(model.structure(), 10.0)) {
+    imp.add_row({i.name, cell(i.probability, 3), cell(i.birnbaum, 3),
+                 cell(i.fussell_vesely, 3)});
+  }
+  imp.print(std::cout);
+  std::cout << "\n(The static view motivates why maintenance modelling matters:\n"
+               " without it, every detectable mode looks equally doomed.)\n";
+  return 0;
+}

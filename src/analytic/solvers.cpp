@@ -1,0 +1,105 @@
+#include "analytic/solvers.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "analytic/fmt2ctmc.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::analytic {
+
+std::vector<double> steady_state(const Ctmc& chain, const SolverOptions& opts) {
+  const std::size_t n = chain.num_states();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    chain.uniformized_step(pi, next);
+    double delta = 0;
+    for (std::size_t s = 0; s < n; ++s)
+      delta = std::max(delta, std::fabs(next[s] - pi[s]));
+    pi.swap(next);
+    if (delta < opts.tolerance) {
+      double total = 0;  // normalize away accumulated rounding
+      for (double p : pi) total += p;
+      for (double& p : pi) p /= total;
+      return pi;
+    }
+  }
+  throw DomainError("steady_state power iteration failed to converge");
+}
+
+double mean_time_to_absorption(const Ctmc& chain, const std::vector<double>& initial,
+                               const std::vector<bool>& absorbing,
+                               const SolverOptions& opts) {
+  const std::size_t n = chain.num_states();
+  if (initial.size() != n || absorbing.size() != n)
+    throw DomainError("vector size does not match state count");
+
+  // Group edges per source and build reverse adjacency for reachability.
+  std::vector<std::vector<CtmcEdge>> out(n);
+  std::vector<std::vector<State>> reverse(n);
+  for (std::size_t i = 0; i < chain.num_transitions(); ++i) {
+    const CtmcEdge e = chain.edge(i);
+    out[e.from].push_back(e);
+    reverse[e.to].push_back(e.from);
+  }
+
+  // Any transient state (with initial mass) that cannot reach the absorbing
+  // set makes the expectation infinite.
+  std::vector<bool> can_reach(n, false);
+  std::deque<State> queue;
+  for (State s = 0; s < n; ++s) {
+    if (absorbing[s]) {
+      can_reach[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const State s = queue.front();
+    queue.pop_front();
+    for (State p : reverse[s]) {
+      if (!can_reach[p]) {
+        can_reach[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  for (State s = 0; s < n; ++s) {
+    if (!absorbing[s] && !can_reach[s] && initial[s] > 0)
+      throw DomainError("initial state cannot reach the absorbing set: MTTF infinite");
+  }
+
+  // Hitting-time equations, h = 0 on the absorbing set:
+  //   h_s = (1 + sum_{s->s'} rate * h_{s'}) / exit_s   for transient s.
+  // Gauss–Seidel sweeps converge monotonically from h = 0.
+  std::vector<double> h(n, 0.0);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    double delta = 0;
+    for (State s = 0; s < n; ++s) {
+      if (absorbing[s] || !can_reach[s]) continue;
+      const double exit = chain.exit_rate(s);
+      if (exit <= 0)
+        throw DomainError("transient state with zero exit rate: MTTF infinite");
+      double sum_rate_h = 0;
+      for (const CtmcEdge& e : out[s])
+        if (!absorbing[e.to]) sum_rate_h += e.rate * h[e.to];
+      const double fresh = (1.0 + sum_rate_h) / exit;
+      delta = std::max(delta, std::fabs(fresh - h[s]));
+      h[s] = fresh;
+    }
+    if (delta < opts.tolerance) {
+      double mttf = 0;
+      for (State s = 0; s < n; ++s) mttf += initial[s] * h[s];
+      return mttf;
+    }
+  }
+  throw DomainError("mean_time_to_absorption failed to converge");
+}
+
+double exact_mttf(const fmt::FaultMaintenanceTree& model, std::size_t max_states,
+                  const SolverOptions& opts) {
+  const MarkovFmt m = fmt_to_ctmc(model, FailureTreatment::Absorbing, max_states);
+  return mean_time_to_absorption(m.chain, m.initial, m.failed, opts);
+}
+
+}  // namespace fmtree::analytic

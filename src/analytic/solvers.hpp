@@ -1,0 +1,35 @@
+// Linear-algebraic CTMC queries complementing transient uniformization:
+// stationary distributions and expected hitting times, plus the exact
+// mean-time-to-failure oracle for Markovian FMTs.
+#pragma once
+
+#include "analytic/ctmc.hpp"
+#include "fmt/fmtree.hpp"
+
+namespace fmtree::analytic {
+
+struct SolverOptions {
+  double tolerance = 1e-12;      ///< max-norm change per sweep
+  std::size_t max_iterations = 200000;
+};
+
+/// Stationary distribution pi with pi Q = 0, sum(pi) = 1, computed by power
+/// iteration on the uniformized DTMC. For an irreducible chain this is the
+/// unique long-run distribution; for reducible chains it is the limit from
+/// the uniform initial distribution. Throws DomainError on non-convergence.
+std::vector<double> steady_state(const Ctmc& chain, const SolverOptions& opts = {});
+
+/// Expected time to reach the `absorbing` set from `initial`
+/// (E[inf{t : X_t in absorbing}]), by Gauss–Seidel on the hitting-time
+/// equations. Throws DomainError if a non-absorbing state cannot reach the
+/// set (infinite expectation) or on non-convergence.
+double mean_time_to_absorption(const Ctmc& chain, const std::vector<double>& initial,
+                               const std::vector<bool>& absorbing,
+                               const SolverOptions& opts = {});
+
+/// Exact mean time to first system failure of a Markovian FMT (no periodic
+/// maintenance, exponential phases). The oracle for smc::mean_time_to_failure.
+double exact_mttf(const fmt::FaultMaintenanceTree& model,
+                  std::size_t max_states = 1u << 20, const SolverOptions& opts = {});
+
+}  // namespace fmtree::analytic

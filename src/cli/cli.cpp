@@ -1,0 +1,297 @@
+#include "cli/cli.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analytic/fmt2ctmc.hpp"
+#include "analytic/solvers.hpp"
+#include "fmt/parser.hpp"
+#include "ft/cutsets.hpp"
+#include "ft/dot.hpp"
+#include "ft/bdd.hpp"
+#include "ft/importance.hpp"
+#include "smc/compare.hpp"
+#include "smc/kpi.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace fmtree::cli {
+
+namespace {
+
+double parse_double(const std::string& text, const std::string& what) {
+  std::size_t used = 0;
+  double value = 0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw DomainError("invalid " + what + ": '" + text + "'");
+  }
+  if (used != text.size()) throw DomainError("invalid " + what + ": '" + text + "'");
+  return value;
+}
+
+std::uint64_t parse_count(const std::string& text, const std::string& what) {
+  const double v = parse_double(text, what);
+  if (v < 0 || v != std::floor(v)) throw DomainError(what + " must be a nonnegative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+std::vector<double> parse_quantiles(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const double q = parse_double(item, "quantile");
+    if (!(q >= 0 && q <= 1)) throw DomainError("quantiles must lie in [0,1]");
+    out.push_back(q);
+  }
+  if (out.empty()) throw DomainError("empty quantile list");
+  return out;
+}
+
+}  // namespace
+
+Options parse_args(const std::vector<std::string>& args) {
+  if (args.empty()) throw DomainError("missing command\n" + usage());
+  Options opt;
+  const std::string& cmd = args[0];
+  if (cmd == "check") opt.command = Command::Check;
+  else if (cmd == "analyze") opt.command = Command::Analyze;
+  else if (cmd == "exact") opt.command = Command::Exact;
+  else if (cmd == "dot") opt.command = Command::Dot;
+  else if (cmd == "cutsets") opt.command = Command::CutSets;
+  else if (cmd == "compare") opt.command = Command::Compare;
+  else throw DomainError("unknown command '" + cmd + "'\n" + usage());
+
+  std::size_t i = 1;
+  if (i >= args.size() || args[i].starts_with("--"))
+    throw DomainError("missing model file\n" + usage());
+  opt.model_path = args[i++];
+  if (opt.command == Command::Compare) {
+    if (i >= args.size() || args[i].starts_with("--"))
+      throw DomainError("compare needs two model files\n" + usage());
+    opt.model_path_b = args[i++];
+  }
+
+  while (i < args.size()) {
+    const std::string& flag = args[i++];
+    auto value = [&]() -> const std::string& {
+      if (i >= args.size()) throw DomainError("flag " + flag + " needs a value");
+      return args[i++];
+    };
+    if (flag == "--horizon") opt.horizon = parse_double(value(), "horizon");
+    else if (flag == "--runs") opt.runs = parse_count(value(), "runs");
+    else if (flag == "--seed") opt.seed = parse_count(value(), "seed");
+    else if (flag == "--threads")
+      opt.threads = static_cast<unsigned>(parse_count(value(), "threads"));
+    else if (flag == "--confidence") opt.confidence = parse_double(value(), "confidence");
+    else if (flag == "--quantiles") opt.quantiles = parse_quantiles(value());
+    else throw DomainError("unknown flag '" + flag + "'\n" + usage());
+  }
+  if (!(opt.horizon > 0)) throw DomainError("--horizon must be positive");
+  if (opt.runs == 0) throw DomainError("--runs must be positive");
+  if (!(opt.confidence > 0 && opt.confidence < 1))
+    throw DomainError("--confidence must lie in (0,1)");
+  return opt;
+}
+
+namespace {
+
+std::string ci(const ConfidenceInterval& c, int decimals) {
+  return cell(c.point, decimals) + " [" + cell(c.lo, decimals) + ", " +
+         cell(c.hi, decimals) + "]";
+}
+
+int cmd_check(const fmt::FaultMaintenanceTree& model, std::ostream& out) {
+  out << "model OK\n"
+      << "  top event:           " << model.name(model.top()) << "\n"
+      << "  leaves:              " << model.num_ebes() << "\n"
+      << "  gates:               " << model.structure().gates().size() << "\n"
+      << "  rate dependencies:   " << model.rdeps().size() << "\n"
+      << "  functional deps:     " << model.fdeps().size() << "\n"
+      << "  inspection modules:  " << model.inspections().size() << "\n"
+      << "  replacement modules: " << model.replacements().size() << "\n"
+      << "  corrective:          " << (model.corrective().enabled ? "on" : "off") << "\n"
+      << "  markovian (exact analysable): " << (model.is_markovian() ? "yes" : "no")
+      << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Options& opt, const fmt::FaultMaintenanceTree& model,
+                std::ostream& out) {
+  smc::AnalysisSettings s;
+  s.horizon = opt.horizon;
+  s.trajectories = opt.runs;
+  s.seed = opt.seed;
+  s.threads = opt.threads;
+  s.confidence = opt.confidence;
+  const smc::KpiReport k = smc::analyze(model, s);
+  out << "KPIs over " << opt.horizon << " time units (" << k.trajectories
+      << " runs, " << opt.confidence * 100 << "% CIs):\n";
+  TextTable t({"KPI", "value"});
+  t.add_row({"reliability", ci(k.reliability, 5)});
+  t.add_row({"expected failures", ci(k.expected_failures, 4)});
+  t.add_row({"failures / time unit", ci(k.failures_per_year, 5)});
+  t.add_row({"availability", ci(k.availability, 6)});
+  t.add_row({"total cost", ci(k.total_cost, 1)});
+  t.add_row({"cost / time unit", ci(k.cost_per_year, 2)});
+  t.print(out);
+
+  out << "\ncost breakdown (per time unit):\n";
+  const fmt::CostBreakdown py = k.mean_cost / opt.horizon;
+  TextTable c({"component", "value"});
+  c.add_row({"inspections", cell(py.inspection, 2)});
+  c.add_row({"repairs", cell(py.repair, 2)});
+  c.add_row({"replacements", cell(py.replacement, 2)});
+  c.add_row({"corrective", cell(py.corrective, 2)});
+  c.add_row({"downtime", cell(py.downtime, 2)});
+  c.print(out);
+
+  out << "\nfailure attribution (expected failures per run):\n";
+  TextTable a({"leaf", "failures", "repairs"});
+  for (std::size_t i = 0; i < model.num_ebes(); ++i)
+    a.add_row({model.ebes()[i].name, cell(k.failures_per_leaf[i], 4),
+               cell(k.repairs_per_leaf[i], 3)});
+  a.print(out);
+
+  if (!opt.quantiles.empty()) {
+    const auto q = smc::failure_time_quantiles(model, opt.quantiles, s);
+    out << "\ntime-to-failure quantiles:\n";
+    TextTable qt({"p", "t"});
+    for (std::size_t i = 0; i < q.size(); ++i)
+      qt.add_row({cell(opt.quantiles[i], 3),
+                  std::isinf(q[i]) ? "> horizon" : cell(q[i], 3)});
+    qt.print(out);
+  }
+  return 0;
+}
+
+int cmd_exact(const Options& opt, const fmt::FaultMaintenanceTree& model,
+              std::ostream& out) {
+  out << "exact CTMC analysis (uniformization):\n";
+  const double unrel = analytic::exact_unreliability(model, opt.horizon);
+  out << "  P(failure within " << opt.horizon << ") = " << cell(unrel, 8) << "\n";
+  out << "  MTTF = " << cell(analytic::exact_mttf(model), 6) << "\n";
+  if (model.corrective().enabled && model.corrective().delay == 0.0) {
+    out << "  E[#failures within " << opt.horizon
+        << "] = " << cell(analytic::exact_expected_failures(model, opt.horizon), 6)
+        << "\n";
+  }
+  return 0;
+}
+
+int cmd_dot(const fmt::FaultMaintenanceTree& model, std::ostream& out) {
+  out << ft::to_dot(model.structure(), model.name(model.top()));
+  return 0;
+}
+
+int cmd_cutsets(const Options& opt, const fmt::FaultMaintenanceTree& model,
+                std::ostream& out) {
+  const ft::FaultTree& tree = model.structure();
+  const auto cuts = ft::minimal_cut_sets(tree);
+  out << cuts.size() << " minimal cut sets:\n";
+  for (const auto& cut : cuts) {
+    out << "  {";
+    for (std::size_t i = 0; i < cut.size(); ++i)
+      out << (i ? ", " : " ") << tree.basic(tree.basic_events()[cut[i]]).name;
+    out << " }\n";
+  }
+  out << "\nstatic top-event probability at t=" << opt.horizon << ": "
+      << cell(ft::top_event_probability(tree, opt.horizon), 8)
+      << "  (maintenance ignored)\n\nimportance measures:\n";
+  TextTable t({"leaf", "P(fail)", "Birnbaum", "Fussell-Vesely", "criticality"});
+  for (const ft::Importance& imp : ft::importance_measures(tree, opt.horizon))
+    t.add_row({imp.name, cell(imp.probability, 4), cell(imp.birnbaum, 4),
+               cell(imp.fussell_vesely, 4), cell(imp.criticality, 4)});
+  t.print(out);
+  return 0;
+}
+
+}  // namespace
+
+int run_on_text(const Options& options, const std::string& model_text,
+                std::ostream& out) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(model_text);
+  switch (options.command) {
+    case Command::Check: return cmd_check(model, out);
+    case Command::Analyze: return cmd_analyze(options, model, out);
+    case Command::Exact: return cmd_exact(options, model, out);
+    case Command::Dot: return cmd_dot(model, out);
+    case Command::CutSets: return cmd_cutsets(options, model, out);
+    case Command::Compare:
+      throw DomainError("compare needs two models; use run_compare");
+  }
+  throw DomainError("unhandled command");
+}
+
+int run_compare(const Options& options, const std::string& model_a_text,
+                const std::string& model_b_text, std::ostream& out) {
+  const fmt::FaultMaintenanceTree a = fmt::parse_fmt(model_a_text);
+  const fmt::FaultMaintenanceTree b = fmt::parse_fmt(model_b_text);
+  smc::AnalysisSettings s;
+  s.horizon = options.horizon;
+  s.trajectories = options.runs;
+  s.seed = options.seed;
+  s.threads = options.threads;
+  s.confidence = options.confidence;
+  const smc::PairedComparison cmp = smc::compare_models(a, b, s);
+  out << "paired comparison (common random numbers, " << cmp.trajectories
+      << " runs; positive = first model higher):\n";
+  TextTable t({"difference (A - B)", "estimate", "CI", "significant"});
+  const auto row = [&](const char* label, const ConfidenceInterval& c) {
+    t.add_row({label, cell(c.point, 4),
+               "[" + cell(c.lo, 4) + ", " + cell(c.hi, 4) + "]",
+               c.contains(0.0) ? "no" : "YES"});
+  };
+  row("failures", cmp.failures_diff);
+  row("total cost", cmp.cost_diff);
+  row("downtime", cmp.downtime_diff);
+  t.print(out);
+  return 0;
+}
+
+int main_impl(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  try {
+    const Options options = parse_args(args);
+    const auto read_file = [](const std::string& path) {
+      std::ifstream file(path);
+      if (!file) throw IoError("cannot open '" + path + "'");
+      std::ostringstream text;
+      text << file.rdbuf();
+      return text.str();
+    };
+    if (options.command == Command::Compare) {
+      return run_compare(options, read_file(options.model_path),
+                         read_file(options.model_path_b), out);
+    }
+    return run_on_text(options, read_file(options.model_path), out);
+  } catch (const Error& e) {
+    err << "fmtree: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+std::string usage() {
+  return
+      "usage: fmtree <command> <model.fmt> [options]\n"
+      "commands:\n"
+      "  check     parse and validate, print a model summary\n"
+      "  analyze   Monte-Carlo KPI report (reliability, failures, cost, ...)\n"
+      "  exact     exact CTMC results (Markovian models only)\n"
+      "  dot       Graphviz of the tree structure\n"
+      "  cutsets   minimal cut sets and importance measures\n"
+      "  compare   paired A/B comparison of two models (common random numbers)\n"
+      "options:\n"
+      "  --horizon <t>      analysis horizon (default 10)\n"
+      "  --runs <n>         Monte-Carlo trajectories (default 10000)\n"
+      "  --seed <n>         RNG seed (default 1)\n"
+      "  --threads <n>      worker threads (default: all cores)\n"
+      "  --confidence <p>   CI level (default 0.95)\n"
+      "  --quantiles <l>    comma-separated TTF quantiles, e.g. 0.1,0.5,0.9\n";
+}
+
+}  // namespace fmtree::cli

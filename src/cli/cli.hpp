@@ -1,0 +1,60 @@
+// The `fmtree` command-line tool: analyse fault-maintenance-tree models in
+// the .fmt text format without writing C++.
+//
+//   fmtree check   <model.fmt>                    parse + validate + summary
+//   fmtree analyze <model.fmt> [options]          KPI report (SMC)
+//   fmtree exact   <model.fmt> [options]          CTMC unreliability/MTTF
+//   fmtree dot     <model.fmt>                    Graphviz of the structure
+//   fmtree cutsets <model.fmt> [options]          minimal cut sets + importance
+//   fmtree compare <a.fmt> <b.fmt> [options]      paired policy comparison
+//
+// Options: --horizon <years>  --runs <n>  --seed <n>  --threads <n>
+//          --confidence <p>   --quantiles <p1,p2,...>
+//
+// Split into a library so argument parsing and command execution are unit
+// testable; main() is a thin wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fmtree::cli {
+
+enum class Command { Check, Analyze, Exact, Dot, CutSets, Compare };
+
+struct Options {
+  Command command = Command::Check;
+  std::string model_path;
+  std::string model_path_b;  ///< second model (compare only)
+  double horizon = 10.0;
+  std::uint64_t runs = 10000;
+  std::uint64_t seed = 1;
+  unsigned threads = 0;
+  double confidence = 0.95;
+  std::vector<double> quantiles;  ///< empty = skip quantile report
+};
+
+/// Parses argv-style arguments (excluding the program name). Throws
+/// DomainError with a user-facing message on invalid usage.
+Options parse_args(const std::vector<std::string>& args);
+
+/// Executes a command on a model given as text (already read from the
+/// file). Returns a process exit code. Not valid for Command::Compare.
+int run_on_text(const Options& options, const std::string& model_text,
+                std::ostream& out);
+
+/// Executes the paired comparison (common random numbers) of two models.
+int run_compare(const Options& options, const std::string& model_a_text,
+                const std::string& model_b_text, std::ostream& out);
+
+/// Full entry point: reads the model file and dispatches. Errors are
+/// reported on `err` with a non-zero return.
+int main_impl(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+
+/// The usage/help text.
+std::string usage();
+
+}  // namespace fmtree::cli

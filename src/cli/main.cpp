@@ -1,0 +1,9 @@
+#include <iostream>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return fmtree::cli::main_impl(args, std::cout, std::cerr);
+}

@@ -1,0 +1,120 @@
+#include "compressor/compressor.hpp"
+
+#include "util/error.hpp"
+
+namespace fmtree::compressor {
+
+fmt::FaultMaintenanceTree build_compressor(const CompressorParameters& params,
+                                           const CompressorPlan& plan) {
+  fmt::FaultMaintenanceTree m;
+
+  // ---- Air supply: the wear parts -------------------------------------------
+  const auto cylinder =
+      m.add_ebe("cylinder_wear", fmt::DegradationModel::erlang(6, params.cylinder_mean, 4),
+                fmt::RepairSpec{"re_bore", 3500.0, 0.01});
+  const auto rings =
+      m.add_ebe("piston_rings", fmt::DegradationModel::erlang(4, params.rings_mean, 3),
+                fmt::RepairSpec{"replace_rings", 1800.0, 0.005});
+  const auto valve =
+      m.add_ebe("valve_wear", fmt::DegradationModel::erlang(4, params.valve_mean, 2),
+                fmt::RepairSpec{"re_seat_valve", 900.0});
+  const auto air_supply = m.add_or("air_supply_failure", {cylinder, rings, valve});
+
+  // ---- Air treatment: the consumables ----------------------------------------
+  const auto dryer =
+      m.add_ebe("dryer_saturation", fmt::DegradationModel::erlang(3, params.dryer_mean, 2),
+                fmt::RepairSpec{"replace_desiccant", 250.0});
+  const auto separator =
+      m.add_ebe("oil_carryover", fmt::DegradationModel::erlang(3, params.separator_mean, 2),
+                fmt::RepairSpec{"replace_separator", 400.0});
+  const auto treatment = m.add_or("air_treatment_failure", {dryer, separator});
+
+  // ---- Lubrication -------------------------------------------------------------
+  const auto oil =
+      m.add_ebe("oil_degradation", fmt::DegradationModel::erlang(4, params.oil_mean, 2),
+                fmt::RepairSpec{"oil_change", 180.0});
+  const auto pump = m.add_basic_event(
+      "oil_pump", Distribution::exponential(1.0 / params.pump_mean));
+  const auto lubrication = m.add_or("lubrication_failure", {oil, pump});
+
+  // ---- Drive ---------------------------------------------------------------------
+  const auto bearing =
+      m.add_ebe("motor_bearing", fmt::DegradationModel::erlang(5, params.bearing_mean, 3),
+                fmt::RepairSpec{"replace_bearing", 1100.0, 0.008});
+  const auto winding = m.add_basic_event(
+      "motor_winding", Distribution::exponential(1.0 / params.winding_mean));
+  const auto drive = m.add_or("drive_failure", {bearing, winding});
+
+  m.set_top(m.add_or("compressor_failure",
+                     {air_supply, treatment, lubrication, drive}));
+
+  if (params.enable_rdep) {
+    m.add_rdep("oil_eats_cylinder", oil, {cylinder}, params.oil_cylinder_factor,
+               params.oil_trigger_phase);
+    m.add_rdep("oil_eats_rings", oil, {rings}, params.oil_rings_factor,
+               params.oil_trigger_phase);
+    m.add_rdep("oil_eats_bearing", oil, {bearing}, params.oil_bearing_factor,
+               params.oil_trigger_phase);
+  }
+
+  // ---- Maintenance plan -----------------------------------------------------------
+  if (plan.minor_period > 0) {
+    m.add_inspection(fmt::InspectionModule{
+        plan.name.empty() ? "minor_service" : plan.name + "-minor",
+        plan.minor_period, -1.0, plan.minor_cost, {dryer, separator, oil}});
+  }
+  if (plan.major_period > 0) {
+    m.add_inspection(fmt::InspectionModule{
+        plan.name.empty() ? "major_inspection" : plan.name + "-major",
+        plan.major_period, -1.0, plan.major_cost,
+        {cylinder, rings, valve, bearing}});
+  }
+  if (plan.overhaul_period > 0) {
+    std::vector<fmt::NodeId> all(m.leaves().begin(), m.leaves().end());
+    m.add_replacement(fmt::ReplacementModule{
+        plan.name.empty() ? "overhaul" : plan.name + "-overhaul",
+        plan.overhaul_period, -1.0, plan.overhaul_cost, std::move(all)});
+  }
+  m.set_corrective(plan.corrective);
+  m.validate();
+  return m;
+}
+
+CompressorPlan current_plan() {
+  CompressorPlan p;
+  p.name = "current";
+  return p;  // defaults: minor 2x/yr, major every 2y, no overhaul
+}
+
+std::vector<CompressorPlan> compressor_plans() {
+  std::vector<CompressorPlan> plans;
+  {
+    CompressorPlan p = current_plan();
+    p.name = "corrective-only";
+    p.minor_period = 0;
+    p.major_period = 0;
+    plans.push_back(p);
+  }
+  {
+    CompressorPlan p = current_plan();
+    p.name = "minor-only";
+    p.major_period = 0;
+    plans.push_back(p);
+  }
+  {
+    CompressorPlan p = current_plan();
+    p.name = "major-only";
+    p.minor_period = 0;
+    plans.push_back(p);
+  }
+  plans.push_back(current_plan());
+  {
+    CompressorPlan p = current_plan();
+    p.name = "current+overhaul-8y";
+    p.overhaul_period = 8.0;
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+}  // namespace fmtree::compressor

@@ -1,0 +1,78 @@
+// Second case study: the train-mounted pneumatic compressor, the other
+// railway asset analysed with fault maintenance trees by the same research
+// line. Unlike the EI-joint, the compressor's maintenance plan layers two
+// inspection regimes — a frequent cheap "minor service" on the consumables
+// (oil, dryer, separator) and a rare expensive "major inspection" of the
+// wear parts — optionally topped by a periodic overhaul. The model therefore
+// exercises multiple inspection modules per FMT.
+//
+// Parameters are synthetic (same caveat as the EI-joint; see DESIGN.md).
+// Time unit: years. Cost unit: euros.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fmt/fmtree.hpp"
+
+namespace fmtree::compressor {
+
+/// Tree (reconstructed taxonomy):
+///
+///   compressor_failure (OR)
+///   ├─ air_supply_failure (OR): cylinder_wear, piston_rings, valve_wear
+///   ├─ air_treatment_failure (OR): dryer_saturation, oil_carryover
+///   ├─ lubrication_failure (OR): oil_degradation, oil_pump
+///   └─ drive_failure (OR): motor_bearing, motor_winding (memoryless)
+///
+///   RDEP: degraded oil (phase >= 3) accelerates cylinder x2.5, rings x2,
+///   bearing x1.5 — poor lubrication eats the mechanical parts.
+struct CompressorParameters {
+  // Wear parts (major-inspection scope).
+  double cylinder_mean = 12.0;
+  double rings_mean = 8.0;
+  double valve_mean = 10.0;
+  double bearing_mean = 20.0;
+  // Consumables (minor-service scope).
+  double dryer_mean = 4.0;
+  double separator_mean = 6.0;
+  double oil_mean = 5.0;
+  // Memoryless electrical failures.
+  double pump_mean = 25.0;
+  double winding_mean = 30.0;
+  // Lubrication coupling.
+  bool enable_rdep = true;
+  double oil_cylinder_factor = 2.5;
+  double oil_rings_factor = 2.0;
+  double oil_bearing_factor = 1.5;
+  int oil_trigger_phase = 3;
+
+  static CompressorParameters defaults() { return {}; }
+};
+
+/// A two-tier maintenance plan. Periods <= 0 disable the tier.
+struct CompressorPlan {
+  std::string name;
+  double minor_period = 0.5;   ///< minor service: consumables
+  double minor_cost = 150.0;
+  double major_period = 2.0;   ///< major inspection: wear parts
+  double major_cost = 1200.0;
+  double overhaul_period = 0.0;  ///< full renewal; <= 0: none
+  double overhaul_cost = 15000.0;
+  fmt::CorrectivePolicy corrective{true, 0.05, 25000.0, 200000.0};
+};
+
+/// Builds the compressor FMT under a plan.
+fmt::FaultMaintenanceTree build_compressor(const CompressorParameters& params,
+                                           const CompressorPlan& plan);
+
+/// The maintenance plans compared in the study extension:
+/// none (corrective only), minor-only, major-only, the combined plan in
+/// force, and combined + 8-year overhaul.
+std::vector<CompressorPlan> compressor_plans();
+
+/// The plan in force: minor service twice a year, major inspection every
+/// two years, no scheduled overhaul.
+CompressorPlan current_plan();
+
+}  // namespace fmtree::compressor

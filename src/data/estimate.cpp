@@ -1,0 +1,172 @@
+#include "data/estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::data {
+
+double gamma_quantile(double shape, double p) {
+  if (!(shape > 0)) throw DomainError("gamma_quantile requires shape > 0");
+  if (!(p > 0 && p < 1)) throw DomainError("gamma_quantile requires p in (0,1)");
+  // Bracket the root of gamma_p(shape, x) = p.
+  double lo = 0.0;
+  double hi = std::max(1.0, shape);
+  while (gamma_p(shape, hi) < p) {
+    hi *= 2;
+    if (hi > 1e12) throw DomainError("gamma_quantile failed to bracket");
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (gamma_p(shape, mid) < p)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo < 1e-12 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+RateEstimate estimate_rate(std::uint64_t events, double exposure, double confidence) {
+  if (!(exposure > 0)) throw DomainError("exposure must be positive");
+  if (!(confidence > 0 && confidence < 1))
+    throw DomainError("confidence must lie in (0,1)");
+  const double alpha = 1.0 - confidence;
+  RateEstimate est;
+  est.events = events;
+  est.exposure = exposure;
+  est.confidence = confidence;
+  est.rate = static_cast<double>(events) / exposure;
+  // Garwood exact interval: [ G(alpha/2; k) , G(1-alpha/2; k+1) ] / T,
+  // with G the Gamma(shape, rate=1) quantile and lo = 0 when k = 0.
+  est.lo = events == 0
+               ? 0.0
+               : gamma_quantile(static_cast<double>(events), alpha / 2) / exposure;
+  est.hi = gamma_quantile(static_cast<double>(events) + 1.0, 1.0 - alpha / 2) / exposure;
+  return est;
+}
+
+ErlangFit fit_erlang(const std::vector<double>& samples) {
+  if (samples.size() < 2) throw DomainError("erlang fit needs >= 2 samples");
+  RunningStats stats;
+  for (double x : samples) {
+    if (!(x > 0)) throw DomainError("erlang fit requires positive samples");
+    stats.add(x);
+  }
+  ErlangFit fit;
+  fit.n = samples.size();
+  fit.sample_mean = stats.mean();
+  fit.sample_variance = stats.variance();
+  if (fit.sample_variance <= 0) {
+    // Degenerate (all equal): many phases approximate a deterministic time.
+    fit.shape = 100;
+  } else {
+    const double raw = fit.sample_mean * fit.sample_mean / fit.sample_variance;
+    fit.shape = std::max(1, static_cast<int>(std::llround(raw)));
+  }
+  fit.rate = static_cast<double>(fit.shape) / fit.sample_mean;
+  return fit;
+}
+
+WeibullFit fit_weibull(const std::vector<double>& samples) {
+  if (samples.size() < 2) throw DomainError("weibull fit needs >= 2 samples");
+  double mean_log = 0;
+  for (double x : samples) {
+    if (!(x > 0)) throw DomainError("weibull fit requires positive samples");
+    mean_log += std::log(x);
+  }
+  mean_log /= static_cast<double>(samples.size());
+
+  // Profile-likelihood equation in the shape k:
+  //   g(k) = sum x^k ln x / sum x^k - 1/k - mean(ln x) = 0,
+  // with g increasing in k. Bisection is robust for any data.
+  const auto g = [&](double k) {
+    double sum_xk = 0, sum_xk_lnx = 0;
+    for (double x : samples) {
+      const double xk = std::pow(x, k);
+      sum_xk += xk;
+      sum_xk_lnx += xk * std::log(x);
+    }
+    return sum_xk_lnx / sum_xk - 1.0 / k - mean_log;
+  };
+  double lo = 1e-3, hi = 1.0;
+  while (g(hi) < 0) {
+    hi *= 2;
+    if (hi > 1e4) throw DomainError("weibull shape estimate diverged");
+  }
+  while (g(lo) > 0) {
+    lo /= 2;
+    if (lo < 1e-9) throw DomainError("weibull shape estimate collapsed");
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (g(mid) < 0 ? lo : hi) = mid;
+  }
+  WeibullFit fit;
+  fit.shape = 0.5 * (lo + hi);
+  double sum_xk = 0;
+  for (double x : samples) sum_xk += std::pow(x, fit.shape);
+  fit.scale = std::pow(sum_xk / static_cast<double>(samples.size()), 1.0 / fit.shape);
+  fit.n = samples.size();
+  fit.log_likelihood = weibull_log_likelihood(fit.shape, fit.scale, samples);
+  return fit;
+}
+
+double weibull_log_likelihood(double shape, double scale,
+                              const std::vector<double>& samples) {
+  if (!(shape > 0) || !(scale > 0)) throw DomainError("weibull parameters must be positive");
+  double ll = 0;
+  for (double x : samples) {
+    if (!(x > 0)) throw DomainError("weibull likelihood requires positive samples");
+    const double z = x / scale;
+    ll += std::log(shape / scale) + (shape - 1) * std::log(z) - std::pow(z, shape);
+  }
+  return ll;
+}
+
+double erlang_log_likelihood(int shape, double rate, const std::vector<double>& samples) {
+  if (shape < 1 || !(rate > 0)) throw DomainError("erlang parameters invalid");
+  double ll = 0;
+  const double log_norm =
+      static_cast<double>(shape) * std::log(rate) - std::lgamma(static_cast<double>(shape));
+  for (double x : samples) {
+    if (!(x > 0)) throw DomainError("erlang likelihood requires positive samples");
+    ll += log_norm + (shape - 1) * std::log(x) - rate * x;
+  }
+  return ll;
+}
+
+FamilySelection select_lifetime_family(const std::vector<double>& samples) {
+  FamilySelection out;
+  out.erlang = fit_erlang(samples);
+  out.weibull = fit_weibull(samples);
+  out.erlang_log_likelihood =
+      erlang_log_likelihood(out.erlang.shape, out.erlang.rate, samples);
+  out.weibull_log_likelihood = out.weibull.log_likelihood;
+  out.family = out.weibull_log_likelihood > out.erlang_log_likelihood
+                   ? LifetimeFamily::Weibull
+                   : LifetimeFamily::Erlang;
+  return out;
+}
+
+fmt::DegradationModel fit_degradation(const std::vector<DegradationSample>& samples) {
+  if (samples.size() < 2) throw DomainError("degradation fit needs >= 2 samples");
+  std::vector<double> ttf;
+  RunningStats threshold_time;
+  ttf.reserve(samples.size());
+  for (const DegradationSample& s : samples) {
+    ttf.push_back(s.time_to_failure);
+    threshold_time.add(s.time_to_threshold);
+  }
+  const ErlangFit fit = fit_erlang(ttf);
+  // Expected time to reach phase k from new is (k-1)/rate; place the
+  // threshold phase so that matches the observed mean (1-based, clamped).
+  const int threshold =
+      1 + static_cast<int>(std::llround(threshold_time.mean() * fit.rate));
+  const int clamped = std::clamp(threshold, 1, fit.shape + 1);
+  return fmt::DegradationModel::erlang(fit.shape, fit.mean(), clamped);
+}
+
+}  // namespace fmtree::data

@@ -1,0 +1,83 @@
+// Parameter estimation from field data: the calibration half of the study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/generator.hpp"
+#include "fmt/degradation.hpp"
+#include "util/stats.hpp"
+
+namespace fmtree::data {
+
+/// Rate estimate from a Poisson count over an exposure, with an exact
+/// (Garwood) confidence interval from gamma quantiles.
+struct RateEstimate {
+  double rate = 0.0;       ///< events / exposure
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t events = 0;
+  double exposure = 0.0;
+  double confidence = 0.95;
+};
+
+RateEstimate estimate_rate(std::uint64_t events, double exposure,
+                           double confidence = 0.95);
+
+/// Erlang fit by moment matching: shape = round(mean^2/var) clamped to
+/// >= 1, rate = shape/mean.
+struct ErlangFit {
+  int shape = 1;
+  double rate = 1.0;
+  double sample_mean = 0.0;
+  double sample_variance = 0.0;
+  std::size_t n = 0;
+
+  double mean() const noexcept { return static_cast<double>(shape) / rate; }
+};
+
+ErlangFit fit_erlang(const std::vector<double>& samples);
+
+/// Fits a full degradation model from elicited durations: the Erlang shape
+/// and rate come from the time-to-failure samples; the threshold phase is
+/// placed so that the model's expected time-to-threshold,
+/// (threshold-1)/rate, matches the observed mean time-to-threshold.
+fmt::DegradationModel fit_degradation(const std::vector<DegradationSample>& samples);
+
+/// Weibull fit by maximum likelihood (Newton iteration on the profile
+/// likelihood in the shape parameter).
+struct WeibullFit {
+  double shape = 1.0;
+  double scale = 1.0;
+  std::size_t n = 0;
+  double log_likelihood = 0.0;
+};
+
+WeibullFit fit_weibull(const std::vector<double>& samples);
+
+/// Log-likelihoods for model selection between the two lifetime families
+/// the study's calibration considers.
+double weibull_log_likelihood(double shape, double scale,
+                              const std::vector<double>& samples);
+double erlang_log_likelihood(int shape, double rate,
+                             const std::vector<double>& samples);
+
+enum class LifetimeFamily { Erlang, Weibull };
+
+struct FamilySelection {
+  LifetimeFamily family = LifetimeFamily::Erlang;
+  ErlangFit erlang;
+  WeibullFit weibull;
+  double erlang_log_likelihood = 0.0;
+  double weibull_log_likelihood = 0.0;
+};
+
+/// Fits both families and picks the one with the higher log-likelihood
+/// (both have two parameters, so this is equivalent to AIC selection).
+FamilySelection select_lifetime_family(const std::vector<double>& samples);
+
+/// Quantile of the Gamma(shape, rate=1) distribution by bisection on the
+/// regularized incomplete gamma function. Exposed for tests.
+double gamma_quantile(double shape, double p);
+
+}  // namespace fmtree::data

@@ -1,0 +1,66 @@
+#include "data/generator.hpp"
+
+#include "sim/fmt_executor.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::data {
+
+IncidentDatabase generate_incidents(const fmt::FaultMaintenanceTree& ground_truth,
+                                    std::uint32_t num_assets, double years,
+                                    std::uint64_t seed) {
+  return generate_fleet_data(ground_truth, num_assets, years, seed).incidents;
+}
+
+FleetData generate_fleet_data(const fmt::FaultMaintenanceTree& ground_truth,
+                              std::uint32_t num_assets, double years,
+                              std::uint64_t seed) {
+  const sim::FmtSimulator simulator(ground_truth);
+  sim::SimOptions opts;
+  opts.horizon = years;
+  opts.record_failure_log = true;
+
+  FleetData fleet{IncidentDatabase(num_assets, years), {}, 0, 0};
+  for (const fmt::ExtendedBasicEvent& e : ground_truth.ebes())
+    fleet.repairs_by_mode.emplace(e.name, 0);
+  for (std::uint32_t asset = 0; asset < num_assets; ++asset) {
+    const sim::TrajectoryResult r = simulator.run(RandomStream(seed, asset), opts);
+    for (const sim::FailureRecord& f : r.failure_log) {
+      fleet.incidents.add(
+          IncidentRecord{asset, f.time, ground_truth.ebes()[f.cause_leaf].name});
+    }
+    for (std::size_t leaf = 0; leaf < ground_truth.num_ebes(); ++leaf)
+      fleet.repairs_by_mode[ground_truth.ebes()[leaf].name] += r.repairs_per_leaf[leaf];
+    fleet.inspections += r.inspections;
+    fleet.replacements += r.replacements;
+  }
+  return fleet;
+}
+
+std::vector<DegradationSample> elicit_degradation(
+    const fmt::FaultMaintenanceTree& ground_truth, fmt::NodeId leaf, std::size_t n,
+    std::uint64_t seed) {
+  if (n == 0) throw DomainError("elicitation needs n >= 1 samples");
+  const fmt::DegradationModel& deg = ground_truth.ebe(leaf).degradation;
+  // A dedicated stream per leaf keeps elicitation datasets of different
+  // modes independent under the same seed.
+  RandomStream rng =
+      RandomStream(seed, 0xe11c17).substream(ground_truth.ebe_index(leaf));
+
+  std::vector<DegradationSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DegradationSample s;
+    double total = 0;
+    for (int phase = 1; phase <= deg.phases(); ++phase) {
+      if (phase == deg.threshold_phase()) s.time_to_threshold = total;
+      total += deg.sojourn(phase).sample(rng);
+    }
+    // Threshold at phases+1 (undetectable) elicits threshold == failure.
+    if (deg.threshold_phase() > deg.phases()) s.time_to_threshold = total;
+    s.time_to_failure = total;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace fmtree::data

@@ -1,0 +1,75 @@
+// Parameters of the EI-joint case study.
+//
+// SYNTHETIC SUBSTITUTE — the paper's parameter values come from proprietary
+// ProRail incident databases and expert interviews; these defaults are
+// chosen to the same orders of magnitude (joint lifetimes of decades,
+// system failure rates of 0.01–0.5 per joint-year depending on maintenance,
+// inspections a few times per year) so every qualitative claim of the paper
+// can be exercised. All experiments are parametric in this struct.
+//
+// Time unit: years. Cost unit: euros.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fmtree::eijoint {
+
+/// One degradation-based failure mode of the joint.
+struct ModeParams {
+  std::string name;
+  int phases = 1;             ///< Erlang degradation stages
+  double mean_ttf = 10.0;     ///< unmaintained mean time to failure (years)
+  int threshold = 2;          ///< first inspectable phase (phases+1 = invisible)
+  std::string repair_action = "repair";
+  double repair_cost = 0.0;   ///< condition-based repair cost (euros)
+  double repair_time = 0.0;   ///< crew time per repair (years); 0 = instant
+};
+
+struct EiJointParameters {
+  // ---- Electrical failure modes (insulation bridged / lost) ---------------
+  /// Metal overflow: plastic flow of the rail head smears steel over the
+  /// endpost. Slow, clearly visible well before it bridges; removed by
+  /// grinding.
+  ModeParams lipping{"lipping", 6, 10.0, 4, "grind", 800.0};
+  /// Conductive contamination (brake dust, swarf) accumulating in the
+  /// joint gap; the fastest mode, removed by cleaning.
+  ModeParams contamination{"contamination", 3, 3.0, 2, "clean", 250.0};
+  /// Electrical wear-out of the insulating endpost itself.
+  ModeParams endpost_wear{"endpost_wear", 4, 30.0, 3, "replace_endpost", 2500.0};
+  /// Sudden damage (wheel impact, frost) destroying the insulation with no
+  /// observable precursor — the mode inspections cannot prevent.
+  ModeParams impact_damage{"impact_damage", 1, 40.0, 2, "none", 0.0};
+
+  // ---- Mechanical failure modes (joint loses structural integrity) --------
+  /// Bolts work loose / shear; the joint fails mechanically once
+  /// `bolt_vote` of `num_bolts` bolts have failed.
+  ModeParams bolt{"bolt", 2, 40.0, 2, "tighten", 100.0};
+  int num_bolts = 4;
+  int bolt_vote = 2;
+  /// Fatigue crack in a fishplate.
+  ModeParams fishplate{"fishplate_crack", 3, 45.0, 2, "replace_fishplate", 1800.0};
+  /// Deterioration of the glued insulation layer.
+  ModeParams glue{"glue_degradation", 5, 35.0, 4, "re_glue", 2800.0};
+  /// Battered joint geometry (dipped/hammered rail ends); also accelerates
+  /// lipping and glue deterioration once pronounced (RDEP below).
+  ModeParams batter{"joint_batter", 5, 18.0, 2, "grind_geometry", 900.0};
+
+  // ---- Rate dependencies ---------------------------------------------------
+  bool enable_rdep = true;
+  /// Batter phase from which the acceleration applies.
+  int batter_trigger_phase = 3;
+  double batter_lipping_factor = 3.0;
+  double batter_glue_factor = 2.0;
+
+  /// All degradation-mode parameter blocks, for tabulation (bolt listed once).
+  std::vector<const ModeParams*> all_modes() const {
+    return {&lipping, &contamination, &endpost_wear, &impact_damage,
+            &bolt,    &fishplate,     &glue,         &batter};
+  }
+
+  /// The documented synthetic defaults.
+  static EiJointParameters defaults() { return {}; }
+};
+
+}  // namespace fmtree::eijoint

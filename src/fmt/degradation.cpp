@@ -1,0 +1,79 @@
+#include "fmt/degradation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fmtree::fmt {
+
+DegradationModel::DegradationModel(std::vector<Distribution> phase_sojourns,
+                                   int threshold_phase)
+    : sojourns_(std::move(phase_sojourns)), threshold_(threshold_phase) {
+  if (sojourns_.empty()) throw ModelError("degradation model needs >= 1 phase");
+  if (threshold_ < 1 || threshold_ > phases() + 1)
+    throw ModelError("threshold phase must lie in [1, phases+1]");
+  for (const Distribution& d : sojourns_)
+    if (d.is_never())
+      throw ModelError("phase sojourn must not be 'never' (use a huge mean instead)");
+}
+
+DegradationModel DegradationModel::erlang(int phases, double mean_ttf,
+                                          int threshold_phase) {
+  if (phases < 1) throw ModelError("erlang degradation needs >= 1 phase");
+  if (!(mean_ttf > 0)) throw ModelError("mean time to failure must be positive");
+  const double rate = static_cast<double>(phases) / mean_ttf;
+  std::vector<Distribution> sojourns(static_cast<std::size_t>(phases),
+                                     Distribution::exponential(rate));
+  return DegradationModel(std::move(sojourns), threshold_phase);
+}
+
+DegradationModel DegradationModel::basic(Distribution lifetime) {
+  std::vector<Distribution> sojourns{std::move(lifetime)};
+  return DegradationModel(std::move(sojourns), 2);  // threshold past the end
+}
+
+const Distribution& DegradationModel::sojourn(int phase) const {
+  if (phase < 1 || phase > phases())
+    throw ModelError("phase " + std::to_string(phase) + " out of range");
+  return sojourns_[static_cast<std::size_t>(phase - 1)];
+}
+
+double DegradationModel::mean_time_to_failure() const {
+  double total = 0;
+  for (const Distribution& d : sojourns_) total += d.mean();
+  return total;
+}
+
+double DegradationModel::variance_time_to_failure() const {
+  double total = 0;
+  for (const Distribution& d : sojourns_) total += d.variance();
+  return total;
+}
+
+bool DegradationModel::all_phases_exponential() const noexcept {
+  for (const Distribution& d : sojourns_)
+    if (!std::holds_alternative<Exponential>(d.as_variant())) return false;
+  return true;
+}
+
+Distribution DegradationModel::time_to_failure_approximation() const {
+  // Exact case: a single phase is its own lifetime.
+  if (phases() == 1) return sojourns_.front();
+  // Exact case: iid exponential phases -> Erlang.
+  if (all_phases_exponential()) {
+    const double first_rate = std::get<Exponential>(sojourns_.front().as_variant()).rate;
+    bool uniform = true;
+    for (const Distribution& d : sojourns_)
+      if (std::get<Exponential>(d.as_variant()).rate != first_rate) uniform = false;
+    if (uniform) return Distribution::erlang(phases(), first_rate);
+  }
+  const double mean = mean_time_to_failure();
+  const double var = variance_time_to_failure();
+  if (!(var > 0)) return Distribution::deterministic(mean);
+  // Moment-matched Erlang: shape = round(mean^2 / var), rate = shape / mean.
+  const double raw_shape = mean * mean / var;
+  const int shape = std::max(1, static_cast<int>(std::llround(raw_shape)));
+  return Distribution::erlang_mean(shape, mean);
+}
+
+}  // namespace fmtree::fmt

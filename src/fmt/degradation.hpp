@@ -1,0 +1,63 @@
+// Phased degradation models for extended basic events.
+//
+// An extended basic event (EBE) degrades through phases 1..N and fails on
+// leaving phase N (conceptually entering phase N+1). Each phase has its own
+// sojourn-time distribution. A configurable threshold phase marks the point
+// from which periodic inspections can detect the degradation and trigger a
+// condition-based repair — the key modelling device of fault maintenance
+// trees: an exponential (single-phase) failure has no inspectable
+// intermediate state, so condition-based maintenance cannot help it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/distributions.hpp"
+
+namespace fmtree::fmt {
+
+class DegradationModel {
+public:
+  /// General form: explicit per-phase sojourn distributions.
+  /// `threshold_phase` is 1-based; degradation is detectable by inspection
+  /// once the current phase is >= threshold_phase. Pass phases.size()+1 (or
+  /// use undetectable()) for failure modes inspections cannot see.
+  DegradationModel(std::vector<Distribution> phase_sojourns, int threshold_phase);
+
+  /// The FMT-paper default: overall time to failure ~ Erlang(N, N/mean_ttf),
+  /// i.e. N identical exponential phases. Exact for CTMC conversion.
+  static DegradationModel erlang(int phases, double mean_ttf, int threshold_phase);
+
+  /// Single-phase model with an arbitrary lifetime; undetectable by
+  /// inspection (classic basic event).
+  static DegradationModel basic(Distribution lifetime);
+
+  int phases() const noexcept { return static_cast<int>(sojourns_.size()); }
+  int threshold_phase() const noexcept { return threshold_; }
+  /// True if some reachable phase is detectable before failure.
+  bool inspectable() const noexcept { return threshold_ <= phases(); }
+  const Distribution& sojourn(int phase) const;  // 1-based
+  const std::vector<Distribution>& sojourns() const noexcept { return sojourns_; }
+
+  /// Mean total time to failure (sum of phase means) with no maintenance.
+  double mean_time_to_failure() const;
+  /// Variance of the total time to failure (phases are independent).
+  double variance_time_to_failure() const;
+
+  /// True iff every phase is exponential (required for exact CTMC analysis).
+  bool all_phases_exponential() const noexcept;
+
+  /// A single lifetime Distribution matching the total time to failure:
+  /// exact Erlang when all phases are iid exponential; otherwise an Erlang
+  /// moment-matched on mean and variance (used by the static fault-tree
+  /// view, which cannot represent general phase sums).
+  Distribution time_to_failure_approximation() const;
+
+  friend bool operator==(const DegradationModel&, const DegradationModel&) = default;
+
+private:
+  std::vector<Distribution> sojourns_;
+  int threshold_;
+};
+
+}  // namespace fmtree::fmt

@@ -1,0 +1,198 @@
+#include "fmt/fmtree.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace fmtree::fmt {
+
+NodeId FaultMaintenanceTree::add_ebe(std::string name, DegradationModel degradation,
+                                     RepairSpec repair) {
+  Distribution ttf = degradation.time_to_failure_approximation();
+  const NodeId id = structure_.add_basic_event(name, std::move(ttf));
+  ebes_.push_back(
+      ExtendedBasicEvent{std::move(name), std::move(degradation), std::move(repair)});
+  return id;
+}
+
+NodeId FaultMaintenanceTree::add_basic_event(std::string name, Distribution lifetime) {
+  return add_ebe(std::move(name), DegradationModel::basic(std::move(lifetime)));
+}
+
+NodeId FaultMaintenanceTree::add_gate(std::string name, GateType type,
+                                      std::vector<NodeId> children, int k) {
+  return structure_.add_gate(std::move(name), type, std::move(children), k);
+}
+
+NodeId FaultMaintenanceTree::add_spare(std::string name, std::vector<NodeId> children,
+                                       double dormancy) {
+  if (children.size() < 2)
+    throw ModelError("spare gate '" + name + "' needs a primary and >= 1 spare");
+  if (!(dormancy >= 0.0 && dormancy <= 1.0))
+    throw ModelError("spare gate '" + name + "' needs dormancy in [0, 1]");
+  for (NodeId c : children) {
+    if (!structure_.is_basic(c))
+      throw ModelError("spare gate '" + name + "' child '" + structure_.name(c) +
+                       "' is not a leaf");
+    for (const SpareSpec& other : spares_) {
+      for (NodeId existing : other.children) {
+        if (existing == c)
+          throw ModelError("leaf '" + structure_.name(c) +
+                           "' already belongs to spare pool '" + other.name + "'");
+      }
+    }
+  }
+  std::vector<NodeId> pool = children;  // the gate consumes a copy
+  const NodeId gate = structure_.add_and(name, std::move(pool));
+  spares_.push_back(SpareSpec{std::move(name), gate, std::move(children), dormancy});
+  return gate;
+}
+
+NodeId FaultMaintenanceTree::add_and(std::string name, std::vector<NodeId> children) {
+  return structure_.add_and(std::move(name), std::move(children));
+}
+
+NodeId FaultMaintenanceTree::add_or(std::string name, std::vector<NodeId> children) {
+  return structure_.add_or(std::move(name), std::move(children));
+}
+
+NodeId FaultMaintenanceTree::add_voting(std::string name, int k,
+                                        std::vector<NodeId> children) {
+  return structure_.add_voting(std::move(name), k, std::move(children));
+}
+
+void FaultMaintenanceTree::set_top(NodeId id) { structure_.set_top(id); }
+
+void FaultMaintenanceTree::add_rdep(std::string name, NodeId trigger,
+                                    std::vector<NodeId> dependents, double factor,
+                                    int trigger_phase) {
+  if (!(factor >= 1.0)) throw ModelError("RDEP factor must be >= 1");
+  if (dependents.empty()) throw ModelError("RDEP '" + name + "' needs dependents");
+  for (NodeId d : dependents) {
+    if (!structure_.is_basic(d))
+      throw ModelError("RDEP '" + name + "' dependent '" + structure_.name(d) +
+                       "' is not a leaf");
+    if (d == trigger)
+      throw ModelError("RDEP '" + name + "' has its trigger among the dependents");
+  }
+  // Touch the trigger to range-check it.
+  (void)structure_.name(trigger);
+  if (trigger_phase != 0) {
+    if (!structure_.is_basic(trigger))
+      throw ModelError("RDEP '" + name +
+                       "' uses phase-trigger semantics, so the trigger must be a leaf");
+    const int max_phase = ebe(trigger).degradation.phases() + 1;
+    if (trigger_phase < 1 || trigger_phase > max_phase)
+      throw ModelError("RDEP '" + name + "' trigger phase out of [1, phases+1]");
+  }
+  rdeps_.push_back(RateDependency{std::move(name), trigger, std::move(dependents),
+                                  factor, trigger_phase});
+}
+
+void FaultMaintenanceTree::add_fdep(std::string name, NodeId trigger,
+                                    std::vector<NodeId> dependents) {
+  if (dependents.empty()) throw ModelError("FDEP '" + name + "' needs dependents");
+  for (NodeId d : dependents) {
+    if (!structure_.is_basic(d))
+      throw ModelError("FDEP '" + name + "' dependent '" + structure_.name(d) +
+                       "' is not a leaf");
+    if (d == trigger)
+      throw ModelError("FDEP '" + name + "' has its trigger among the dependents");
+  }
+  (void)structure_.name(trigger);  // range check
+  fdeps_.push_back(FunctionalDependency{std::move(name), trigger, std::move(dependents)});
+}
+
+namespace {
+
+void check_targets(const ft::FaultTree& structure, const std::string& module_name,
+                   const std::vector<NodeId>& targets) {
+  if (targets.empty())
+    throw ModelError("maintenance module '" + module_name + "' has no targets");
+  std::unordered_set<std::uint32_t> seen;
+  for (NodeId t : targets) {
+    if (!structure.is_basic(t))
+      throw ModelError("maintenance module '" + module_name + "' target '" +
+                       structure.name(t) + "' is not a leaf");
+    if (!seen.insert(t.value).second)
+      throw ModelError("maintenance module '" + module_name + "' lists target '" +
+                       structure.name(t) + "' twice");
+  }
+}
+
+}  // namespace
+
+std::size_t FaultMaintenanceTree::add_inspection(InspectionModule module) {
+  if (!(module.period > 0))
+    throw ModelError("inspection '" + module.name + "' needs period > 0");
+  if (!(module.detection_probability > 0 && module.detection_probability <= 1))
+    throw ModelError("inspection '" + module.name +
+                     "' needs detection probability in (0, 1]");
+  if (module.first_at < 0) module.first_at = module.period;
+  check_targets(structure_, module.name, module.targets);
+  inspections_.push_back(std::move(module));
+  return inspections_.size() - 1;
+}
+
+std::size_t FaultMaintenanceTree::add_replacement(ReplacementModule module) {
+  if (!(module.period > 0))
+    throw ModelError("replacement '" + module.name + "' needs period > 0");
+  if (module.first_at < 0) module.first_at = module.period;
+  check_targets(structure_, module.name, module.targets);
+  replacements_.push_back(std::move(module));
+  return replacements_.size() - 1;
+}
+
+void FaultMaintenanceTree::remove_inspection_target(std::size_t module_index,
+                                                    NodeId leaf) {
+  if (module_index >= inspections_.size())
+    throw ModelError("inspection module index out of range");
+  auto& targets = inspections_[module_index].targets;
+  std::erase(targets, leaf);
+  if (targets.empty())
+    inspections_.erase(inspections_.begin() +
+                       static_cast<std::ptrdiff_t>(module_index));
+}
+
+void FaultMaintenanceTree::set_corrective(CorrectivePolicy policy) {
+  if (policy.enabled && policy.delay < 0)
+    throw ModelError("corrective delay must be >= 0");
+  corrective_ = policy;
+}
+
+const ExtendedBasicEvent& FaultMaintenanceTree::ebe(NodeId id) const {
+  return ebes_[structure_.basic_index(id)];
+}
+
+void FaultMaintenanceTree::validate() const {
+  // Dependency triggers are used even when they do not feed the structure
+  // function (e.g. a condition that only accelerates other modes).
+  std::vector<NodeId> roots;
+  for (const RateDependency& r : rdeps_) roots.push_back(r.trigger);
+  for (const FunctionalDependency& f : fdeps_) roots.push_back(f.trigger);
+  structure_.validate(roots);
+  FMTREE_ASSERT(ebes_.size() == structure_.basic_events().size(),
+                "EBE bookkeeping out of sync with structure");
+  // Inspection of an undetectable EBE is legal but useless; flag it as a
+  // modelling error because it invariably indicates a wrong threshold.
+  for (const InspectionModule& m : inspections_) {
+    for (NodeId t : m.targets) {
+      if (!ebe(t).degradation.inspectable())
+        throw ModelError("inspection '" + m.name + "' targets '" + name(t) +
+                         "', whose degradation has no detectable phase");
+    }
+  }
+}
+
+bool FaultMaintenanceTree::is_markovian() const {
+  // FDEP cascades are instantaneous and state-determined, so they do not
+  // break the Markov property; only deterministic clocks and non-exponential
+  // sojourns do.
+  if (!inspections_.empty() || !replacements_.empty()) return false;
+  if (corrective_.enabled && corrective_.delay != 0.0) return false;
+  for (const ExtendedBasicEvent& e : ebes_)
+    if (!e.degradation.all_phases_exponential()) return false;
+  return true;
+}
+
+}  // namespace fmtree::fmt

@@ -1,0 +1,132 @@
+// Maintenance constructs attached to a fault maintenance tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ft/tree.hpp"
+
+namespace fmtree::fmt {
+
+/// Condition-based repair action attached to one extended basic event: what
+/// happens when an inspection finds the EBE at/past its threshold phase. The
+/// action restores the EBE to phase 1 ("as new" for that failure mode).
+///
+/// A repair may take time (`duration` > 0): while the crew works, the
+/// component's degradation is paused (it neither progresses nor fails), it
+/// is skipped by further inspections, and the restoration to phase 1 only
+/// takes effect when the repair completes. Renewals (replacement modules or
+/// corrective maintenance) preempt an ongoing repair.
+struct RepairSpec {
+  std::string action = "repair";  ///< e.g. "grind", "clean", "tighten"
+  double cost = 0.0;              ///< cost per executed action
+  double duration = 0.0;          ///< time from detection to restored component
+};
+
+/// Periodic inspection: every `period` time units (first at `first_at`),
+/// each target EBE at/past its threshold phase has its RepairSpec executed.
+/// Failed targets are not repaired by inspections — that is corrective
+/// maintenance's job.
+///
+/// Inspections may be imperfect: each degraded target is detected (and thus
+/// repaired) with probability `detection_probability`, independently per
+/// target per round. 1.0 models the perfect inspections of the base study.
+struct InspectionModule {
+  std::string name;
+  double period = 1.0;
+  double first_at = -1.0;  ///< negative = use `period`
+  double cost = 0.0;       ///< cost per inspection round
+  std::vector<ft::NodeId> targets;
+  double detection_probability = 1.0;  ///< in (0, 1]
+};
+
+/// Periodic preventive replacement (renewal): every `period` time units the
+/// target EBEs are reset to phase 1 regardless of condition (and failed
+/// targets are restored).
+struct ReplacementModule {
+  std::string name;
+  double period = 1.0;
+  double first_at = -1.0;  ///< negative = use `period`
+  double cost = 0.0;       ///< cost per replacement round
+  std::vector<ft::NodeId> targets;
+};
+
+/// What happens when the top event fires: after `delay` time units the whole
+/// system is renewed (every EBE reset to phase 1). The interval between
+/// failure and completed renewal counts as downtime.
+struct CorrectivePolicy {
+  bool enabled = true;
+  double delay = 0.0;              ///< repair lead time (downtime per failure)
+  double cost = 0.0;               ///< cost per system failure (incl. penalty)
+  double downtime_cost_rate = 0.0; ///< additional cost per unit of downtime
+};
+
+/// Rate dependency: while the trigger condition holds, the dependent EBEs
+/// degrade `factor` times faster; once the trigger is repaired/renewed the
+/// normal rate is restored.
+///
+/// Two trigger semantics:
+///  * trigger_phase == 0 (default): the trigger node's *event* holds
+///    (classic RDEP — the trigger has failed);
+///  * trigger_phase >= 1: the trigger must be a leaf, and the dependency is
+///    active while that leaf's degradation phase is >= trigger_phase. This
+///    expresses conditions like "a visibly battered joint accelerates metal
+///    overflow" where the accelerating condition is degradation, not failure.
+struct RateDependency {
+  std::string name;
+  ft::NodeId trigger;
+  std::vector<ft::NodeId> dependents;
+  double factor = 1.0;    ///< acceleration factor gamma >= 1
+  int trigger_phase = 0;  ///< 0 = event semantics; >=1 = phase semantics
+};
+
+/// Functional dependency (the FDEP gate of dynamic fault trees): the moment
+/// the trigger event holds, every dependent leaf fails immediately. The
+/// dependents stay failed until maintenance restores them like any other
+/// failure (replacement or corrective renewal); if the trigger still holds
+/// at that point they fail again at once.
+struct FunctionalDependency {
+  std::string name;
+  ft::NodeId trigger;
+  std::vector<ft::NodeId> dependents;
+};
+
+/// Spare management (the SPARE gate of dynamic fault trees): `children` are
+/// a primary-and-spares pool, primary first. At any moment the lowest-index
+/// non-failed child is *active* and degrades at its full rate; the remaining
+/// non-failed children are *dormant* and degrade at `dormancy` times their
+/// rate (0 = cold spare: no degradation while waiting; 1 = hot spare). The
+/// associated gate fails when the whole pool has failed. Renewing a child
+/// re-activates it according to the same lowest-index rule.
+struct SpareSpec {
+  std::string name;
+  ft::NodeId gate;                  ///< the AND gate over the pool
+  std::vector<ft::NodeId> children; ///< primary first, then spares, in order
+  double dormancy = 0.0;            ///< in [0, 1]
+};
+
+/// Aggregated maintenance / failure costs of a trajectory or expectation.
+struct CostBreakdown {
+  double inspection = 0.0;   ///< inspection rounds
+  double repair = 0.0;       ///< condition-based repair actions
+  double replacement = 0.0;  ///< planned renewals
+  double corrective = 0.0;   ///< per-failure corrective costs
+  double downtime = 0.0;     ///< downtime_cost_rate * downtime
+  double total() const noexcept {
+    return inspection + repair + replacement + corrective + downtime;
+  }
+
+  CostBreakdown& operator+=(const CostBreakdown& o) noexcept {
+    inspection += o.inspection;
+    repair += o.repair;
+    replacement += o.replacement;
+    corrective += o.corrective;
+    downtime += o.downtime;
+    return *this;
+  }
+  CostBreakdown operator/(double d) const noexcept {
+    return {inspection / d, repair / d, replacement / d, corrective / d, downtime / d};
+  }
+};
+
+}  // namespace fmtree::fmt

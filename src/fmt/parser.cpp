@@ -1,0 +1,465 @@
+#include "fmt/parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+
+#include "ft/lexer.hpp"
+#include "ft/parser.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::fmt {
+
+namespace {
+
+using ft::Token;
+using ft::TokenCursor;
+using ft::TokenType;
+
+struct GateDecl {
+  GateType type;
+  int k = 0;
+  bool is_spare = false;
+  double dormancy = 0.0;
+  std::vector<std::string> children;
+  std::size_t line = 0;
+};
+
+struct LeafDecl {
+  DegradationModel degradation = DegradationModel::basic(Distribution::exponential(1));
+  RepairSpec repair;
+  std::size_t line = 0;
+};
+
+struct ModuleDecl {
+  bool is_inspection = false;
+  std::string name;
+  double period = -1;
+  double offset = -1;
+  double cost = 0;
+  double detect = 1.0;
+  bool targets_all = false;
+  std::vector<std::string> targets;
+  std::size_t line = 0;
+};
+
+struct FdepDecl {
+  std::string name;
+  std::string trigger;
+  std::vector<std::string> targets;
+  std::size_t line = 0;
+};
+
+struct RdepDecl {
+  std::string name;
+  double factor = -1;
+  std::string trigger;
+  int trigger_phase = 0;
+  std::vector<std::string> targets;
+  std::size_t line = 0;
+};
+
+struct Declarations {
+  std::unordered_map<std::string, GateDecl> gates;
+  std::unordered_map<std::string, LeafDecl> leaves;
+  std::vector<ModuleDecl> modules;
+  std::vector<RdepDecl> rdeps;
+  std::vector<FdepDecl> fdeps;
+  CorrectivePolicy corrective{.enabled = false};
+  bool corrective_seen = false;
+  std::string top;
+};
+
+void ensure_unique_name(const Declarations& d, const std::string& name, std::size_t line) {
+  if (d.gates.contains(name) || d.leaves.contains(name))
+    throw ParseError(line, "duplicate definition of '" + name + "'");
+}
+
+LeafDecl parse_ebe_body(TokenCursor& cur, std::size_t line) {
+  double phases = -1, mean = -1, threshold = -1, repair_cost = 0, repair_time = 0;
+  std::string repair_action = "repair";
+  while (cur.peek().type == TokenType::Identifier) {
+    const std::string key = cur.next().text;
+    cur.expect(TokenType::Equals, "'=' after '" + key + "'");
+    if (key == "repair") {
+      repair_action = cur.expect_identifier("repair action name");
+      continue;
+    }
+    const double value = cur.expect_number("value for '" + key + "'");
+    if (key == "phases") phases = value;
+    else if (key == "mean") mean = value;
+    else if (key == "threshold") threshold = value;
+    else if (key == "repair_cost") repair_cost = value;
+    else if (key == "repair_time") repair_time = value;
+    else throw ParseError(line, "unknown ebe attribute '" + key + "'");
+  }
+  if (phases < 1 || phases != std::floor(phases))
+    throw ParseError(line, "ebe needs integer phases >= 1");
+  if (!(mean > 0)) throw ParseError(line, "ebe needs mean > 0");
+  if (threshold < 0) threshold = phases + 1;  // default: undetectable
+  if (threshold != std::floor(threshold))
+    throw ParseError(line, "ebe threshold must be an integer");
+  if (repair_time < 0) throw ParseError(line, "repair_time must be >= 0");
+  LeafDecl leaf{DegradationModel::erlang(static_cast<int>(phases), mean,
+                                         static_cast<int>(threshold)),
+                RepairSpec{repair_action, repair_cost, repair_time}, line};
+  return leaf;
+}
+
+ModuleDecl parse_module_body(TokenCursor& cur, bool is_inspection, std::size_t line) {
+  ModuleDecl m;
+  m.is_inspection = is_inspection;
+  m.line = line;
+  m.name = cur.expect_identifier("module name");
+  while (cur.peek().type == TokenType::Identifier) {
+    const std::string key = cur.next().text;
+    if (key == "targets") {
+      if (cur.accept_word("all")) {
+        m.targets_all = true;
+      } else {
+        while (cur.peek().type == TokenType::Identifier)
+          m.targets.push_back(cur.next().text);
+        if (m.targets.empty()) throw ParseError(line, "empty target list");
+      }
+      break;  // targets terminate the statement body
+    }
+    cur.expect(TokenType::Equals, "'=' after '" + key + "'");
+    const double value = cur.expect_number("value for '" + key + "'");
+    if (key == "period") m.period = value;
+    else if (key == "offset") m.offset = value;
+    else if (key == "cost") m.cost = value;
+    else if (key == "detect" && is_inspection) m.detect = value;
+    else throw ParseError(line, "unknown module attribute '" + key + "'");
+  }
+  if (!(m.period > 0)) throw ParseError(line, "module needs period > 0");
+  if (!m.targets_all && m.targets.empty())
+    throw ParseError(line, "module needs 'targets <leaf>...' or 'targets all'");
+  return m;
+}
+
+RdepDecl parse_rdep_body(TokenCursor& cur, std::size_t line) {
+  RdepDecl r;
+  r.line = line;
+  r.name = cur.expect_identifier("rdep name");
+  while (cur.peek().type == TokenType::Identifier) {
+    const std::string key = cur.next().text;
+    if (key == "targets") {
+      while (cur.peek().type == TokenType::Identifier)
+        r.targets.push_back(cur.next().text);
+      break;
+    }
+    cur.expect(TokenType::Equals, "'=' after '" + key + "'");
+    if (key == "factor") {
+      r.factor = cur.expect_number("rdep factor");
+    } else if (key == "trigger") {
+      r.trigger = cur.expect_identifier("trigger node");
+    } else if (key == "trigger_phase") {
+      const double tp = cur.expect_number("trigger phase");
+      if (tp < 1 || tp != std::floor(tp))
+        throw ParseError(line, "trigger_phase must be a positive integer");
+      r.trigger_phase = static_cast<int>(tp);
+    } else {
+      throw ParseError(line, "unknown rdep attribute '" + key + "'");
+    }
+  }
+  if (!(r.factor >= 1)) throw ParseError(line, "rdep needs factor >= 1");
+  if (r.trigger.empty()) throw ParseError(line, "rdep needs trigger=<node>");
+  if (r.targets.empty()) throw ParseError(line, "rdep needs targets <leaf>...");
+  return r;
+}
+
+FdepDecl parse_fdep_body(TokenCursor& cur, std::size_t line) {
+  FdepDecl f;
+  f.line = line;
+  f.name = cur.expect_identifier("fdep name");
+  while (cur.peek().type == TokenType::Identifier) {
+    const std::string key = cur.next().text;
+    if (key == "targets") {
+      while (cur.peek().type == TokenType::Identifier)
+        f.targets.push_back(cur.next().text);
+      break;
+    }
+    cur.expect(TokenType::Equals, "'=' after '" + key + "'");
+    if (key == "trigger") {
+      f.trigger = cur.expect_identifier("trigger node");
+    } else {
+      throw ParseError(line, "unknown fdep attribute '" + key + "'");
+    }
+  }
+  if (f.trigger.empty()) throw ParseError(line, "fdep needs trigger=<node>");
+  if (f.targets.empty()) throw ParseError(line, "fdep needs targets <leaf>...");
+  return f;
+}
+
+CorrectivePolicy parse_corrective_body(TokenCursor& cur, std::size_t line) {
+  CorrectivePolicy p;
+  p.enabled = true;
+  while (cur.peek().type == TokenType::Identifier) {
+    const std::string key = cur.next().text;
+    if (key == "off") {
+      p.enabled = false;
+      continue;
+    }
+    cur.expect(TokenType::Equals, "'=' after '" + key + "'");
+    const double value = cur.expect_number("value for '" + key + "'");
+    if (key == "cost") p.cost = value;
+    else if (key == "delay") p.delay = value;
+    else if (key == "downtime_rate") p.downtime_cost_rate = value;
+    else throw ParseError(line, "unknown corrective attribute '" + key + "'");
+  }
+  return p;
+}
+
+Declarations collect(TokenCursor& cur) {
+  Declarations decls;
+  while (!cur.at_end()) {
+    const std::size_t line = cur.line();
+    const std::string head = cur.expect_identifier("statement");
+    if (head == "toplevel") {
+      if (!decls.top.empty()) throw ParseError(line, "duplicate toplevel declaration");
+      decls.top = cur.expect_identifier("top event name");
+    } else if (head == "inspection" || head == "replacement") {
+      decls.modules.push_back(parse_module_body(cur, head == "inspection", line));
+    } else if (head == "rdep") {
+      decls.rdeps.push_back(parse_rdep_body(cur, line));
+    } else if (head == "fdep") {
+      decls.fdeps.push_back(parse_fdep_body(cur, line));
+    } else if (head == "corrective") {
+      if (decls.corrective_seen)
+        throw ParseError(line, "duplicate corrective declaration");
+      decls.corrective = parse_corrective_body(cur, line);
+      decls.corrective_seen = true;
+    } else {
+      const std::string& name = head;
+      ensure_unique_name(decls, name, line);
+      const std::string op = cur.expect_identifier("gate type, 'be' or 'ebe'");
+      if (op == "be") {
+        Distribution d = ft::parse_distribution(cur);
+        decls.leaves.emplace(
+            name, LeafDecl{DegradationModel::basic(std::move(d)), RepairSpec{}, line});
+      } else if (op == "ebe") {
+        decls.leaves.emplace(name, parse_ebe_body(cur, line));
+      } else if (op == "and" || op == "or" || op == "vot" || op == "spare") {
+        GateDecl g;
+        g.line = line;
+        if (op == "and") g.type = GateType::And;
+        else if (op == "or") g.type = GateType::Or;
+        else if (op == "spare") {
+          g.type = GateType::And;  // boolean view of a spare pool
+          g.is_spare = true;
+          if (cur.accept_word("dormancy")) {
+            cur.expect(TokenType::Equals, "'=' after 'dormancy'");
+            g.dormancy = cur.expect_number("dormancy factor");
+            if (!(g.dormancy >= 0 && g.dormancy <= 1))
+              throw ParseError(line, "dormancy must lie in [0, 1]");
+          }
+        } else {
+          g.type = GateType::Voting;
+          const double k = cur.expect_number("voting threshold k");
+          if (k != std::floor(k) || k < 1)
+            throw ParseError(line, "voting threshold must be a positive integer");
+          g.k = static_cast<int>(k);
+        }
+        while (cur.peek().type == TokenType::Identifier)
+          g.children.push_back(cur.next().text);
+        if (g.children.empty())
+          throw ParseError(line, "gate '" + name + "' has no children");
+        decls.gates.emplace(name, std::move(g));
+      } else {
+        throw ParseError(line, "unknown statement '" + op + "'");
+      }
+    }
+    cur.expect(TokenType::Semicolon, "';'");
+  }
+  if (decls.top.empty()) throw ParseError(cur.line(), "missing 'toplevel' declaration");
+  return decls;
+}
+
+}  // namespace
+
+FaultMaintenanceTree parse_fmt(const std::string& text) {
+  TokenCursor cur(ft::tokenize(text));
+  const Declarations decls = collect(cur);
+
+  FaultMaintenanceTree model;
+  std::unordered_map<std::string, NodeId> built;
+  std::unordered_set<std::string> building;
+
+  std::function<NodeId(const std::string&)> build = [&](const std::string& name) {
+    if (auto it = built.find(name); it != built.end()) return it->second;
+    if (building.contains(name)) throw ModelError("cycle involving node '" + name + "'");
+    if (auto leaf = decls.leaves.find(name); leaf != decls.leaves.end()) {
+      const NodeId id = model.add_ebe(name, leaf->second.degradation, leaf->second.repair);
+      built.emplace(name, id);
+      return id;
+    }
+    auto gi = decls.gates.find(name);
+    if (gi == decls.gates.end())
+      throw ModelError("node '" + name + "' referenced but never defined");
+    building.insert(name);
+    std::vector<NodeId> children;
+    children.reserve(gi->second.children.size());
+    for (const std::string& child : gi->second.children) children.push_back(build(child));
+    building.erase(name);
+    const NodeId id =
+        gi->second.is_spare
+            ? model.add_spare(name, std::move(children), gi->second.dormancy)
+            : model.add_gate(name, gi->second.type, std::move(children), gi->second.k);
+    built.emplace(name, id);
+    return id;
+  };
+  model.set_top(build(decls.top));
+
+  // Dependency and module statements may reference nodes that do not feed
+  // the top event (e.g. a standalone condition that only triggers an RDEP),
+  // so resolution builds on demand.
+  auto resolve = [&](const std::string& name, std::size_t line) {
+    if (!built.contains(name) && !decls.leaves.contains(name) &&
+        !decls.gates.contains(name))
+      throw ParseError(line, "unknown node '" + name + "'");
+    return build(name);
+  };
+
+  for (const RdepDecl& r : decls.rdeps) {
+    std::vector<NodeId> deps;
+    deps.reserve(r.targets.size());
+    for (const std::string& t : r.targets) deps.push_back(resolve(t, r.line));
+    model.add_rdep(r.name, resolve(r.trigger, r.line), std::move(deps), r.factor,
+                   r.trigger_phase);
+  }
+
+  for (const FdepDecl& f : decls.fdeps) {
+    std::vector<NodeId> deps;
+    deps.reserve(f.targets.size());
+    for (const std::string& t : f.targets) deps.push_back(resolve(t, f.line));
+    model.add_fdep(f.name, resolve(f.trigger, f.line), std::move(deps));
+  }
+
+  for (const ModuleDecl& m : decls.modules) {
+    std::vector<NodeId> targets;
+    if (m.targets_all) {
+      for (NodeId leaf : model.leaves()) {
+        if (!m.is_inspection || model.ebe(leaf).degradation.inspectable())
+          targets.push_back(leaf);
+      }
+      if (targets.empty())
+        throw ParseError(m.line, "module '" + m.name + "': 'all' matches no leaves");
+    } else {
+      targets.reserve(m.targets.size());
+      for (const std::string& t : m.targets) targets.push_back(resolve(t, m.line));
+    }
+    if (m.is_inspection) {
+      if (!(m.detect > 0 && m.detect <= 1))
+        throw ParseError(m.line, "inspection detect must lie in (0, 1]");
+      model.add_inspection(InspectionModule{m.name, m.period, m.offset, m.cost,
+                                            std::move(targets), m.detect});
+    } else {
+      model.add_replacement(
+          ReplacementModule{m.name, m.period, m.offset, m.cost, std::move(targets)});
+    }
+  }
+
+  if (decls.corrective_seen) model.set_corrective(decls.corrective);
+
+  // Everything declared must be used somewhere: under the top event or by a
+  // dependency/module statement (which built it on demand above).
+  for (const auto& [name, decl] : decls.gates)
+    if (!built.contains(name))
+      throw ModelError("gate '" + name + "' is used by nothing");
+  for (const auto& [name, decl] : decls.leaves)
+    if (!built.contains(name))
+      throw ModelError("leaf '" + name + "' is used by nothing");
+
+  model.validate();
+  return model;
+}
+
+namespace {
+
+std::string quoted(const std::string& name) {
+  for (char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' ||
+                    c == '.' || c == '-';
+    if (!ok) return '"' + name + '"';
+  }
+  if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0])) != 0)
+    return '"' + name + '"';
+  return name;
+}
+
+}  // namespace
+
+std::string to_text(const FaultMaintenanceTree& model) {
+  model.validate();
+  const ft::FaultTree& structure = model.structure();
+  std::ostringstream os;
+  os << "toplevel " << quoted(structure.name(structure.top())) << ";\n";
+  std::unordered_map<std::uint32_t, const SpareSpec*> spare_gates;
+  for (const SpareSpec& spec : model.spares()) spare_gates.emplace(spec.gate.value, &spec);
+  for (NodeId id : structure.gates()) {
+    const ft::Gate& g = structure.gate(id);
+    os << quoted(g.name) << ' ';
+    if (const auto it = spare_gates.find(id.value); it != spare_gates.end()) {
+      os << "spare dormancy=" << it->second->dormancy;
+    } else {
+      switch (g.type) {
+        case GateType::And: os << "and"; break;
+        case GateType::Or: os << "or"; break;
+        case GateType::Voting: os << "vot " << g.k; break;
+      }
+    }
+    for (NodeId c : g.children) os << ' ' << quoted(structure.name(c));
+    os << ";\n";
+  }
+  for (NodeId id : model.leaves()) {
+    const ExtendedBasicEvent& e = model.ebe(id);
+    const DegradationModel& deg = e.degradation;
+    os << quoted(e.name) << " ebe phases=" << deg.phases()
+       << " mean=" << deg.mean_time_to_failure()
+       << " threshold=" << deg.threshold_phase();
+    if (e.repair.cost != 0) os << " repair_cost=" << e.repair.cost;
+    if (e.repair.duration != 0) os << " repair_time=" << e.repair.duration;
+    if (e.repair.action != "repair") os << " repair=" << quoted(e.repair.action);
+    os << ";\n";
+  }
+  for (const RateDependency& r : model.rdeps()) {
+    os << "rdep " << quoted(r.name) << " factor=" << r.factor << " trigger="
+       << quoted(structure.name(r.trigger));
+    if (r.trigger_phase != 0) os << " trigger_phase=" << r.trigger_phase;
+    os << " targets";
+    for (NodeId t : r.dependents) os << ' ' << quoted(structure.name(t));
+    os << ";\n";
+  }
+  for (const FunctionalDependency& f : model.fdeps()) {
+    os << "fdep " << quoted(f.name) << " trigger=" << quoted(structure.name(f.trigger))
+       << " targets";
+    for (NodeId t : f.dependents) os << ' ' << quoted(structure.name(t));
+    os << ";\n";
+  }
+  for (const InspectionModule& m : model.inspections()) {
+    os << "inspection " << quoted(m.name) << " period=" << m.period
+       << " offset=" << m.first_at << " cost=" << m.cost;
+    if (m.detection_probability < 1.0) os << " detect=" << m.detection_probability;
+    os << " targets";
+    for (NodeId t : m.targets) os << ' ' << quoted(structure.name(t));
+    os << ";\n";
+  }
+  for (const ReplacementModule& m : model.replacements()) {
+    os << "replacement " << quoted(m.name) << " period=" << m.period
+       << " offset=" << m.first_at << " cost=" << m.cost << " targets";
+    for (NodeId t : m.targets) os << ' ' << quoted(structure.name(t));
+    os << ";\n";
+  }
+  const CorrectivePolicy& c = model.corrective();
+  if (c.enabled) {
+    os << "corrective cost=" << c.cost << " delay=" << c.delay
+       << " downtime_rate=" << c.downtime_cost_rate << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace fmtree::fmt

@@ -1,0 +1,32 @@
+// Text format for fault maintenance trees. Extends the static fault-tree
+// grammar (ft/parser.hpp) with degradation and maintenance statements:
+//
+//   toplevel <name>;
+//   <name> and|or <child>...;            # gates, as in the ft format
+//   <name> vot <k> <child>...;
+//   <name> be <dist>;                    # classic leaf (1 phase, undetectable)
+//   <name> ebe phases=<N> mean=<M> threshold=<K>
+//          [repair_cost=<c>] [repair=<action-name>];
+//   rdep <name> factor=<g> trigger=<node> targets <leaf>...;
+//   inspection <name> period=<p> [offset=<o>] [cost=<c>] targets <leaf>...|all;
+//   replacement <name> period=<p> [offset=<o>] [cost=<c>] targets <leaf>...|all;
+//   corrective [cost=<c>] [delay=<d>] [downtime_rate=<r>] [off];
+//
+// For `inspection ... targets all`, "all" expands to every inspectable leaf;
+// for `replacement ... targets all`, to every leaf.
+#pragma once
+
+#include <string>
+
+#include "fmt/fmtree.hpp"
+
+namespace fmtree::fmt {
+
+/// Parses a complete FMT. Throws ParseError / ModelError.
+FaultMaintenanceTree parse_fmt(const std::string& text);
+
+/// Serializes back to the text format (round-trips with parse_fmt for models
+/// expressible in it, i.e. Erlang-phased EBEs).
+std::string to_text(const FaultMaintenanceTree& model);
+
+}  // namespace fmtree::fmt

@@ -1,0 +1,46 @@
+// Minimal cut set computation (bottom-up MOCUS-style expansion).
+#pragma once
+
+#include <vector>
+
+#include "ft/tree.hpp"
+
+namespace fmtree::ft {
+
+/// A cut set: sorted, duplicate-free basic-event indices (basic_events()
+/// order) whose joint failure causes the top event.
+using CutSet = std::vector<std::uint32_t>;
+
+/// All minimal cut sets of the tree, each sorted; the list itself is sorted
+/// by (size, lexicographic) for deterministic output.
+///
+/// Complexity is exponential in the worst case; intended for case-study
+/// sized trees (tens of basic events). `limit` bounds the number of
+/// intermediate sets as a safety valve (throws ModelError when exceeded).
+std::vector<CutSet> minimal_cut_sets(const FaultTree& tree,
+                                     std::size_t limit = 1u << 20);
+
+/// Minimal cut sets via the BDD (Rauzy's minimal-solutions algorithm):
+/// compiles the structure function and extracts minimal solutions with
+/// per-node memoization. Identical output to minimal_cut_sets (same
+/// ordering); usually much faster on trees with heavy sharing, and an
+/// independent oracle for the MOCUS implementation.
+std::vector<CutSet> minimal_cut_sets_bdd(const FaultTree& tree);
+
+/// Rare-event approximation of top probability from cut sets:
+/// sum over cut sets of the product of member probabilities.
+double rare_event_probability(const std::vector<CutSet>& cuts,
+                              std::span<const double> p);
+
+/// Min-cut upper bound: 1 - prod(1 - P(cut)). Exact for disjoint cut sets.
+double min_cut_upper_bound(const std::vector<CutSet>& cuts,
+                           std::span<const double> p);
+
+/// True iff `candidate` is a cut set (not necessarily minimal) of the tree.
+bool is_cut_set(const FaultTree& tree, const CutSet& candidate);
+
+/// True iff `candidate` is a *minimal* cut set: it is a cut set and removing
+/// any single element stops it from being one.
+bool is_minimal_cut_set(const FaultTree& tree, const CutSet& candidate);
+
+}  // namespace fmtree::ft

@@ -1,0 +1,54 @@
+#include "ft/dot.hpp"
+
+#include <sstream>
+
+namespace fmtree::ft {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const FaultTree& tree, const std::string& graph_name) {
+  tree.validate();
+  std::ostringstream os;
+  os << "digraph \"" << escape(graph_name) << "\" {\n";
+  os << "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  for (std::uint32_t id = 0; id < tree.node_count(); ++id) {
+    const NodeId node{id};
+    if (tree.is_basic(node)) {
+      const BasicEvent& be = tree.basic(node);
+      os << "  n" << id << " [shape=circle, label=\"" << escape(be.name)
+         << "\", tooltip=\"" << escape(be.lifetime.to_string()) << "\"];\n";
+    } else {
+      const Gate& g = tree.gate(node);
+      std::string label;
+      switch (g.type) {
+        case GateType::And: label = "AND"; break;
+        case GateType::Or: label = "OR"; break;
+        case GateType::Voting: label = std::to_string(g.k) + "/" +
+                                       std::to_string(g.children.size()); break;
+      }
+      const bool is_top = tree.has_top() && tree.top() == node;
+      os << "  n" << id << " [shape=box, label=\"" << escape(g.name) << "\\n[" << label
+         << "]\"" << (is_top ? ", style=bold" : "") << "];\n";
+    }
+  }
+  for (NodeId gid : tree.gates()) {
+    for (NodeId c : tree.gate(gid).children)
+      os << "  n" << gid.value << " -> n" << c.value << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fmtree::ft

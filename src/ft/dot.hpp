@@ -1,0 +1,14 @@
+// Graphviz export of fault trees.
+#pragma once
+
+#include <string>
+
+#include "ft/tree.hpp"
+
+namespace fmtree::ft {
+
+/// Renders the tree as a Graphviz digraph: gates as shaped nodes (AND/OR/
+/// VOT labels), basic events as circles annotated with their distribution.
+std::string to_dot(const FaultTree& tree, const std::string& graph_name = "fault_tree");
+
+}  // namespace fmtree::ft

@@ -1,0 +1,36 @@
+#include "ft/importance.hpp"
+
+#include "ft/bdd.hpp"
+
+namespace fmtree::ft {
+
+std::vector<Importance> importance_measures(const FaultTree& tree,
+                                            double mission_time) {
+  BddManager mgr(static_cast<std::uint32_t>(tree.basic_events().size()));
+  const BddRef f = build_bdd(mgr, tree);
+  std::vector<double> p = tree.probabilities_at(mission_time);
+  const double p_top = mgr.probability(f, p);
+
+  std::vector<Importance> out;
+  out.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    Importance imp;
+    imp.name = tree.basic(tree.basic_events()[i]).name;
+    imp.probability = p[i];
+    const double saved = p[i];
+    // Probability is multilinear in each p_i, so conditioning equals
+    // evaluating with p_i pinned to 1 or 0.
+    p[i] = 1.0;
+    const double p_up = mgr.probability(f, p);
+    p[i] = 0.0;
+    const double p_down = mgr.probability(f, p);
+    p[i] = saved;
+    imp.birnbaum = p_up - p_down;
+    imp.criticality = p_top > 0 ? imp.birnbaum * saved / p_top : 0.0;
+    imp.fussell_vesely = p_top > 0 ? (p_top - p_down) / p_top : 0.0;
+    out.push_back(std::move(imp));
+  }
+  return out;
+}
+
+}  // namespace fmtree::ft

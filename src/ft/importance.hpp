@@ -1,0 +1,24 @@
+// Component importance measures from exact BDD analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ft/tree.hpp"
+
+namespace fmtree::ft {
+
+/// Importance of one basic event at a mission time.
+struct Importance {
+  std::string name;
+  double probability = 0.0;    ///< p_i = F_i(t)
+  double birnbaum = 0.0;       ///< dP(top)/dp_i = P(top|i=1) - P(top|i=0)
+  double criticality = 0.0;    ///< birnbaum * p_i / P(top)
+  double fussell_vesely = 0.0; ///< (P(top) - P(top|p_i=0)) / P(top)
+};
+
+/// Computes all three measures for every basic event, in basic_events()
+/// order. Runs one BDD compilation and O(#BE) probability evaluations.
+std::vector<Importance> importance_measures(const FaultTree& tree, double mission_time);
+
+}  // namespace fmtree::ft

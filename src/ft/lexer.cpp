@@ -1,0 +1,152 @@
+#include "ft/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fmtree::ft {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.' ||
+         c == '-';
+}
+
+bool is_number_start(char c, char next) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+         (c == '.' && std::isdigit(static_cast<unsigned char>(next)) != 0);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& input) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (i < n && input[i] != '"') {
+        if (input[i] == '\n') ++line;
+        text += input[i++];
+      }
+      if (i >= n) throw ParseError(line, "unterminated string literal");
+      ++i;  // closing quote
+      out.push_back(Token{TokenType::Identifier, std::move(text), 0.0, line});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && is_ident_char(input[i])) ++i;
+      out.push_back(
+          Token{TokenType::Identifier, input.substr(start, i - start), 0.0, line});
+      continue;
+    }
+    const char next = i + 1 < n ? input[i + 1] : '\0';
+    if (is_number_start(c, next)) {
+      char* end = nullptr;
+      const double value = std::strtod(input.c_str() + i, &end);
+      if (end == input.c_str() + i) throw ParseError(line, "malformed number");
+      i = static_cast<std::size_t>(end - input.c_str());
+      out.push_back(Token{TokenType::Number, {}, value, line});
+      continue;
+    }
+    switch (c) {
+      case '(':
+        out.push_back(Token{TokenType::LParen, "(", 0.0, line});
+        break;
+      case ')':
+        out.push_back(Token{TokenType::RParen, ")", 0.0, line});
+        break;
+      case ',':
+        out.push_back(Token{TokenType::Comma, ",", 0.0, line});
+        break;
+      case ';':
+        out.push_back(Token{TokenType::Semicolon, ";", 0.0, line});
+        break;
+      case '=':
+        out.push_back(Token{TokenType::Equals, "=", 0.0, line});
+        break;
+      default:
+        throw ParseError(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  out.push_back(Token{TokenType::End, {}, 0.0, line});
+  return out;
+}
+
+const Token& TokenCursor::next() {
+  const Token& t = tokens_[pos_];
+  if (t.type != TokenType::End) ++pos_;
+  return t;
+}
+
+Token TokenCursor::expect(TokenType type, const std::string& what) {
+  const Token& t = peek();
+  if (t.type != type)
+    throw ParseError(t.line, "expected " + what + ", found '" +
+                                 (t.type == TokenType::Number
+                                      ? std::to_string(t.number)
+                                      : (t.text.empty() ? token_type_name(t.type) : t.text)) +
+                                 "'");
+  return next();
+}
+
+bool TokenCursor::accept(TokenType type) {
+  if (peek().type != type) return false;
+  next();
+  return true;
+}
+
+bool TokenCursor::accept_word(const std::string& word) {
+  if (peek().type != TokenType::Identifier || peek().text != word) return false;
+  next();
+  return true;
+}
+
+std::string TokenCursor::expect_identifier(const std::string& what) {
+  return expect(TokenType::Identifier, what).text;
+}
+
+double TokenCursor::expect_number(const std::string& what) {
+  return expect(TokenType::Number, what).number;
+}
+
+const char* token_type_name(TokenType t) {
+  switch (t) {
+    case TokenType::Identifier: return "identifier";
+    case TokenType::Number: return "number";
+    case TokenType::LParen: return "'('";
+    case TokenType::RParen: return "')'";
+    case TokenType::Comma: return "','";
+    case TokenType::Semicolon: return "';'";
+    case TokenType::Equals: return "'='";
+    case TokenType::End: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace fmtree::ft

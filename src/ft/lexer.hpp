@@ -1,0 +1,61 @@
+// Tokenizer shared by the fault-tree and fault-maintenance-tree text formats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fmtree::ft {
+
+enum class TokenType {
+  Identifier,  // bare name or quoted string (quotes stripped)
+  Number,      // double literal
+  LParen,
+  RParen,
+  Comma,
+  Semicolon,
+  Equals,
+  End,
+};
+
+struct Token {
+  TokenType type = TokenType::End;
+  std::string text;     // identifier text
+  double number = 0.0;  // numeric value for Number
+  std::size_t line = 1;
+};
+
+/// Tokenizes the whole input. '#' starts a comment to end of line. Throws
+/// ParseError on unterminated strings or malformed numbers. The final token
+/// is always TokenType::End.
+std::vector<Token> tokenize(const std::string& input);
+
+/// Cursor over a token stream with convenience expectations.
+class TokenCursor {
+public:
+  explicit TokenCursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& next();
+  bool at_end() const { return peek().type == TokenType::End; }
+  std::size_t line() const { return peek().line; }
+
+  /// Consumes and returns a token of the given type, or throws ParseError.
+  Token expect(TokenType type, const std::string& what);
+  /// Consumes the next token if it matches; returns whether it did.
+  bool accept(TokenType type);
+  /// Consumes an identifier equal to `word` if present.
+  bool accept_word(const std::string& word);
+  /// Consumes and returns an identifier, or throws.
+  std::string expect_identifier(const std::string& what);
+  /// Consumes and returns a number, or throws.
+  double expect_number(const std::string& what);
+
+private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+const char* token_type_name(TokenType t);
+
+}  // namespace fmtree::ft

@@ -1,0 +1,252 @@
+#include "ft/parser.hpp"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace fmtree::ft {
+
+Distribution parse_distribution(TokenCursor& cur) {
+  const std::size_t line = cur.line();
+  const std::string kind = cur.expect_identifier("distribution name");
+  if (kind == "never") return Distribution::never();
+
+  cur.expect(TokenType::LParen, "'(' after distribution name");
+  std::vector<double> args;
+  if (cur.peek().type != TokenType::RParen) {
+    args.push_back(cur.expect_number("distribution parameter"));
+    while (cur.accept(TokenType::Comma))
+      args.push_back(cur.expect_number("distribution parameter"));
+  }
+  cur.expect(TokenType::RParen, "')' after distribution parameters");
+
+  auto arity = [&](std::size_t n) {
+    if (args.size() != n)
+      throw ParseError(line, "distribution '" + kind + "' takes " + std::to_string(n) +
+                                 " parameter(s), got " + std::to_string(args.size()));
+  };
+  try {
+    if (kind == "exp") {
+      arity(1);
+      return Distribution::exponential(args[0]);
+    }
+    if (kind == "erlang") {
+      arity(2);
+      const double k = args[0];
+      if (k != std::floor(k)) throw ParseError(line, "erlang shape must be an integer");
+      return Distribution::erlang(static_cast<int>(k), args[1]);
+    }
+    if (kind == "erlang_mean") {
+      arity(2);
+      const double k = args[0];
+      if (k != std::floor(k))
+        throw ParseError(line, "erlang_mean shape must be an integer");
+      return Distribution::erlang_mean(static_cast<int>(k), args[1]);
+    }
+    if (kind == "weibull") {
+      arity(2);
+      return Distribution::weibull(args[0], args[1]);
+    }
+    if (kind == "lognormal") {
+      arity(2);
+      return Distribution::lognormal(args[0], args[1]);
+    }
+    if (kind == "uniform") {
+      arity(2);
+      return Distribution::uniform(args[0], args[1]);
+    }
+    if (kind == "det") {
+      arity(1);
+      return Distribution::deterministic(args[0]);
+    }
+  } catch (const DomainError& e) {
+    throw ParseError(line, e.what());
+  }
+  throw ParseError(line, "unknown distribution '" + kind + "'");
+}
+
+namespace {
+
+struct GateDecl {
+  GateType type;
+  int k = 0;
+  std::vector<std::string> children;
+  std::size_t line = 0;
+};
+
+struct BeDecl {
+  Distribution dist;
+  std::size_t line = 0;
+};
+
+struct Declarations {
+  std::unordered_map<std::string, GateDecl> gates;
+  std::unordered_map<std::string, BeDecl> basics;
+  std::string top;
+  std::size_t top_line = 0;
+};
+
+Declarations collect(TokenCursor& cur) {
+  Declarations decls;
+  while (!cur.at_end()) {
+    const std::size_t line = cur.line();
+    const std::string head = cur.expect_identifier("statement");
+    if (head == "toplevel") {
+      if (!decls.top.empty()) throw ParseError(line, "duplicate toplevel declaration");
+      decls.top = cur.expect_identifier("top event name");
+      decls.top_line = line;
+      cur.expect(TokenType::Semicolon, "';'");
+      continue;
+    }
+    const std::string& name = head;
+    if (decls.gates.contains(name) || decls.basics.contains(name))
+      throw ParseError(line, "duplicate definition of '" + name + "'");
+    const std::string op = cur.expect_identifier("gate type or 'be'");
+    if (op == "be") {
+      Distribution d = parse_distribution(cur);
+      cur.expect(TokenType::Semicolon, "';'");
+      decls.basics.emplace(name, BeDecl{std::move(d), line});
+      continue;
+    }
+    GateDecl g;
+    g.line = line;
+    if (op == "and") {
+      g.type = GateType::And;
+    } else if (op == "or") {
+      g.type = GateType::Or;
+    } else if (op == "vot") {
+      g.type = GateType::Voting;
+      const double k = cur.expect_number("voting threshold k");
+      if (k != std::floor(k) || k < 1)
+        throw ParseError(line, "voting threshold must be a positive integer");
+      g.k = static_cast<int>(k);
+    } else {
+      throw ParseError(line, "unknown statement '" + op + "' (expected and/or/vot/be)");
+    }
+    while (cur.peek().type == TokenType::Identifier)
+      g.children.push_back(cur.next().text);
+    if (g.children.empty()) throw ParseError(line, "gate '" + name + "' has no children");
+    cur.expect(TokenType::Semicolon, "';'");
+    decls.gates.emplace(name, std::move(g));
+  }
+  if (decls.top.empty()) throw ParseError(cur.line(), "missing 'toplevel' declaration");
+  return decls;
+}
+
+}  // namespace
+
+FaultTree parse_fault_tree(const std::string& text) {
+  TokenCursor cur(tokenize(text));
+  const Declarations decls = collect(cur);
+
+  FaultTree tree;
+  std::unordered_map<std::string, NodeId> built;
+  std::unordered_set<std::string> building;  // cycle detection
+
+  std::function<NodeId(const std::string&)> build = [&](const std::string& name) {
+    if (auto it = built.find(name); it != built.end()) return it->second;
+    if (building.contains(name))
+      throw ModelError("cycle involving node '" + name + "'");
+    if (auto be = decls.basics.find(name); be != decls.basics.end()) {
+      const NodeId id = tree.add_basic_event(name, be->second.dist);
+      built.emplace(name, id);
+      return id;
+    }
+    auto gi = decls.gates.find(name);
+    if (gi == decls.gates.end())
+      throw ModelError("node '" + name + "' referenced but never defined");
+    building.insert(name);
+    std::vector<NodeId> children;
+    children.reserve(gi->second.children.size());
+    for (const std::string& child : gi->second.children) children.push_back(build(child));
+    building.erase(name);
+    const NodeId id = tree.add_gate(name, gi->second.type, std::move(children),
+                                    gi->second.k);
+    built.emplace(name, id);
+    return id;
+  };
+
+  tree.set_top(build(decls.top));
+
+  // Reject orphans: every declared node must end up in the tree.
+  for (const auto& [name, decl] : decls.gates)
+    if (!built.contains(name))
+      throw ModelError("gate '" + name + "' is not reachable from the top event");
+  for (const auto& [name, decl] : decls.basics)
+    if (!built.contains(name))
+      throw ModelError("basic event '" + name + "' is not reachable from the top event");
+
+  tree.validate();
+  return tree;
+}
+
+namespace {
+
+std::string quote_if_needed(const std::string& name) {
+  for (char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' ||
+                    c == '.' || c == '-';
+    if (!ok) return '"' + name + '"';
+  }
+  if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0])) != 0)
+    return '"' + name + '"';
+  return name;
+}
+
+std::string dist_to_text(const Distribution& d) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, Exponential>) {
+          os << "exp(" << x.rate << ")";
+        } else if constexpr (std::is_same_v<T, Erlang>) {
+          os << "erlang(" << x.shape << ", " << x.rate << ")";
+        } else if constexpr (std::is_same_v<T, Weibull>) {
+          os << "weibull(" << x.shape << ", " << x.scale << ")";
+        } else if constexpr (std::is_same_v<T, Lognormal>) {
+          os << "lognormal(" << x.mu << ", " << x.sigma << ")";
+        } else if constexpr (std::is_same_v<T, UniformDist>) {
+          os << "uniform(" << x.lo << ", " << x.hi << ")";
+        } else {
+          static_assert(std::is_same_v<T, Deterministic>);
+          if (std::isinf(x.value))
+            os << "never";
+          else
+            os << "det(" << x.value << ")";
+        }
+      },
+      d.as_variant());
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_text(const FaultTree& tree) {
+  tree.validate();
+  std::ostringstream os;
+  os << "toplevel " << quote_if_needed(tree.name(tree.top())) << ";\n";
+  for (NodeId id : tree.gates()) {
+    const Gate& g = tree.gate(id);
+    os << quote_if_needed(g.name) << ' ';
+    switch (g.type) {
+      case GateType::And: os << "and"; break;
+      case GateType::Or: os << "or"; break;
+      case GateType::Voting: os << "vot " << g.k; break;
+    }
+    for (NodeId c : g.children) os << ' ' << quote_if_needed(tree.name(c));
+    os << ";\n";
+  }
+  for (NodeId id : tree.basic_events()) {
+    const BasicEvent& be = tree.basic(id);
+    os << quote_if_needed(be.name) << " be " << dist_to_text(be.lifetime) << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace fmtree::ft

@@ -1,0 +1,37 @@
+// Text format for static fault trees (Galileo-inspired).
+//
+// Grammar (statements in any order, ';'-terminated, '#' comments):
+//
+//   toplevel <name>;
+//   <name> and <child> <child> ...;
+//   <name> or  <child> <child> ...;
+//   <name> vot <k> <child> <child> ...;
+//   <name> be <dist>;
+//
+// where <dist> is one of
+//   exp(rate) | erlang(k, rate) | erlang_mean(k, mean) | weibull(shape, scale)
+//   | lognormal(mu, sigma) | uniform(lo, hi) | det(value) | never
+//
+// Names may be bare identifiers or double-quoted strings. Forward references
+// are allowed; cycles are rejected.
+#pragma once
+
+#include <string>
+
+#include "ft/lexer.hpp"
+#include "ft/tree.hpp"
+
+namespace fmtree::ft {
+
+/// Parses a complete fault tree from text. Throws ParseError / ModelError.
+FaultTree parse_fault_tree(const std::string& text);
+
+/// Parses one distribution expression, e.g. "erlang(3, 0.5)". Shared with
+/// the FMT format.
+Distribution parse_distribution(TokenCursor& cur);
+
+/// Serializes a tree back to the text format (round-trips with the parser,
+/// modulo formatting).
+std::string to_text(const FaultTree& tree);
+
+}  // namespace fmtree::ft

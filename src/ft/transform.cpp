@@ -1,0 +1,147 @@
+#include "ft/transform.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace fmtree::ft {
+
+FaultTree normalize(const FaultTree& tree) {
+  tree.validate();
+  FaultTree out;
+  // Recreate leaves first so basic-event indices are preserved.
+  for (NodeId leaf : tree.basic_events()) {
+    const BasicEvent& be = tree.basic(leaf);
+    out.add_basic_event(be.name, be.lifetime);
+  }
+
+  std::unordered_map<std::uint32_t, NodeId> mapping;  // old id -> new id
+  for (NodeId leaf : tree.basic_events())
+    mapping.emplace(leaf.value, *out.find(tree.basic(leaf).name));
+
+  // Children precede parents, so one ascending pass suffices.
+  std::function<void(NodeId)> build = [&](NodeId node) {
+    if (mapping.contains(node.value)) return;
+    const Gate& g = tree.gate(node);
+    GateType type = g.type;
+    int k = g.k;
+    // Voting degenerations.
+    if (type == GateType::Voting) {
+      if (k == 1) type = GateType::Or;
+      else if (static_cast<std::size_t>(k) == g.children.size()) type = GateType::And;
+    }
+    std::vector<NodeId> children;
+    std::unordered_set<std::uint32_t> seen;
+    const std::function<void(NodeId)> absorb = [&](NodeId child) {
+      const NodeId mapped = mapping.at(child.value);
+      // Flatten same-type AND/OR children that the *output* tree knows about.
+      if ((type == GateType::And || type == GateType::Or) && !out.is_basic(mapped) &&
+          out.gate(mapped).type == type) {
+        for (NodeId grandchild : out.gate(mapped).children) {
+          if (seen.insert(grandchild.value).second) children.push_back(grandchild);
+        }
+        return;
+      }
+      if (seen.insert(mapped.value).second) children.push_back(mapped);
+    };
+    for (NodeId child : g.children) absorb(child);
+
+    if (children.size() == 1 && type != GateType::Voting) {
+      // Collapsed away entirely: alias the surviving child.
+      mapping.emplace(node.value, children.front());
+      return;
+    }
+    mapping.emplace(node.value,
+                    out.add_gate(g.name, type, std::move(children), k));
+  };
+  for (NodeId gate : tree.gates()) build(gate);
+
+  NodeId new_top = mapping.at(tree.top().value);
+  if (out.is_basic(new_top)) {
+    // Degenerate: the whole tree collapsed to one leaf; wrap it so the
+    // result is still a valid tree with a gate top (keeps callers simple).
+    new_top = out.add_or(tree.name(tree.top()) + "_top", {new_top});
+  }
+  out.set_top(new_top);
+
+  // Gates absorbed by flattening may be orphaned in `out`; rebuild with only
+  // the nodes reachable from the new top (leaves are always reachable —
+  // flattening never drops a distinct leaf).
+  std::vector<bool> reachable(out.node_count(), false);
+  std::vector<NodeId> stack{new_top};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (reachable[n.value]) continue;
+    reachable[n.value] = true;
+    if (!out.is_basic(n))
+      for (NodeId c : out.gate(n).children) stack.push_back(c);
+  }
+  FaultTree gc;
+  std::unordered_map<std::uint32_t, NodeId> remap;
+  for (NodeId leaf : out.basic_events()) {
+    const BasicEvent& be = out.basic(leaf);
+    remap.emplace(leaf.value, gc.add_basic_event(be.name, be.lifetime));
+  }
+  for (NodeId gate : out.gates()) {
+    if (!reachable[gate.value]) continue;
+    const Gate& g = out.gate(gate);
+    std::vector<NodeId> children;
+    children.reserve(g.children.size());
+    for (NodeId c : g.children) children.push_back(remap.at(c.value));
+    remap.emplace(gate.value, gc.add_gate(g.name, g.type, std::move(children), g.k));
+  }
+  gc.set_top(remap.at(new_top.value));
+  gc.validate();
+  return gc;
+}
+
+std::vector<NodeId> modules(const FaultTree& tree) {
+  tree.validate();
+  // Parent lists.
+  std::vector<std::vector<std::uint32_t>> parents(tree.node_count());
+  for (NodeId gate : tree.gates())
+    for (NodeId child : tree.gate(gate).children)
+      parents[child.value].push_back(gate.value);
+
+  // Subtree (descendant) sets per gate; trees are small, so bitsets as
+  // vector<bool> are fine.
+  const auto descendants = [&](NodeId root) {
+    std::vector<bool> in(tree.node_count(), false);
+    std::vector<NodeId> stack{root};
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      if (in[n.value]) continue;
+      in[n.value] = true;
+      if (!tree.is_basic(n))
+        for (NodeId c : tree.gate(n).children) stack.push_back(c);
+    }
+    return in;
+  };
+
+  std::vector<NodeId> result;
+  for (NodeId gate : tree.gates()) {
+    const std::vector<bool> in = descendants(gate);
+    bool is_module = true;
+    for (std::uint32_t node = 0; node < tree.node_count() && is_module; ++node) {
+      if (!in[node] || node == gate.value) continue;
+      for (std::uint32_t parent : parents[node]) {
+        if (!in[parent]) {
+          is_module = false;
+          break;
+        }
+      }
+    }
+    if (is_module) result.push_back(gate);
+  }
+  std::sort(result.begin(), result.end(),
+            [](NodeId a, NodeId b) { return a.value < b.value; });
+  return result;
+}
+
+}  // namespace fmtree::ft

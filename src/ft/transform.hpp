@@ -1,0 +1,25 @@
+// Structural transformations of static fault trees.
+#pragma once
+
+#include <vector>
+
+#include "ft/tree.hpp"
+
+namespace fmtree::ft {
+
+/// Returns a semantically equivalent tree with
+///  * nested same-type AND/OR gates flattened into their parent,
+///  * duplicate children of AND/OR gates removed,
+///  * single-child AND/OR gates (and 1-of-1 voting) collapsed away,
+///  * voting gates rewritten to AND (k == n) or OR (k == 1).
+/// Basic events keep their order, so probability vectors remain compatible.
+FaultTree normalize(const FaultTree& tree);
+
+/// Gates that are *modules*: the gate is the single entry point to its
+/// subtree (no node below it is referenced from outside). Modules can be
+/// analysed independently and substituted by a super-event — the classic
+/// fault-tree decomposition. The top gate is always a module. Returned in
+/// ascending node-id order.
+std::vector<NodeId> modules(const FaultTree& tree);
+
+}  // namespace fmtree::ft

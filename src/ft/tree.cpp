@@ -1,0 +1,147 @@
+#include "ft/tree.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fmtree::ft {
+
+NodeId FaultTree::add_basic_event(std::string name, Distribution lifetime) {
+  if (name.empty()) throw ModelError("basic event needs a non-empty name");
+  if (by_name_.contains(name)) throw ModelError("duplicate node name: " + name);
+  const NodeId id{static_cast<std::uint32_t>(kinds_.size())};
+  kinds_.push_back(Kind::Basic);
+  payload_.push_back(static_cast<std::uint32_t>(basics_store_.size()));
+  basics_store_.push_back(BasicEvent{name, std::move(lifetime)});
+  basics_.push_back(id);
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+NodeId FaultTree::add_gate(std::string name, GateType type,
+                           std::vector<NodeId> children, int k) {
+  if (name.empty()) throw ModelError("gate needs a non-empty name");
+  if (by_name_.contains(name)) throw ModelError("duplicate node name: " + name);
+  if (children.empty()) throw ModelError("gate '" + name + "' needs children");
+  for (NodeId c : children) check_id(c);
+  if (type == GateType::Voting) {
+    if (k < 1 || static_cast<std::size_t>(k) > children.size())
+      throw ModelError("voting gate '" + name + "' needs 1 <= k <= #children");
+  } else {
+    k = 0;
+  }
+  const NodeId id{static_cast<std::uint32_t>(kinds_.size())};
+  kinds_.push_back(Kind::Gate);
+  payload_.push_back(static_cast<std::uint32_t>(gates_store_.size()));
+  gates_store_.push_back(Gate{name, type, k, std::move(children)});
+  gates_list_.push_back(id);
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+void FaultTree::set_top(NodeId id) {
+  check_id(id);
+  top_ = id;
+}
+
+void FaultTree::validate(std::span<const NodeId> extra_roots) const {
+  if (!top_) throw ModelError("no top event set");
+  if (basics_.empty()) throw ModelError("tree has no basic events");
+  // Reachability from the top (plus any dependency-trigger roots).
+  std::vector<bool> seen(kinds_.size(), false);
+  std::vector<NodeId> stack{*top_};
+  for (NodeId r : extra_roots) {
+    check_id(r);
+    stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n.value]) continue;
+    seen[n.value] = true;
+    if (!is_basic(n))
+      for (NodeId c : gate(n).children) stack.push_back(c);
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i])
+      throw ModelError("node '" + name(NodeId{static_cast<std::uint32_t>(i)}) +
+                       "' is not reachable from the top event");
+  }
+}
+
+bool FaultTree::is_basic(NodeId id) const {
+  check_id(id);
+  return kinds_[id.value] == Kind::Basic;
+}
+
+const BasicEvent& FaultTree::basic(NodeId id) const {
+  check_id(id);
+  if (kinds_[id.value] != Kind::Basic)
+    throw ModelError("node '" + name(id) + "' is not a basic event");
+  return basics_store_[payload_[id.value]];
+}
+
+const Gate& FaultTree::gate(NodeId id) const {
+  check_id(id);
+  if (kinds_[id.value] != Kind::Gate)
+    throw ModelError("node '" + name(id) + "' is not a gate");
+  return gates_store_[payload_[id.value]];
+}
+
+const std::string& FaultTree::name(NodeId id) const {
+  check_id(id);
+  return kinds_[id.value] == Kind::Basic ? basics_store_[payload_[id.value]].name
+                                         : gates_store_[payload_[id.value]].name;
+}
+
+NodeId FaultTree::top() const {
+  if (!top_) throw ModelError("no top event set");
+  return *top_;
+}
+
+std::size_t FaultTree::basic_index(NodeId id) const {
+  if (!is_basic(id)) throw ModelError("node '" + name(id) + "' is not a basic event");
+  return payload_[id.value];
+}
+
+std::optional<NodeId> FaultTree::find(const std::string& node_name) const {
+  auto it = by_name_.find(node_name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool FaultTree::evaluate(NodeId node, const std::vector<bool>& failed) const {
+  if (failed.size() != basics_.size())
+    throw ModelError("state vector size does not match number of basic events");
+  if (is_basic(node)) return failed[basic_index(node)];
+  const Gate& g = gate(node);
+  switch (g.type) {
+    case GateType::And:
+      return std::all_of(g.children.begin(), g.children.end(),
+                         [&](NodeId c) { return evaluate(c, failed); });
+    case GateType::Or:
+      return std::any_of(g.children.begin(), g.children.end(),
+                         [&](NodeId c) { return evaluate(c, failed); });
+    case GateType::Voting: {
+      int count = 0;
+      for (NodeId c : g.children)
+        if (evaluate(c, failed)) ++count;
+      return count >= g.k;
+    }
+  }
+  throw ModelError("unknown gate type");
+}
+
+std::vector<double> FaultTree::probabilities_at(double mission_time) const {
+  std::vector<double> p;
+  p.reserve(basics_.size());
+  for (NodeId id : basics_) p.push_back(basic(id).lifetime.cdf(mission_time));
+  return p;
+}
+
+void FaultTree::check_id(NodeId id) const {
+  if (id.value >= kinds_.size())
+    throw ModelError("node id " + std::to_string(id.value) + " out of range");
+}
+
+}  // namespace fmtree::ft

@@ -1,0 +1,121 @@
+// Static (classic) fault trees.
+//
+// A FaultTree is a DAG of basic events and AND / OR / VOT(k/N) gates with a
+// designated top event. Children must exist before a parent references them,
+// so trees are acyclic by construction. Basic events carry a lifetime
+// distribution; the static analyses evaluate the tree at a mission time t by
+// setting each basic event's failure probability to F_i(t).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/distributions.hpp"
+
+namespace fmtree::ft {
+
+/// Index of a node within one FaultTree. Strongly typed to avoid mixing with
+/// other integer spaces (BDD variables, phase counts, ...).
+struct NodeId {
+  std::uint32_t value = 0;
+  friend bool operator==(NodeId, NodeId) = default;
+};
+
+enum class GateType { And, Or, Voting };
+
+/// Leaf of the tree: a component failure mode with a lifetime distribution.
+struct BasicEvent {
+  std::string name;
+  Distribution lifetime;
+};
+
+/// Internal node combining child failures.
+struct Gate {
+  std::string name;
+  GateType type = GateType::Or;
+  /// Threshold for Voting gates (fails when >= k children failed); unused
+  /// otherwise.
+  int k = 0;
+  std::vector<NodeId> children;
+};
+
+class FaultTree {
+public:
+  /// Adds a leaf. Names must be unique across the whole tree.
+  NodeId add_basic_event(std::string name, Distribution lifetime);
+
+  /// Adds a gate over existing nodes. For Voting, 1 <= k <= children.size().
+  NodeId add_gate(std::string name, GateType type, std::vector<NodeId> children,
+                  int k = 0);
+
+  NodeId add_and(std::string name, std::vector<NodeId> children) {
+    return add_gate(std::move(name), GateType::And, std::move(children));
+  }
+  NodeId add_or(std::string name, std::vector<NodeId> children) {
+    return add_gate(std::move(name), GateType::Or, std::move(children));
+  }
+  NodeId add_voting(std::string name, int k, std::vector<NodeId> children) {
+    return add_gate(std::move(name), GateType::Voting, std::move(children), k);
+  }
+
+  void set_top(NodeId id);
+
+  /// Checks global invariants: top set, every node reachable from the top,
+  /// at least one basic event. Throws ModelError otherwise.
+  void validate() const { validate({}); }
+
+  /// As validate(), but nodes reachable from `extra_roots` also count as
+  /// used (FMT dependency triggers need not contribute to the structure
+  /// function).
+  void validate(std::span<const NodeId> extra_roots) const;
+
+  // ---- Accessors -----------------------------------------------------------
+
+  std::size_t node_count() const noexcept { return kinds_.size(); }
+  bool is_basic(NodeId id) const;
+  const BasicEvent& basic(NodeId id) const;
+  const Gate& gate(NodeId id) const;
+  const std::string& name(NodeId id) const;
+  NodeId top() const;
+  bool has_top() const noexcept { return top_.has_value(); }
+
+  /// All basic-event node ids in insertion order. This order defines the
+  /// "basic event index" used by cut sets and the BDD variable order.
+  std::span<const NodeId> basic_events() const noexcept { return basics_; }
+  /// All gate node ids in insertion order (children before parents).
+  std::span<const NodeId> gates() const noexcept { return gates_list_; }
+
+  /// Position of a basic event within basic_events(); throws if not a leaf.
+  std::size_t basic_index(NodeId id) const;
+
+  std::optional<NodeId> find(const std::string& name) const;
+
+  /// Evaluates the structure function: given failed[i] for the i-th basic
+  /// event (order of basic_events()), has the node's event occurred?
+  bool evaluate(NodeId node, const std::vector<bool>& failed) const;
+  bool evaluate_top(const std::vector<bool>& failed) const { return evaluate(top(), failed); }
+
+  /// Failure probability of each basic event at mission time t, in
+  /// basic_events() order: p_i = F_i(t).
+  std::vector<double> probabilities_at(double mission_time) const;
+
+private:
+  enum class Kind : std::uint8_t { Basic, Gate };
+
+  void check_id(NodeId id) const;
+
+  std::vector<Kind> kinds_;
+  std::vector<std::uint32_t> payload_;  // index into basics_store_/gates_store_
+  std::vector<BasicEvent> basics_store_;
+  std::vector<Gate> gates_store_;
+  std::vector<NodeId> basics_;
+  std::vector<NodeId> gates_list_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::optional<NodeId> top_;
+};
+
+}  // namespace fmtree::ft

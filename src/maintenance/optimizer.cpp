@@ -1,0 +1,95 @@
+#include "maintenance/optimizer.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fmtree::maintenance {
+
+SweepResult sweep_policies(const ModelFactory& factory,
+                           const std::vector<MaintenancePolicy>& candidates,
+                           const smc::AnalysisSettings& settings) {
+  if (candidates.empty()) throw DomainError("policy sweep needs candidates");
+  SweepResult result;
+  result.curve.reserve(candidates.size());
+  for (const MaintenancePolicy& policy : candidates) {
+    const fmt::FaultMaintenanceTree model = factory(policy);
+    result.curve.push_back(PolicyEvaluation{policy, smc::analyze(model, settings)});
+  }
+  for (std::size_t i = 1; i < result.curve.size(); ++i) {
+    if (result.curve[i].cost_per_year() < result.curve[result.best_index].cost_per_year())
+      result.best_index = i;
+  }
+  return result;
+}
+
+std::vector<MaintenancePolicy> inspection_frequency_candidates(
+    const MaintenancePolicy& base, const std::vector<double>& frequencies_per_year) {
+  if (frequencies_per_year.empty())
+    throw DomainError("need at least one inspection frequency");
+  std::vector<MaintenancePolicy> out;
+  out.reserve(frequencies_per_year.size());
+  for (double f : frequencies_per_year) {
+    if (f < 0 || !std::isfinite(f))
+      throw DomainError("inspection frequency must be finite and >= 0");
+    MaintenancePolicy p = base;
+    std::ostringstream name;
+    if (f == 0) {
+      p.inspection_period = 0;
+      name << "no-inspection";
+    } else {
+      p.inspection_period = 1.0 / f;
+      name << f << "x-per-year";
+    }
+    p.name = name.str();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+RefinedOptimum refine_inspection_frequency(const ModelFactory& factory,
+                                           const MaintenancePolicy& base, double lo,
+                                           double hi,
+                                           const smc::AnalysisSettings& settings,
+                                           int iterations) {
+  if (!(lo > 0) || !(hi > lo)) throw DomainError("need 0 < lo < hi");
+  if (iterations < 1) throw DomainError("need at least one iteration");
+
+  std::size_t evaluations = 0;
+  const auto cost_at = [&](double freq) {
+    MaintenancePolicy p = base;
+    p.inspection_period = 1.0 / freq;
+    ++evaluations;
+    return smc::analyze(factory(p), settings).cost_per_year.point;
+  };
+
+  constexpr double kInvPhi = 0.61803398874989484;  // 1/golden ratio
+  double a = lo, b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = cost_at(c);
+  double fd = cost_at(d);
+  for (int it = 0; it < iterations; ++it) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = cost_at(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = cost_at(d);
+    }
+  }
+  RefinedOptimum out;
+  out.frequency = fc < fd ? c : d;
+  out.cost_per_year = std::min(fc, fd);
+  out.evaluations = evaluations;
+  return out;
+}
+
+}  // namespace fmtree::maintenance

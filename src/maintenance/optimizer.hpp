@@ -1,0 +1,59 @@
+// Maintenance optimization: sweep a policy dimension, estimate the yearly
+// cost of each candidate, and locate the optimum — the machinery behind the
+// paper's finding that the current EI-joint policy is close to cost-optimal.
+#pragma once
+
+#include <vector>
+
+#include "maintenance/policy.hpp"
+#include "smc/kpi.hpp"
+
+namespace fmtree::maintenance {
+
+/// One evaluated policy on the cost curve.
+struct PolicyEvaluation {
+  MaintenancePolicy policy;
+  smc::KpiReport kpis;
+
+  double cost_per_year() const noexcept { return kpis.cost_per_year.point; }
+};
+
+struct SweepResult {
+  std::vector<PolicyEvaluation> curve;  ///< in the order the candidates were given
+  std::size_t best_index = 0;           ///< argmin of cost_per_year
+
+  const PolicyEvaluation& best() const { return curve.at(best_index); }
+};
+
+/// Evaluates every candidate policy with the same settings (same seed, so
+/// curves are comparable) and returns the cost curve plus the cost-optimal
+/// candidate. Candidates must be non-empty.
+SweepResult sweep_policies(const ModelFactory& factory,
+                           const std::vector<MaintenancePolicy>& candidates,
+                           const smc::AnalysisSettings& settings);
+
+/// Convenience: candidates that differ from `base` only in inspection
+/// frequency (inspections per year, 0 = none). Names are derived.
+std::vector<MaintenancePolicy> inspection_frequency_candidates(
+    const MaintenancePolicy& base, const std::vector<double>& frequencies_per_year);
+
+/// Result of a continuous refinement of the inspection frequency.
+struct RefinedOptimum {
+  double frequency = 0.0;      ///< inspections per year at the minimum found
+  double cost_per_year = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Golden-section search over the inspection frequency in [lo, hi]
+/// (inspections per year, lo > 0). The Monte-Carlo seed is fixed, making
+/// the objective a deterministic function, but residual sampling noise of
+/// ~CI-half-width remains — treat the result as a refinement of a grid
+/// optimum, not a certificate. The cost curve must be unimodal over the
+/// bracket for the search to be meaningful (true for the case studies).
+RefinedOptimum refine_inspection_frequency(const ModelFactory& factory,
+                                           const MaintenancePolicy& base, double lo,
+                                           double hi,
+                                           const smc::AnalysisSettings& settings,
+                                           int iterations = 16);
+
+}  // namespace fmtree::maintenance

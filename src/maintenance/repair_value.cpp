@@ -1,0 +1,53 @@
+#include "maintenance/repair_value.hpp"
+
+#include <algorithm>
+
+#include "smc/kpi.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::maintenance {
+
+std::vector<RepairValue> repair_value_analysis(const fmt::FaultMaintenanceTree& model,
+                                               const smc::AnalysisSettings& settings) {
+  model.validate();
+  if (model.inspections().empty())
+    throw DomainError("repair-value analysis needs at least one inspection module");
+
+  // Baseline spend per action, for the payback column.
+  const smc::KpiReport baseline = smc::analyze(model, settings);
+
+  // Every leaf that some inspection actually covers.
+  std::vector<fmt::NodeId> covered;
+  for (const fmt::InspectionModule& m : model.inspections()) {
+    for (fmt::NodeId t : m.targets) {
+      if (std::find(covered.begin(), covered.end(), t) == covered.end())
+        covered.push_back(t);
+    }
+  }
+
+  std::vector<RepairValue> out;
+  out.reserve(covered.size());
+  for (fmt::NodeId leaf : covered) {
+    fmt::FaultMaintenanceTree knockout = model;
+    // Remove the leaf from every module; iterate backwards because removing
+    // a module's last target deletes the module and shifts later indices.
+    for (std::size_t m = knockout.inspections().size(); m-- > 0;)
+      knockout.remove_inspection_target(m, leaf);
+
+    const smc::PairedComparison cmp = smc::compare_models(knockout, model, settings);
+    RepairValue value;
+    value.mode = model.ebe(leaf).name;
+    value.action = model.ebe(leaf).repair.action;
+    value.extra_failures = cmp.failures_diff;
+    value.extra_cost = cmp.cost_diff;
+    value.repair_spend =
+        baseline.repairs_per_leaf[model.ebe_index(leaf)] * model.ebe(leaf).repair.cost;
+    out.push_back(std::move(value));
+  }
+  std::sort(out.begin(), out.end(), [](const RepairValue& a, const RepairValue& b) {
+    return a.net_value() > b.net_value();
+  });
+  return out;
+}
+
+}  // namespace fmtree::maintenance

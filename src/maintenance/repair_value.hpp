@@ -1,0 +1,39 @@
+// Value-of-repair analysis: for each condition-based repair action, what do
+// the inspections that trigger it actually buy? Answered by a one-at-a-time
+// knockout — remove the mode from every inspection's target list and compare
+// against the full policy under common random numbers. This is the question
+// maintenance engineers ask of each line item ("is grinding worth it?"),
+// and it is only answerable on the full FMT: static importance measures
+// cannot see maintenance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fmt/fmtree.hpp"
+#include "smc/compare.hpp"
+
+namespace fmtree::maintenance {
+
+/// The marginal value of keeping one mode under inspection.
+struct RepairValue {
+  std::string mode;            ///< leaf name
+  std::string action;          ///< repair action name
+  /// Paired differences, knockout minus full policy: positive failure and
+  /// cost differences mean the repairs were worth having.
+  ConfidenceInterval extra_failures;
+  ConfidenceInterval extra_cost;
+  double repair_spend = 0.0;   ///< E[spend on this action under the full policy]
+
+  /// Net value per run: avoided cost minus what the repairs cost. Positive
+  /// = the action pays for itself.
+  double net_value() const noexcept { return extra_cost.point; }
+};
+
+/// Runs the knockout for every leaf that is an inspection target, sorted by
+/// descending net value. Each knockout reuses the same random streams as
+/// the baseline (common random numbers).
+std::vector<RepairValue> repair_value_analysis(const fmt::FaultMaintenanceTree& model,
+                                               const smc::AnalysisSettings& settings);
+
+}  // namespace fmtree::maintenance

@@ -1,0 +1,119 @@
+// Discrete-event simulation primitives: a cancellable priority queue of
+// timestamped events with deterministic tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fmtree::sim {
+
+/// Handle to a scheduled event; valid until the event fires or is cancelled.
+struct EventHandle {
+  std::uint64_t seq = 0;
+  friend bool operator==(EventHandle, EventHandle) = default;
+};
+
+/// Min-heap of events ordered by (time, insertion sequence). Cancellation is
+/// lazy: cancelled entries are skipped on pop. Payloads are small value
+/// types (the FMT executor uses a tagged struct).
+template <typename Payload>
+class EventQueue {
+public:
+  /// Schedules `payload` at absolute `time`; later pops return events in
+  /// nondecreasing time order, FIFO among equal times.
+  EventHandle schedule(double time, Payload payload) {
+    FMTREE_ASSERT(!(time != time), "event time is NaN");
+    const EventHandle h{next_seq_++};
+    heap_.push(Entry{time, h.seq, std::move(payload)});
+    ++live_;
+    return h;
+  }
+
+  /// Cancels a previously scheduled event. Cancelling an event that already
+  /// fired (or was cancelled) is a no-op returning false.
+  bool cancel(EventHandle h) {
+    if (h.seq >= next_seq_) return false;
+    const bool inserted = cancelled_.size() <= h.seq ? (grow_cancelled(h.seq), true)
+                                                     : !cancelled_[h.seq];
+    if (!inserted) return false;
+    cancelled_[h.seq] = true;
+    if (live_ > 0) --live_;
+    return true;
+  }
+
+  bool empty() const noexcept { return live_ == 0; }
+  std::size_t size() const noexcept { return live_; }
+
+  struct Event {
+    double time;
+    EventHandle handle;
+    Payload payload;
+  };
+
+  /// Pops the earliest live event. Precondition: !empty().
+  Event pop() {
+    skip_cancelled();
+    FMTREE_ASSERT(!heap_.empty(), "pop on empty event queue");
+    Entry top = heap_.top();
+    heap_.pop();
+    --live_;
+    mark_fired(top.seq);
+    return Event{top.time, EventHandle{top.seq}, std::move(top.payload)};
+  }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  double peek_time() {
+    skip_cancelled();
+    FMTREE_ASSERT(!heap_.empty(), "peek on empty event queue");
+    return heap_.top().time;
+  }
+
+  void clear() {
+    heap_ = {};
+    cancelled_.clear();
+    live_ = 0;
+    // next_seq_ keeps counting so stale handles can never alias new events.
+  }
+
+private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+    // std::priority_queue is a max-heap; invert for (time, seq) min order.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void grow_cancelled(std::uint64_t seq) {
+    if (cancelled_.size() <= seq) cancelled_.resize(static_cast<std::size_t>(seq) + 1, false);
+  }
+
+  void mark_fired(std::uint64_t seq) {
+    grow_cancelled(seq);
+    cancelled_[seq] = true;  // a fired event can no longer be cancelled
+  }
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      const std::uint64_t seq = heap_.top().seq;
+      if (seq < cancelled_.size() && cancelled_[seq]) {
+        heap_.pop();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::priority_queue<Entry> heap_;
+  std::vector<bool> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace fmtree::sim

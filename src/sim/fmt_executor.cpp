@@ -1,0 +1,371 @@
+#include "sim/fmt_executor.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "sim/event_queue.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::sim {
+
+namespace {
+
+struct Ev {
+  enum class Kind : std::uint8_t { Phase, Inspect, Replace, CorrectiveDone, RepairDone };
+  Kind kind = Kind::Phase;
+  std::uint32_t index = 0;  // leaf index or module index
+};
+
+}  // namespace
+
+FmtSimulator::FmtSimulator(const fmt::FaultMaintenanceTree& model) : model_(model) {
+  model.validate();
+  rdeps_by_leaf_.resize(model.num_ebes());
+  for (std::size_t r = 0; r < model.rdeps().size(); ++r) {
+    for (fmt::NodeId dep : model.rdeps()[r].dependents)
+      rdeps_by_leaf_[model.ebe_index(dep)].push_back(static_cast<std::uint32_t>(r));
+  }
+  spare_of_leaf_.assign(model.num_ebes(), -1);
+  for (std::size_t sp = 0; sp < model.spares().size(); ++sp) {
+    for (fmt::NodeId child : model.spares()[sp].children)
+      spare_of_leaf_[model.ebe_index(child)] = static_cast<std::int32_t>(sp);
+  }
+}
+
+TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) const {
+  if (!(opts.horizon > 0)) throw DomainError("simulation horizon must be positive");
+  const ft::FaultTree& structure = model_.structure();
+  const std::size_t num_leaves = model_.num_ebes();
+  const std::size_t num_nodes = structure.node_count();
+  const fmt::CorrectivePolicy& corrective = model_.corrective();
+  Trace* trace = opts.trace;
+
+  TrajectoryResult result;
+  result.horizon = opts.horizon;
+  result.repairs_per_leaf.assign(num_leaves, 0);
+  result.failures_per_leaf.assign(num_leaves, 0);
+
+  // ---- Mutable trajectory state -------------------------------------------
+  std::vector<int> phase(num_leaves, 1);
+  std::vector<double> accel(num_leaves, 1.0);
+  std::vector<double> frozen_remaining(num_leaves, 0.0);  // natural-rate time left while accel == 0
+  std::vector<double> next_time(num_leaves, 0.0);
+  std::vector<EventHandle> next_handle(num_leaves);
+  std::vector<bool> leaf_failed(num_leaves, false);
+  std::vector<bool> under_repair(num_leaves, false);
+  std::vector<EventHandle> repair_handle(num_leaves);
+  std::vector<char> node_true(num_nodes, 0);
+  EventQueue<Ev> queue;
+  bool system_down = false;
+  double down_since = 0.0;
+  std::optional<EventHandle> corrective_pending;
+
+  const auto leaf_name = [&](std::uint32_t leaf) -> const std::string& {
+    return model_.ebes()[leaf].name;
+  };
+
+  // Net-present-value weight of a cost accrued at `now`.
+  const double discount_rate = opts.discount_rate;
+  if (discount_rate < 0) throw DomainError("discount rate must be >= 0");
+  const auto discount = [&](double now) {
+    return discount_rate > 0 ? std::exp(-discount_rate * now) : 1.0;
+  };
+  // Discounted value of downtime cost accrued at `rate` over [a, b].
+  const auto discounted_downtime = [&](double a, double b) {
+    if (discount_rate <= 0) return corrective.downtime_cost_rate * (b - a);
+    return corrective.downtime_cost_rate *
+           (std::exp(-discount_rate * a) - std::exp(-discount_rate * b)) /
+           discount_rate;
+  };
+
+  const auto schedule_phase = [&](std::uint32_t leaf, double now) {
+    const fmt::DegradationModel& deg = model_.ebes()[leaf].degradation;
+    const double raw = deg.sojourn(phase[leaf]).sample(rng);
+    if (accel[leaf] > 0) {
+      next_time[leaf] = now + raw / accel[leaf];
+      next_handle[leaf] = queue.schedule(next_time[leaf], Ev{Ev::Kind::Phase, leaf});
+    } else {
+      // Frozen (cold spare): hold the sampled sojourn until reactivated.
+      frozen_remaining[leaf] = raw;
+      next_time[leaf] = std::numeric_limits<double>::infinity();
+    }
+  };
+
+  const auto evaluate_nodes = [&] {
+    // Children are created before parents, so ascending id order is a valid
+    // bottom-up evaluation schedule.
+    for (std::uint32_t id = 0; id < num_nodes; ++id) {
+      const ft::NodeId node{id};
+      if (structure.is_basic(node)) {
+        node_true[id] = leaf_failed[structure.basic_index(node)] ? 1 : 0;
+        continue;
+      }
+      const ft::Gate& g = structure.gate(node);
+      int count = 0;
+      for (ft::NodeId c : g.children) count += node_true[c.value];
+      switch (g.type) {
+        case ft::GateType::And:
+          node_true[id] = count == static_cast<int>(g.children.size()) ? 1 : 0;
+          break;
+        case ft::GateType::Or:
+          node_true[id] = count > 0 ? 1 : 0;
+          break;
+        case ft::GateType::Voting:
+          node_true[id] = count >= g.k ? 1 : 0;
+          break;
+      }
+    }
+  };
+
+  // The leaf currently active in a spare pool: its lowest-index non-failed
+  // child (all-failed pools have no active member; the value is unused then).
+  const auto spare_factor = [&](std::uint32_t leaf) {
+    const std::int32_t sp = spare_of_leaf_[leaf];
+    if (sp < 0) return 1.0;
+    const fmt::SpareSpec& spec = model_.spares()[static_cast<std::size_t>(sp)];
+    for (fmt::NodeId child : spec.children) {
+      const auto c = static_cast<std::uint32_t>(model_.ebe_index(child));
+      if (!leaf_failed[c]) return c == leaf ? 1.0 : spec.dormancy;
+    }
+    return 1.0;
+  };
+
+  const auto update_rates = [&](double now) {
+    if (model_.rdeps().empty() && model_.spares().empty()) return;
+    for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+      if (rdeps_by_leaf_[leaf].empty() && spare_of_leaf_[leaf] < 0) continue;
+      double desired = spare_factor(leaf);
+      for (std::uint32_t r : rdeps_by_leaf_[leaf]) {
+        const fmt::RateDependency& dep = model_.rdeps()[r];
+        bool active = false;
+        if (dep.trigger_phase == 0) {
+          active = node_true[dep.trigger.value] != 0;
+        } else {
+          const auto trig = static_cast<std::uint32_t>(model_.ebe_index(dep.trigger));
+          active = phase[trig] >= dep.trigger_phase;
+        }
+        if (active) desired *= dep.factor;
+      }
+      if (desired == accel[leaf]) continue;
+      if (!leaf_failed[leaf] && !under_repair[leaf]) {
+        // Rescale the remaining sojourn: faster degradation shrinks it. A
+        // factor of zero freezes it; the natural-rate remainder is kept so
+        // reactivation resumes exactly where the clock stopped.
+        const double natural = accel[leaf] > 0
+                                   ? (next_time[leaf] - now) * accel[leaf]
+                                   : frozen_remaining[leaf];
+        if (accel[leaf] > 0) queue.cancel(next_handle[leaf]);
+        if (desired > 0) {
+          next_time[leaf] = now + natural / desired;
+          next_handle[leaf] = queue.schedule(next_time[leaf], Ev{Ev::Kind::Phase, leaf});
+        } else {
+          frozen_remaining[leaf] = natural;
+          next_time[leaf] = std::numeric_limits<double>::infinity();
+        }
+      }
+      accel[leaf] = desired;
+      if (trace)
+        trace->record(now, TraceKind::AccelerationChanged, leaf_name(leaf),
+                      static_cast<std::int64_t>(std::llround(desired * 1000)));
+    }
+  };
+
+  const auto renew_leaf = [&](std::uint32_t leaf, double now) {
+    if (under_repair[leaf]) {
+      // Renewal preempts the ongoing repair (the whole component is new).
+      queue.cancel(repair_handle[leaf]);
+      under_repair[leaf] = false;
+    } else if (!leaf_failed[leaf] && accel[leaf] > 0) {
+      queue.cancel(next_handle[leaf]);
+    }
+    phase[leaf] = 1;
+    leaf_failed[leaf] = false;
+    schedule_phase(leaf, now);
+  };
+
+  const auto end_downtime = [&](double now) {
+    result.downtime += now - down_since;
+    result.cost.downtime += corrective.downtime_cost_rate * (now - down_since);
+    result.discounted_cost.downtime += discounted_downtime(down_since, now);
+    system_down = false;
+    if (corrective_pending) {
+      queue.cancel(*corrective_pending);
+      corrective_pending.reset();
+    }
+  };
+
+  // FDEP cascade: failed triggers force their dependents to fail, possibly
+  // enabling further triggers — iterate node evaluation to the (monotone)
+  // fixpoint.
+  const auto apply_fdeps = [&](double now) {
+    if (model_.fdeps().empty()) return;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const fmt::FunctionalDependency& dep : model_.fdeps()) {
+        if (!node_true[dep.trigger.value]) continue;
+        for (fmt::NodeId d : dep.dependents) {
+          const auto leaf = static_cast<std::uint32_t>(model_.ebe_index(d));
+          if (leaf_failed[leaf]) continue;
+          if (under_repair[leaf]) {
+            queue.cancel(repair_handle[leaf]);
+            under_repair[leaf] = false;
+          } else if (accel[leaf] > 0) {
+            queue.cancel(next_handle[leaf]);
+          }
+          phase[leaf] = model_.ebes()[leaf].degradation.phases() + 1;
+          leaf_failed[leaf] = true;
+          changed = true;
+          if (trace) trace->record(now, TraceKind::LeafFailed, leaf_name(leaf));
+        }
+      }
+      if (changed) evaluate_nodes();
+    }
+  };
+
+  // Re-evaluates the tree and processes a potential top-event edge.
+  // `cause` identifies the leaf responsible for a rising edge.
+  const auto settle = [&](double now, std::optional<std::uint32_t> cause) {
+    evaluate_nodes();
+    apply_fdeps(now);
+    update_rates(now);
+    const bool top_now = node_true[model_.top().value] != 0;
+    if (top_now && !system_down) {
+      ++result.failures;
+      result.first_failure_time = std::min(result.first_failure_time, now);
+      const std::uint32_t cause_leaf = cause.value_or(0);
+      FMTREE_ASSERT(cause.has_value(), "top event rose without a causing leaf");
+      ++result.failures_per_leaf[cause_leaf];
+      if (opts.record_failure_log)
+        result.failure_log.push_back(FailureRecord{now, cause_leaf});
+      result.cost.corrective += corrective.enabled ? corrective.cost : 0.0;
+      result.discounted_cost.corrective +=
+          corrective.enabled ? corrective.cost * discount(now) : 0.0;
+      system_down = true;
+      down_since = now;
+      if (trace)
+        trace->record(now, TraceKind::TopFailed, structure.name(model_.top()));
+      if (corrective.enabled) {
+        corrective_pending = queue.schedule(now + corrective.delay,
+                                            Ev{Ev::Kind::CorrectiveDone, 0});
+      }
+    } else if (!top_now && system_down) {
+      end_downtime(now);
+      if (trace)
+        trace->record(now, TraceKind::TopRestored, structure.name(model_.top()));
+    }
+  };
+
+  // ---- Initial schedule -----------------------------------------------------
+  for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) schedule_phase(leaf, 0.0);
+  for (std::size_t m = 0; m < model_.inspections().size(); ++m)
+    queue.schedule(model_.inspections()[m].first_at,
+                   Ev{Ev::Kind::Inspect, static_cast<std::uint32_t>(m)});
+  for (std::size_t m = 0; m < model_.replacements().size(); ++m)
+    queue.schedule(model_.replacements()[m].first_at,
+                   Ev{Ev::Kind::Replace, static_cast<std::uint32_t>(m)});
+  evaluate_nodes();
+  update_rates(0.0);  // apply initial spare dormancy
+
+  // ---- Main loop ------------------------------------------------------------
+  while (!queue.empty() && queue.peek_time() <= opts.horizon) {
+    const auto event = queue.pop();
+    const double now = event.time;
+    switch (event.payload.kind) {
+      case Ev::Kind::Phase: {
+        const std::uint32_t leaf = event.payload.index;
+        ++phase[leaf];
+        const fmt::DegradationModel& deg = model_.ebes()[leaf].degradation;
+        if (trace)
+          trace->record(now, TraceKind::PhaseTransition, leaf_name(leaf), phase[leaf]);
+        if (phase[leaf] > deg.phases()) {
+          leaf_failed[leaf] = true;
+          if (trace) trace->record(now, TraceKind::LeafFailed, leaf_name(leaf));
+          settle(now, leaf);
+        } else {
+          schedule_phase(leaf, now);
+          // Phase progress cannot flip a gate, but it can activate a
+          // phase-triggered rate dependency.
+          settle(now, std::nullopt);
+        }
+        break;
+      }
+      case Ev::Kind::Inspect: {
+        const fmt::InspectionModule& mod = model_.inspections()[event.payload.index];
+        ++result.inspections;
+        result.cost.inspection += mod.cost;
+        result.discounted_cost.inspection += mod.cost * discount(now);
+        if (trace) trace->record(now, TraceKind::InspectionPerformed, mod.name);
+        for (fmt::NodeId target : mod.targets) {
+          const auto leaf = static_cast<std::uint32_t>(model_.ebe_index(target));
+          const fmt::ExtendedBasicEvent& e = model_.ebes()[leaf];
+          if (leaf_failed[leaf]) continue;  // inspections cannot fix failures
+          if (under_repair[leaf]) continue;  // a crew is already on it
+          if (phase[leaf] < e.degradation.threshold_phase()) continue;
+          // Imperfect inspections miss degradation with prob. 1 - p.
+          if (mod.detection_probability < 1.0 &&
+              !rng.bernoulli(mod.detection_probability)) {
+            continue;
+          }
+          ++result.repairs;
+          ++result.repairs_per_leaf[leaf];
+          result.cost.repair += e.repair.cost;
+          result.discounted_cost.repair += e.repair.cost * discount(now);
+          if (trace) trace->record(now, TraceKind::RepairPerformed, e.name);
+          if (e.repair.duration > 0) {
+            // Timed repair: pause degradation until the crew finishes.
+            queue.cancel(next_handle[leaf]);
+            under_repair[leaf] = true;
+            repair_handle[leaf] =
+                queue.schedule(now + e.repair.duration, Ev{Ev::Kind::RepairDone, leaf});
+          } else {
+            renew_leaf(leaf, now);
+          }
+        }
+        // Repairs reset phases, which can deactivate phase-triggered rate
+        // dependencies (failure states are untouched).
+        settle(now, std::nullopt);
+        queue.schedule(now + mod.period, Ev{Ev::Kind::Inspect, event.payload.index});
+        break;
+      }
+      case Ev::Kind::Replace: {
+        const fmt::ReplacementModule& mod = model_.replacements()[event.payload.index];
+        ++result.replacements;
+        result.cost.replacement += mod.cost;
+        result.discounted_cost.replacement += mod.cost * discount(now);
+        if (trace) trace->record(now, TraceKind::ReplacementPerformed, mod.name);
+        for (fmt::NodeId target : mod.targets)
+          renew_leaf(static_cast<std::uint32_t>(model_.ebe_index(target)), now);
+        settle(now, std::nullopt);  // may restore a failed system
+        queue.schedule(now + mod.period, Ev{Ev::Kind::Replace, event.payload.index});
+        break;
+      }
+      case Ev::Kind::RepairDone: {
+        const std::uint32_t leaf = event.payload.index;
+        under_repair[leaf] = false;
+        phase[leaf] = 1;
+        schedule_phase(leaf, now);
+        if (trace) trace->record(now, TraceKind::RepairCompleted, leaf_name(leaf));
+        settle(now, std::nullopt);  // phase reset may deactivate RDEPs
+        break;
+      }
+      case Ev::Kind::CorrectiveDone: {
+        corrective_pending.reset();
+        for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) renew_leaf(leaf, now);
+        if (trace)
+          trace->record(now, TraceKind::CorrectiveCompleted, structure.name(model_.top()));
+        settle(now, std::nullopt);
+        break;
+      }
+    }
+  }
+
+  if (system_down) {
+    result.downtime += opts.horizon - down_since;
+    result.cost.downtime += corrective.downtime_cost_rate * (opts.horizon - down_since);
+    result.discounted_cost.downtime += discounted_downtime(down_since, opts.horizon);
+  }
+  return result;
+}
+
+}  // namespace fmtree::sim

@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace fmtree::sim {
+
+std::vector<TraceEvent> Trace::of_kind(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_)
+    if (e.kind == kind) out.push_back(e);
+  return out;
+}
+
+void Trace::print(std::ostream& os) const {
+  for (const TraceEvent& e : events_) {
+    os << std::fixed << std::setprecision(6) << e.time << "  "
+       << trace_kind_name(e.kind) << "  " << e.subject;
+    if (e.detail != 0) os << "  (" << e.detail << ")";
+    os << '\n';
+  }
+}
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::PhaseTransition: return "phase-transition";
+    case TraceKind::LeafFailed: return "leaf-failed";
+    case TraceKind::TopFailed: return "top-failed";
+    case TraceKind::TopRestored: return "top-restored";
+    case TraceKind::InspectionPerformed: return "inspection";
+    case TraceKind::RepairPerformed: return "repair";
+    case TraceKind::RepairCompleted: return "repair-done";
+    case TraceKind::ReplacementPerformed: return "replacement";
+    case TraceKind::CorrectiveCompleted: return "corrective-done";
+    case TraceKind::AccelerationChanged: return "acceleration";
+  }
+  return "?";
+}
+
+}  // namespace fmtree::sim

@@ -1,0 +1,53 @@
+#include "smc/export.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::smc {
+
+namespace {
+
+std::string num(double x) {
+  // Full round-trip precision so plots and re-analyses agree exactly.
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", x);
+  return buffer;
+}
+
+}  // namespace
+
+void write_curve_csv(std::ostream& os, const std::vector<CurvePoint>& curve,
+                     const std::string& value_name) {
+  CsvWriter writer(os);
+  writer.write_row({"t", value_name, "ci_lo", "ci_hi"});
+  for (const CurvePoint& p : curve)
+    writer.write_row({num(p.t), num(p.value.point), num(p.value.lo), num(p.value.hi)});
+}
+
+void write_report_csv(std::ostream& os, const KpiReport& report,
+                      const std::vector<std::string>& leaf_names) {
+  if (leaf_names.size() != report.failures_per_leaf.size())
+    throw DomainError("leaf name count does not match the report");
+  CsvWriter writer(os);
+  writer.write_row({"kpi", "point", "ci_lo", "ci_hi"});
+  const auto row = [&](const std::string& name, const ConfidenceInterval& ci) {
+    writer.write_row({name, num(ci.point), num(ci.lo), num(ci.hi)});
+  };
+  row("reliability", report.reliability);
+  row("expected_failures", report.expected_failures);
+  row("failures_per_year", report.failures_per_year);
+  row("availability", report.availability);
+  row("total_cost", report.total_cost);
+  row("cost_per_year", report.cost_per_year);
+  row("npv_cost", report.npv_cost);
+  for (std::size_t i = 0; i < leaf_names.size(); ++i) {
+    writer.write_row({"failures_per_horizon:" + leaf_names[i],
+                      num(report.failures_per_leaf[i]), "", ""});
+    writer.write_row({"repairs_per_horizon:" + leaf_names[i],
+                      num(report.repairs_per_leaf[i]), "", ""});
+  }
+}
+
+}  // namespace fmtree::smc

@@ -1,0 +1,22 @@
+// CSV export of analysis results, for plotting outside the library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smc/kpi.hpp"
+
+namespace fmtree::smc {
+
+/// Writes a curve as "t,point,lo,hi" rows with a header.
+void write_curve_csv(std::ostream& os, const std::vector<CurvePoint>& curve,
+                     const std::string& value_name = "value");
+
+/// Writes a KPI report as "kpi,point,lo,hi" rows plus the per-leaf
+/// attribution as "failures_per_year:<leaf>" rows. `leaf_names` must match
+/// the report's per-leaf vectors (pass the model's leaf names).
+void write_report_csv(std::ostream& os, const KpiReport& report,
+                      const std::vector<std::string>& leaf_names);
+
+}  // namespace fmtree::smc

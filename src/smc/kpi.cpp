@@ -1,0 +1,207 @@
+#include "smc/kpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fmtree::smc {
+
+namespace {
+
+void check_settings(const AnalysisSettings& s) {
+  if (!(s.horizon > 0)) throw DomainError("analysis horizon must be positive");
+  if (s.trajectories == 0) throw DomainError("need at least one trajectory");
+  if (!(s.confidence > 0 && s.confidence < 1))
+    throw DomainError("confidence must lie in (0,1)");
+}
+
+/// Runs trajectories (optionally in sequential batches until the relative
+/// error target on E[#failures] is met) and returns index-ordered summaries
+/// plus integer per-leaf totals.
+BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettings& s,
+                    double horizon) {
+  const sim::FmtSimulator simulator(model);
+  const ParallelRunner runner(simulator, s.threads);
+  sim::SimOptions opts;
+  opts.horizon = horizon;
+  opts.discount_rate = s.discount_rate;
+
+  if (s.target_relative_error <= 0) {
+    return runner.run(s.seed, 0, s.trajectories, opts);
+  }
+
+  BatchResult all;
+  all.failures_per_leaf.assign(model.num_ebes(), 0);
+  all.repairs_per_leaf.assign(model.num_ebes(), 0);
+  RunningStats failures;
+  const double z = normal_quantile(0.5 + s.confidence / 2.0);
+  while (all.summaries.size() < s.trajectories) {
+    const std::uint64_t todo =
+        std::min<std::uint64_t>(s.batch, s.trajectories - all.summaries.size());
+    BatchResult batch = runner.run(s.seed, all.summaries.size(), todo, opts);
+    for (const TrajectorySummary& t : batch.summaries)
+      failures.add(static_cast<double>(t.failures));
+    all.summaries.insert(all.summaries.end(), batch.summaries.begin(),
+                         batch.summaries.end());
+    for (std::size_t i = 0; i < all.failures_per_leaf.size(); ++i) {
+      all.failures_per_leaf[i] += batch.failures_per_leaf[i];
+      all.repairs_per_leaf[i] += batch.repairs_per_leaf[i];
+    }
+    if (failures.count() >= 2 && failures.mean() > 0) {
+      const double half = z * failures.std_error();
+      if (half <= s.target_relative_error * failures.mean()) break;
+    }
+  }
+  return all;
+}
+
+ConfidenceInterval scale(const ConfidenceInterval& ci, double factor) {
+  return {ci.point * factor, ci.lo * factor, ci.hi * factor, ci.confidence};
+}
+
+}  // namespace
+
+std::vector<double> linspace_grid(double horizon, std::size_t n) {
+  if (!(horizon > 0) || n == 0) throw DomainError("bad linspace_grid arguments");
+  std::vector<double> grid;
+  grid.reserve(n + 1);
+  for (std::size_t i = 0; i <= n; ++i)
+    grid.push_back(horizon * static_cast<double>(i) / static_cast<double>(n));
+  return grid;
+}
+
+KpiReport analyze(const fmt::FaultMaintenanceTree& model,
+                  const AnalysisSettings& settings) {
+  check_settings(settings);
+  const BatchResult batch = collect(model, settings, settings.horizon);
+  const auto n = static_cast<double>(batch.summaries.size());
+
+  KpiReport report;
+  report.horizon = settings.horizon;
+  report.trajectories = batch.summaries.size();
+
+  RunningStats failures, availability, total_cost, npv_cost;
+  RunningStats inspections, repairs, replacements;
+  fmt::CostBreakdown cost_sum;
+  std::uint64_t survived = 0;
+  for (const TrajectorySummary& t : batch.summaries) {
+    failures.add(static_cast<double>(t.failures));
+    availability.add(1.0 - t.downtime / settings.horizon);
+    total_cost.add(t.cost.total());
+    npv_cost.add(t.discounted_total);
+    inspections.add(static_cast<double>(t.inspections));
+    repairs.add(static_cast<double>(t.repairs));
+    replacements.add(static_cast<double>(t.replacements));
+    cost_sum += t.cost;
+    if (t.first_failure_time > settings.horizon) ++survived;
+  }
+
+  report.reliability =
+      wilson_interval(survived, batch.summaries.size(), settings.confidence);
+  report.expected_failures = failures.mean_ci(settings.confidence);
+  report.failures_per_year = scale(report.expected_failures, 1.0 / settings.horizon);
+  report.availability = availability.mean_ci(settings.confidence);
+  report.total_cost = total_cost.mean_ci(settings.confidence);
+  report.cost_per_year = scale(report.total_cost, 1.0 / settings.horizon);
+  report.npv_cost = npv_cost.mean_ci(settings.confidence);
+  report.mean_cost = cost_sum / n;
+  report.mean_inspections = inspections.mean();
+  report.mean_repairs = repairs.mean();
+  report.mean_replacements = replacements.mean();
+
+  report.failures_per_leaf.reserve(batch.failures_per_leaf.size());
+  for (std::uint64_t f : batch.failures_per_leaf)
+    report.failures_per_leaf.push_back(static_cast<double>(f) / n);
+  report.repairs_per_leaf.reserve(batch.repairs_per_leaf.size());
+  for (std::uint64_t r : batch.repairs_per_leaf)
+    report.repairs_per_leaf.push_back(static_cast<double>(r) / n);
+  return report;
+}
+
+std::vector<CurvePoint> reliability_curve(const fmt::FaultMaintenanceTree& model,
+                                          const std::vector<double>& grid,
+                                          const AnalysisSettings& settings) {
+  check_settings(settings);
+  if (grid.empty()) throw DomainError("empty grid");
+  AnalysisSettings s = settings;
+  s.horizon = *std::max_element(grid.begin(), grid.end());
+  if (!(s.horizon > 0)) s.horizon = settings.horizon;
+  const BatchResult batch = collect(model, s, s.horizon);
+
+  // Sorting the first-failure times lets each grid point be answered with a
+  // binary search instead of a pass over all trajectories.
+  std::vector<double> first_failures;
+  first_failures.reserve(batch.summaries.size());
+  for (const TrajectorySummary& t : batch.summaries)
+    first_failures.push_back(t.first_failure_time);
+  std::sort(first_failures.begin(), first_failures.end());
+
+  std::vector<CurvePoint> out;
+  out.reserve(grid.size());
+  for (double t : grid) {
+    const auto it =
+        std::upper_bound(first_failures.begin(), first_failures.end(), t);
+    const auto surviving = static_cast<std::uint64_t>(first_failures.end() - it);
+    out.push_back(CurvePoint{
+        t, wilson_interval(surviving, first_failures.size(), settings.confidence)});
+  }
+  return out;
+}
+
+std::vector<CurvePoint> expected_failures_curve(const fmt::FaultMaintenanceTree& model,
+                                                const std::vector<double>& grid,
+                                                const AnalysisSettings& settings) {
+  check_settings(settings);
+  if (grid.empty()) throw DomainError("empty grid");
+  const double horizon = *std::max_element(grid.begin(), grid.end());
+  if (!(horizon > 0)) throw DomainError("grid needs a positive maximum");
+
+  // Needs per-failure timestamps, so run the simulator directly with the
+  // failure log enabled and bucket counts per grid point.
+  const sim::FmtSimulator simulator(model);
+  sim::SimOptions opts;
+  opts.horizon = horizon;
+  opts.record_failure_log = true;
+
+  std::vector<double> sorted_grid = grid;
+  std::sort(sorted_grid.begin(), sorted_grid.end());
+
+  std::vector<RunningStats> counts(grid.size());
+  for (std::uint64_t i = 0; i < settings.trajectories; ++i) {
+    const sim::TrajectoryResult r = simulator.run(RandomStream(settings.seed, i), opts);
+    std::vector<double> times;
+    times.reserve(r.failure_log.size());
+    for (const sim::FailureRecord& f : r.failure_log) times.push_back(f.time);
+    std::sort(times.begin(), times.end());
+    for (std::size_t g = 0; g < sorted_grid.size(); ++g) {
+      const auto it = std::upper_bound(times.begin(), times.end(), sorted_grid[g]);
+      counts[g].add(static_cast<double>(it - times.begin()));
+    }
+  }
+  std::vector<CurvePoint> out;
+  out.reserve(grid.size());
+  for (std::size_t g = 0; g < sorted_grid.size(); ++g)
+    out.push_back(CurvePoint{sorted_grid[g], counts[g].mean_ci(settings.confidence)});
+  return out;
+}
+
+MttfEstimate mean_time_to_failure(const fmt::FaultMaintenanceTree& model,
+                                  const AnalysisSettings& settings) {
+  check_settings(settings);
+  const BatchResult batch = collect(model, settings, settings.horizon);
+  RunningStats ttf;
+  std::uint64_t censored = 0;
+  for (const TrajectorySummary& t : batch.summaries) {
+    if (t.first_failure_time > settings.horizon) {
+      ttf.add(settings.horizon);
+      ++censored;
+    } else {
+      ttf.add(t.first_failure_time);
+    }
+  }
+  return MttfEstimate{ttf.mean_ci(settings.confidence), censored,
+                      batch.summaries.size()};
+}
+
+}  // namespace fmtree::smc

@@ -1,0 +1,90 @@
+// Key performance indicators of a fault maintenance tree, estimated by
+// statistical model checking (Monte-Carlo simulation with confidence
+// intervals) — the analysis layer of the DSN'16 EI-joint study: system
+// reliability, expected number of failures, expected cost, availability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fmt/fmtree.hpp"
+#include "smc/runner.hpp"
+#include "util/stats.hpp"
+
+namespace fmtree::smc {
+
+struct AnalysisSettings {
+  double horizon = 10.0;            ///< time horizon (the study's unit: years)
+  std::uint64_t trajectories = 10000;
+  double confidence = 0.95;
+  std::uint64_t seed = 1;
+  unsigned threads = 0;             ///< 0 = hardware concurrency
+  /// Continuous discount rate for net-present-value cost reporting
+  /// (KpiReport::npv_cost); 0 disables discounting.
+  double discount_rate = 0.0;
+  /// If > 0: keep simulating (in batches of `batch`) until the CI half-width
+  /// of E[#failures] is <= target_relative_error * mean, or `trajectories`
+  /// is reached; `trajectories` then acts as the budget cap.
+  double target_relative_error = 0.0;
+  std::uint64_t batch = 2048;
+};
+
+/// Everything the case study reports, from one set of trajectories.
+struct KpiReport {
+  double horizon = 0.0;
+  std::uint64_t trajectories = 0;
+
+  ConfidenceInterval reliability;       ///< P(no system failure in [0, horizon])
+  ConfidenceInterval expected_failures; ///< E[#failures in [0, horizon]]
+  ConfidenceInterval failures_per_year; ///< expected_failures / horizon
+  ConfidenceInterval availability;      ///< E[uptime fraction]
+  ConfidenceInterval total_cost;        ///< E[total cost over horizon]
+  ConfidenceInterval cost_per_year;     ///< total_cost / horizon
+  ConfidenceInterval npv_cost;          ///< E[discounted total cost] (== total_cost at rate 0)
+
+  fmt::CostBreakdown mean_cost;         ///< expectation of each component
+  double mean_inspections = 0.0;        ///< rounds per trajectory
+  double mean_repairs = 0.0;
+  double mean_replacements = 0.0;
+
+  /// E[system failures attributed to leaf i] (model.leaves() order).
+  std::vector<double> failures_per_leaf;
+  /// E[condition-based repairs of leaf i].
+  std::vector<double> repairs_per_leaf;
+};
+
+/// Runs the Monte-Carlo analysis and aggregates all KPIs.
+KpiReport analyze(const fmt::FaultMaintenanceTree& model, const AnalysisSettings& settings);
+
+/// One point of an estimated curve.
+struct CurvePoint {
+  double t = 0.0;
+  ConfidenceInterval value;
+};
+
+/// Reliability curve: P(first failure > t) for each t in `grid`, from one
+/// set of trajectories with horizon = max(grid). Wilson intervals.
+std::vector<CurvePoint> reliability_curve(const fmt::FaultMaintenanceTree& model,
+                                          const std::vector<double>& grid,
+                                          const AnalysisSettings& settings);
+
+/// Expected cumulative number of failures at each t in `grid`.
+std::vector<CurvePoint> expected_failures_curve(const fmt::FaultMaintenanceTree& model,
+                                                const std::vector<double>& grid,
+                                                const AnalysisSettings& settings);
+
+/// Mean time to first system failure. Trajectories that survive the horizon
+/// are right-censored at it, making the estimate a lower bound; `censored`
+/// reports how many.
+struct MttfEstimate {
+  ConfidenceInterval mttf;
+  std::uint64_t censored = 0;
+  std::uint64_t trajectories = 0;
+};
+MttfEstimate mean_time_to_failure(const fmt::FaultMaintenanceTree& model,
+                                  const AnalysisSettings& settings);
+
+/// Evenly spaced grid helper: n+1 points 0, h/n, ..., h.
+std::vector<double> linspace_grid(double horizon, std::size_t n);
+
+}  // namespace fmtree::smc

@@ -1,0 +1,72 @@
+#include "smc/runner.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace fmtree::smc {
+
+ParallelRunner::ParallelRunner(const sim::FmtSimulator& simulator, unsigned threads)
+    : simulator_(simulator),
+      threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())) {}
+
+BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
+                                std::uint64_t count, const sim::SimOptions& opts) const {
+  if (opts.trace != nullptr)
+    throw DomainError("traces are per-trajectory; run the simulator directly");
+  const std::size_t num_leaves = simulator_.model().num_ebes();
+
+  BatchResult out;
+  out.summaries.resize(count);
+  out.failures_per_leaf.assign(num_leaves, 0);
+  out.repairs_per_leaf.assign(num_leaves, 0);
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::uint64_t>(threads_, std::max<std::uint64_t>(count, 1)));
+
+  // Per-worker integer accumulators; merged below (integers commute).
+  std::vector<std::vector<std::uint64_t>> worker_failures(
+      workers, std::vector<std::uint64_t>(num_leaves, 0));
+  std::vector<std::vector<std::uint64_t>> worker_repairs(
+      workers, std::vector<std::uint64_t>(num_leaves, 0));
+
+  auto work = [&](unsigned w) {
+    for (std::uint64_t i = w; i < count; i += workers) {
+      const sim::TrajectoryResult r =
+          simulator_.run(RandomStream(seed, first + i), opts);
+      TrajectorySummary& s = out.summaries[i];
+      s.first_failure_time = r.first_failure_time;
+      s.failures = static_cast<std::uint32_t>(r.failures);
+      s.downtime = r.downtime;
+      s.cost = r.cost;
+      s.discounted_total = r.discounted_cost.total();
+      s.inspections = static_cast<std::uint32_t>(r.inspections);
+      s.repairs = static_cast<std::uint32_t>(r.repairs);
+      s.replacements = static_cast<std::uint32_t>(r.replacements);
+      for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+        worker_failures[w][leaf] += r.failures_per_leaf[leaf];
+        worker_repairs[w][leaf] += r.repairs_per_leaf[leaf];
+      }
+    }
+  };
+
+  if (workers == 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (unsigned w = 0; w < workers; ++w) {
+    for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+      out.failures_per_leaf[leaf] += worker_failures[w][leaf];
+      out.repairs_per_leaf[leaf] += worker_repairs[w][leaf];
+    }
+  }
+  return out;
+}
+
+}  // namespace fmtree::smc

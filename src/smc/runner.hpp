@@ -1,0 +1,53 @@
+// Deterministic multi-threaded Monte-Carlo execution of FMT trajectories.
+//
+// Trajectory i always draws from RandomStream(seed, i), independent of the
+// thread that runs it, and floating-point aggregation happens sequentially
+// over the index-ordered summaries — so every statistic is bit-for-bit
+// reproducible at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fmt_executor.hpp"
+
+namespace fmtree::smc {
+
+/// Compact per-trajectory record retained for aggregation.
+struct TrajectorySummary {
+  double first_failure_time = 0.0;
+  std::uint32_t failures = 0;
+  double downtime = 0.0;
+  fmt::CostBreakdown cost;
+  double discounted_total = 0.0;  ///< NPV of all costs (== cost.total() at rate 0)
+  std::uint32_t inspections = 0;
+  std::uint32_t repairs = 0;
+  std::uint32_t replacements = 0;
+};
+
+/// Result of one batch of trajectories.
+struct BatchResult {
+  /// Ordered by trajectory index (first .. first+count-1).
+  std::vector<TrajectorySummary> summaries;
+  /// Integer totals over the batch; order-independent, so summed per thread.
+  std::vector<std::uint64_t> failures_per_leaf;
+  std::vector<std::uint64_t> repairs_per_leaf;
+};
+
+class ParallelRunner {
+public:
+  /// `threads == 0` selects std::thread::hardware_concurrency().
+  explicit ParallelRunner(const sim::FmtSimulator& simulator, unsigned threads = 0);
+
+  /// Runs trajectories with stream ids [first, first+count) under `seed`.
+  BatchResult run(std::uint64_t seed, std::uint64_t first, std::uint64_t count,
+                  const sim::SimOptions& opts) const;
+
+  unsigned threads() const noexcept { return threads_; }
+
+private:
+  const sim::FmtSimulator& simulator_;
+  unsigned threads_;
+};
+
+}  // namespace fmtree::smc

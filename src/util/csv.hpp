@@ -1,0 +1,34 @@
+// Minimal CSV reading/writing for incident databases and bench outputs.
+//
+// Supports quoted fields with embedded commas/quotes/newlines (RFC 4180
+// subset). Good enough for our own round-trips; not a general CSV library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fmtree {
+
+using CsvRow = std::vector<std::string>;
+
+/// Streaming CSV writer. Quotes fields only when needed.
+class CsvWriter {
+public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void write_row(const CsvRow& row);
+
+private:
+  std::ostream& os_;
+};
+
+/// Parses all rows from a stream. Throws IoError on malformed quoting.
+std::vector<CsvRow> read_csv(std::istream& is);
+
+/// Convenience: parse from an in-memory string.
+std::vector<CsvRow> read_csv_string(const std::string& text);
+
+/// Escapes one field per RFC 4180 (used by CsvWriter; exposed for tests).
+std::string csv_escape(const std::string& field);
+
+}  // namespace fmtree

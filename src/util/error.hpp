@@ -1,0 +1,80 @@
+// Error types shared across the fmtree libraries.
+//
+// All recoverable errors are reported via exceptions derived from
+// fmtree::Error; programming errors (violated preconditions on internal
+// interfaces) use FMTREE_ASSERT which terminates with a message.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fmtree {
+
+/// Root of the fmtree exception hierarchy.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A model is structurally invalid (bad arity, cycle, dangling reference, ...).
+class ModelError : public Error {
+public:
+  explicit ModelError(const std::string& what) : Error("model error: " + what) {}
+};
+
+/// Text-format input could not be parsed.
+class ParseError : public Error {
+public:
+  ParseError(std::size_t line, const std::string& what)
+      : Error("parse error at line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  std::size_t line() const noexcept { return line_; }
+
+private:
+  std::size_t line_;
+};
+
+/// A numeric routine received parameters outside its domain.
+class DomainError : public Error {
+public:
+  explicit DomainError(const std::string& what) : Error("domain error: " + what) {}
+};
+
+/// An analysis backend cannot handle the given model (e.g. CTMC conversion
+/// of a model with deterministic inspection clocks).
+class UnsupportedModelError : public Error {
+public:
+  explicit UnsupportedModelError(const std::string& what)
+      : Error("unsupported model: " + what) {}
+};
+
+/// I/O failure (file not found, write error, malformed CSV, ...).
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "fmtree assertion failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  // Internal invariant violations are not recoverable; fail loudly.
+  std::fputs(os.str().c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace fmtree
+
+/// Precondition/invariant check for internal interfaces. Always enabled:
+/// analysis results silently computed from corrupted state are worse than a
+/// crash.
+#define FMTREE_ASSERT(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) ::fmtree::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

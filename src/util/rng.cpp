@@ -1,0 +1,22 @@
+#include "util/rng.hpp"
+
+namespace fmtree {
+
+std::uint64_t RandomStream::below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;  // degenerate; callers should not ask, but stay total
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = engine_();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = engine_();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace fmtree

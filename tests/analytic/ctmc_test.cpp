@@ -1,0 +1,149 @@
+#include "analytic/ctmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::analytic {
+namespace {
+
+TEST(Ctmc, ConstructionValidation) {
+  EXPECT_THROW(Ctmc(0), DomainError);
+  Ctmc c(3);
+  EXPECT_THROW(c.add_transition(0, 0, 1.0), DomainError);  // self-loop
+  EXPECT_THROW(c.add_transition(0, 5, 1.0), DomainError);  // range
+  EXPECT_THROW(c.add_transition(0, 1, 0.0), DomainError);  // rate
+  EXPECT_THROW(c.add_transition(0, 1, -2.0), DomainError);
+  c.add_transition(0, 1, 2.0);
+  c.add_transition(0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(c.exit_rate(0), 5.0);
+  EXPECT_EQ(c.num_transitions(), 2u);
+}
+
+TEST(PoissonWeights, SumToOneAndMatchPmf) {
+  for (double lt : {0.1, 1.0, 5.0, 50.0, 500.0}) {
+    const auto pmf = poisson_weights(lt, 1e-12);
+    const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << lt;
+    // Spot-check a few entries against the direct formula.
+    const auto mode = static_cast<std::size_t>(lt);
+    if (mode < pmf.size()) {
+      const double direct =
+          std::exp(-lt + static_cast<double>(mode) * std::log(lt) -
+                   std::lgamma(static_cast<double>(mode) + 1));
+      EXPECT_NEAR(pmf[mode], direct, 1e-9) << lt;
+    }
+  }
+}
+
+TEST(PoissonWeights, ZeroTime) {
+  const auto pmf = poisson_weights(0.0, 1e-12);
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+}
+
+TEST(CtmcTransient, TwoStateBirthMatchesExponential) {
+  // 0 -> 1 with rate r: P(in 1 at t) = 1 - exp(-rt).
+  Ctmc c(2);
+  c.add_transition(0, 1, 0.7);
+  const std::vector<double> init{1.0, 0.0};
+  for (double t : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    const auto pi = c.transient(init, t);
+    EXPECT_NEAR(pi[1], 1 - std::exp(-0.7 * t), 1e-9) << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-9);
+  }
+}
+
+TEST(CtmcTransient, ErlangChainMatchesClosedForm) {
+  // Chain 0 -> 1 -> 2 -> 3 (absorbing) with rate r: absorption time is
+  // Erlang(3, r).
+  const double r = 1.3;
+  Ctmc c(4);
+  for (State s = 0; s < 3; ++s) c.add_transition(s, s + 1, r);
+  const std::vector<double> init{1, 0, 0, 0};
+  const fmtree::Distribution erlang_dist = fmtree::Distribution::erlang(3, r);
+  for (double t : {0.2, 1.0, 2.5, 6.0}) {
+    const auto pi = c.transient(init, t);
+    EXPECT_NEAR(pi[3], erlang_dist.cdf(t), 1e-9) << t;
+  }
+}
+
+TEST(CtmcTransient, BirthDeathEquilibrium) {
+  // 0 <-> 1 with rates a (up) and b (down): P(1, infinity) = a/(a+b).
+  const double a = 2.0, b = 3.0;
+  Ctmc c(2);
+  c.add_transition(0, 1, a);
+  c.add_transition(1, 0, b);
+  const auto pi = c.transient({1.0, 0.0}, 100.0);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-9);
+}
+
+TEST(CtmcTransient, TimeZeroReturnsInitial) {
+  Ctmc c(2);
+  c.add_transition(0, 1, 1.0);
+  const auto pi = c.transient({0.25, 0.75}, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.25);
+  EXPECT_DOUBLE_EQ(pi[1], 0.75);
+}
+
+TEST(CtmcTransient, InputValidation) {
+  Ctmc c(2);
+  c.add_transition(0, 1, 1.0);
+  EXPECT_THROW(c.transient({1.0}, 1.0), DomainError);
+  EXPECT_THROW(c.transient({1.0, 0.0}, -1.0), DomainError);
+  EXPECT_THROW(c.transient_probability({1.0, 0.0}, {true}, 1.0), DomainError);
+}
+
+TEST(CtmcTransient, AllAbsorbingChainStaysPut) {
+  Ctmc c(3);  // no transitions at all
+  const auto pi = c.transient({0.2, 0.3, 0.5}, 5.0);
+  EXPECT_NEAR(pi[0], 0.2, 1e-12);
+  EXPECT_NEAR(pi[1], 0.3, 1e-12);
+  EXPECT_NEAR(pi[2], 0.5, 1e-12);
+}
+
+TEST(CtmcReward, UptimeIntegralOfTwoStateRepairable) {
+  // Up (0) fails at rate f, repaired at rate r. Expected uptime over [0,t]:
+  // closed form A(t) = r/(f+r) t + f/(f+r)^2 (1 - e^{-(f+r)t}).
+  const double f = 1.0, r = 4.0;
+  Ctmc c(2);
+  c.add_transition(0, 1, f);
+  c.add_transition(1, 0, r);
+  const std::vector<double> reward{1.0, 0.0};
+  for (double t : {0.5, 2.0, 10.0}) {
+    const double s = f + r;
+    const double expected = r / s * t + f / (s * s) * (1 - std::exp(-s * t));
+    EXPECT_NEAR(c.accumulated_reward({1, 0}, reward, t), expected, 1e-8) << t;
+  }
+}
+
+TEST(CtmcReward, ConstantRewardIntegratesToTime) {
+  Ctmc c(3);
+  c.add_transition(0, 1, 2.0);
+  c.add_transition(1, 2, 1.0);
+  c.add_transition(2, 0, 0.5);
+  const std::vector<double> ones(3, 1.0);
+  for (double t : {0.3, 1.7, 12.0})
+    EXPECT_NEAR(c.accumulated_reward({1, 0, 0}, ones, t), t, 1e-8) << t;
+}
+
+TEST(CtmcReward, ZeroTimeIsZero) {
+  Ctmc c(2);
+  c.add_transition(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(c.accumulated_reward({1, 0}, {1, 1}, 0.0), 0.0);
+}
+
+TEST(CtmcReward, FailureIntensityGivesPoissonCount) {
+  // Single state with a conceptual failure self-renewal of rate r is modeled
+  // as reward r on the only state: E[N(t)] = r t.
+  Ctmc c(1);
+  for (double t : {1.0, 5.0})
+    EXPECT_NEAR(c.accumulated_reward({1.0}, {0.8}, t), 0.8 * t, 1e-9);
+}
+
+}  // namespace
+}  // namespace fmtree::analytic

@@ -1,0 +1,83 @@
+#include "fmt/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fmtree::fmt {
+namespace {
+
+TEST(DegradationModel, ErlangFactorySplitsMean) {
+  const DegradationModel d = DegradationModel::erlang(4, 8.0, 3);
+  EXPECT_EQ(d.phases(), 4);
+  EXPECT_EQ(d.threshold_phase(), 3);
+  EXPECT_TRUE(d.inspectable());
+  EXPECT_DOUBLE_EQ(d.mean_time_to_failure(), 8.0);
+  EXPECT_DOUBLE_EQ(d.variance_time_to_failure(), 4 * 4.0);  // 4 * (1/0.5)^2
+  for (int p = 1; p <= 4; ++p)
+    EXPECT_EQ(d.sojourn(p), Distribution::exponential(0.5));
+}
+
+TEST(DegradationModel, BasicIsSinglePhaseUndetectable) {
+  const DegradationModel d = DegradationModel::basic(Distribution::weibull(2, 10));
+  EXPECT_EQ(d.phases(), 1);
+  EXPECT_FALSE(d.inspectable());
+  EXPECT_EQ(d.threshold_phase(), 2);
+}
+
+TEST(DegradationModel, ThresholdBounds) {
+  EXPECT_NO_THROW(DegradationModel::erlang(3, 1.0, 1));
+  EXPECT_NO_THROW(DegradationModel::erlang(3, 1.0, 4));  // phases+1: undetectable
+  EXPECT_THROW(DegradationModel::erlang(3, 1.0, 0), ModelError);
+  EXPECT_THROW(DegradationModel::erlang(3, 1.0, 5), ModelError);
+}
+
+TEST(DegradationModel, RejectsBadParameters) {
+  EXPECT_THROW(DegradationModel::erlang(0, 1.0, 1), ModelError);
+  EXPECT_THROW(DegradationModel::erlang(2, 0.0, 1), ModelError);
+  EXPECT_THROW(DegradationModel({}, 1), ModelError);
+  EXPECT_THROW(DegradationModel({Distribution::never()}, 1), ModelError);
+}
+
+TEST(DegradationModel, SojournOutOfRangeThrows) {
+  const DegradationModel d = DegradationModel::erlang(2, 1.0, 1);
+  EXPECT_THROW(d.sojourn(0), ModelError);
+  EXPECT_THROW(d.sojourn(3), ModelError);
+}
+
+TEST(DegradationModel, MixedPhaseDistributions) {
+  const DegradationModel d(
+      {Distribution::exponential(1.0), Distribution::deterministic(2.0),
+       Distribution::uniform(1.0, 3.0)},
+      2);
+  EXPECT_EQ(d.phases(), 3);
+  EXPECT_FALSE(d.all_phases_exponential());
+  EXPECT_DOUBLE_EQ(d.mean_time_to_failure(), 1.0 + 2.0 + 2.0);
+  EXPECT_DOUBLE_EQ(d.variance_time_to_failure(), 1.0 + 0.0 + 4.0 / 12.0);
+}
+
+TEST(DegradationModel, TtfApproximationExactForUniformErlang) {
+  const DegradationModel d = DegradationModel::erlang(5, 10.0, 2);
+  EXPECT_EQ(d.time_to_failure_approximation(), Distribution::erlang(5, 0.5));
+}
+
+TEST(DegradationModel, TtfApproximationMomentMatchesOtherwise) {
+  // Two exponential phases with different rates: hypoexponential with
+  // mean 1 + 0.5 = 1.5, var 1 + 0.25 = 1.25 -> shape round(1.8) = 2.
+  const DegradationModel d(
+      {Distribution::exponential(1.0), Distribution::exponential(2.0)}, 2);
+  EXPECT_TRUE(d.all_phases_exponential());
+  const Distribution approx = d.time_to_failure_approximation();
+  const auto& e = std::get<Erlang>(approx.as_variant());
+  EXPECT_EQ(e.shape, 2);
+  EXPECT_NEAR(approx.mean(), 1.5, 1e-12);
+}
+
+TEST(DegradationModel, TtfApproximationDeterministicPhases) {
+  const DegradationModel d(
+      {Distribution::deterministic(1.0), Distribution::deterministic(2.0)}, 1);
+  EXPECT_EQ(d.time_to_failure_approximation(), Distribution::deterministic(3.0));
+}
+
+}  // namespace
+}  // namespace fmtree::fmt

@@ -1,0 +1,130 @@
+#include "fmt/fmtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fmtree::fmt {
+namespace {
+
+FaultMaintenanceTree two_leaf_model() {
+  FaultMaintenanceTree m;
+  const NodeId a = m.add_ebe("wear", DegradationModel::erlang(4, 8.0, 3),
+                             RepairSpec{"overhaul", 500});
+  const NodeId b = m.add_basic_event("shock", Distribution::exponential(0.05));
+  m.set_top(m.add_or("top", {a, b}));
+  return m;
+}
+
+TEST(FaultMaintenanceTree, BuildsAndValidates) {
+  FaultMaintenanceTree m = two_leaf_model();
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.num_ebes(), 2u);
+  EXPECT_EQ(m.ebe(*m.find("wear")).repair.action, "overhaul");
+  EXPECT_EQ(m.ebe(*m.find("wear")).degradation.phases(), 4);
+  EXPECT_EQ(m.ebe(*m.find("shock")).degradation.phases(), 1);
+}
+
+TEST(FaultMaintenanceTree, StructureViewHasTtfApproximations) {
+  FaultMaintenanceTree m = two_leaf_model();
+  const ft::FaultTree& s = m.structure();
+  EXPECT_EQ(s.basic(*s.find("wear")).lifetime, Distribution::erlang(4, 0.5));
+  EXPECT_EQ(s.basic(*s.find("shock")).lifetime, Distribution::exponential(0.05));
+}
+
+TEST(FaultMaintenanceTree, InspectionModuleValidation) {
+  FaultMaintenanceTree m = two_leaf_model();
+  const NodeId wear = *m.find("wear");
+  const NodeId shock = *m.find("shock");
+  EXPECT_THROW(m.add_inspection({"i", 0.0, -1, 0, {wear}}), ModelError);  // period
+  EXPECT_THROW(m.add_inspection({"i", 1.0, -1, 0, {}}), ModelError);      // no targets
+  EXPECT_THROW(m.add_inspection({"i", 1.0, -1, 0, {wear, wear}}), ModelError);
+  EXPECT_THROW(m.add_inspection({"i", 1.0, -1, 0, {m.top()}}), ModelError);
+  // Inspecting an undetectable leaf is caught at validate().
+  m.add_inspection({"bad", 1.0, -1, 0, {shock}});
+  EXPECT_THROW(m.validate(), ModelError);
+}
+
+TEST(FaultMaintenanceTree, InspectionDefaultsFirstAtToPeriod) {
+  FaultMaintenanceTree m = two_leaf_model();
+  m.add_inspection({"i", 0.5, -1.0, 10, {*m.find("wear")}});
+  EXPECT_DOUBLE_EQ(m.inspections()[0].first_at, 0.5);
+  m.add_inspection({"j", 0.5, 0.1, 10, {*m.find("wear")}});
+  EXPECT_DOUBLE_EQ(m.inspections()[1].first_at, 0.1);
+}
+
+TEST(FaultMaintenanceTree, ReplacementValidation) {
+  FaultMaintenanceTree m = two_leaf_model();
+  EXPECT_THROW(m.add_replacement({"r", -1.0, -1, 0, {*m.find("wear")}}), ModelError);
+  EXPECT_NO_THROW(
+      m.add_replacement({"r", 10.0, -1, 0, {*m.find("wear"), *m.find("shock")}}));
+  EXPECT_NO_THROW(m.validate());  // replacements may cover undetectable leaves
+}
+
+TEST(FaultMaintenanceTree, RdepValidation) {
+  FaultMaintenanceTree m = two_leaf_model();
+  const NodeId wear = *m.find("wear");
+  const NodeId shock = *m.find("shock");
+  EXPECT_THROW(m.add_rdep("r", shock, {wear}, 0.5), ModelError);   // factor < 1
+  EXPECT_THROW(m.add_rdep("r", shock, {}, 2.0), ModelError);       // no deps
+  EXPECT_THROW(m.add_rdep("r", shock, {m.top()}, 2.0), ModelError);
+  EXPECT_THROW(m.add_rdep("r", wear, {wear}, 2.0), ModelError);    // self
+  EXPECT_NO_THROW(m.add_rdep("ok", shock, {wear}, 2.0));
+}
+
+TEST(FaultMaintenanceTree, RdepPhaseTriggerValidation) {
+  FaultMaintenanceTree m = two_leaf_model();
+  const NodeId wear = *m.find("wear");
+  const NodeId shock = *m.find("shock");
+  // Phase trigger on a gate is rejected.
+  EXPECT_THROW(m.add_rdep("r", m.top(), {wear}, 2.0, 2), ModelError);
+  // Phase out of range (wear has 4 phases -> max 5).
+  EXPECT_THROW(m.add_rdep("r", wear, {shock}, 2.0, 6), ModelError);
+  EXPECT_NO_THROW(m.add_rdep("ok", wear, {shock}, 2.0, 3));
+  EXPECT_EQ(m.rdeps()[0].trigger_phase, 3);
+}
+
+TEST(FaultMaintenanceTree, CorrectivePolicyValidation) {
+  FaultMaintenanceTree m = two_leaf_model();
+  CorrectivePolicy bad{true, -1.0, 0, 0};
+  EXPECT_THROW(m.set_corrective(bad), ModelError);
+  m.set_corrective(CorrectivePolicy{true, 0.5, 1000, 0});
+  EXPECT_TRUE(m.corrective().enabled);
+  EXPECT_DOUBLE_EQ(m.corrective().delay, 0.5);
+}
+
+TEST(FaultMaintenanceTree, IsMarkovianConditions) {
+  FaultMaintenanceTree m = two_leaf_model();
+  EXPECT_TRUE(m.is_markovian());  // no modules, exp phases, corrective off
+
+  m.set_corrective(CorrectivePolicy{true, 0.0, 100, 0});
+  EXPECT_TRUE(m.is_markovian());  // zero-delay corrective is fine
+
+  m.set_corrective(CorrectivePolicy{true, 0.5, 100, 0});
+  EXPECT_FALSE(m.is_markovian());  // deterministic delay
+
+  m.set_corrective(CorrectivePolicy{false, 0, 0, 0});
+  m.add_inspection({"i", 1.0, -1, 0, {*m.find("wear")}});
+  EXPECT_FALSE(m.is_markovian());  // periodic clock
+
+  FaultMaintenanceTree w;
+  w.add_ebe("weib", DegradationModel::basic(Distribution::weibull(2, 5)));
+  w.set_top(*w.find("weib"));
+  EXPECT_FALSE(w.is_markovian());  // non-exponential phase
+}
+
+TEST(FaultMaintenanceTree, VotingAndNestedGates) {
+  FaultMaintenanceTree m;
+  std::vector<NodeId> bolts;
+  for (int i = 0; i < 4; ++i)
+    bolts.push_back(m.add_ebe("bolt" + std::to_string(i),
+                              DegradationModel::erlang(2, 30, 2)));
+  const NodeId vote = m.add_voting("bolts", 2, bolts);
+  const NodeId other = m.add_basic_event("other", Distribution::exponential(0.1));
+  m.set_top(m.add_and("top", {vote, other}));
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.structure().gate(vote).k, 2);
+}
+
+}  // namespace
+}  // namespace fmtree::fmt

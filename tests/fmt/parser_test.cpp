@@ -1,0 +1,150 @@
+#include "fmt/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fmtree::fmt {
+namespace {
+
+const char* kFullModel = R"(
+  toplevel System;
+  System or Electrical Mechanical;
+  Electrical or Lipping Contamination;
+  Mechanical vot 2 B1 B2 B3;
+
+  Lipping ebe phases=6 mean=10 threshold=4 repair_cost=800 repair=grind;
+  Contamination ebe phases=3 mean=3 threshold=2 repair_cost=250 repair=clean;
+  B1 ebe phases=2 mean=40 threshold=2 repair_cost=100;
+  B2 ebe phases=2 mean=40 threshold=2 repair_cost=100;
+  B3 be exp(0.025);
+
+  rdep Accel factor=3 trigger=Contamination targets Lipping;
+  inspection Visual period=0.25 cost=35 targets Lipping Contamination B1 B2;
+  replacement Renewal period=15 cost=5500 targets all;
+  corrective cost=8000 delay=0.02 downtime_rate=50000;
+)";
+
+TEST(FmtParser, ParsesFullModel) {
+  const FaultMaintenanceTree m = parse_fmt(kFullModel);
+  EXPECT_EQ(m.num_ebes(), 5u);
+  EXPECT_EQ(m.inspections().size(), 1u);
+  EXPECT_EQ(m.replacements().size(), 1u);
+  EXPECT_EQ(m.rdeps().size(), 1u);
+  EXPECT_TRUE(m.corrective().enabled);
+  EXPECT_DOUBLE_EQ(m.corrective().cost, 8000);
+  EXPECT_DOUBLE_EQ(m.corrective().delay, 0.02);
+
+  const ExtendedBasicEvent& lipping = m.ebe(*m.find("Lipping"));
+  EXPECT_EQ(lipping.degradation.phases(), 6);
+  EXPECT_EQ(lipping.degradation.threshold_phase(), 4);
+  EXPECT_NEAR(lipping.degradation.mean_time_to_failure(), 10.0, 1e-12);
+  EXPECT_EQ(lipping.repair.action, "grind");
+  EXPECT_DOUBLE_EQ(lipping.repair.cost, 800);
+}
+
+TEST(FmtParser, PlainBeBecomesUndetectableSinglePhase) {
+  const FaultMaintenanceTree m = parse_fmt(kFullModel);
+  const ExtendedBasicEvent& b3 = m.ebe(*m.find("B3"));
+  EXPECT_EQ(b3.degradation.phases(), 1);
+  EXPECT_FALSE(b3.degradation.inspectable());
+}
+
+TEST(FmtParser, TargetsAllExpandsCorrectly) {
+  const FaultMaintenanceTree m = parse_fmt(kFullModel);
+  // Renewal targets all 5 leaves.
+  EXPECT_EQ(m.replacements()[0].targets.size(), 5u);
+}
+
+TEST(FmtParser, InspectionTargetsAllSkipsUndetectable) {
+  const FaultMaintenanceTree m = parse_fmt(R"(
+    toplevel T;
+    T or A B;
+    A ebe phases=3 mean=5 threshold=2;
+    B be exp(0.1);
+    inspection I period=1 targets all;
+  )");
+  ASSERT_EQ(m.inspections()[0].targets.size(), 1u);
+  EXPECT_EQ(m.name(m.inspections()[0].targets[0]), "A");
+}
+
+TEST(FmtParser, DefaultThresholdIsUndetectable) {
+  const FaultMaintenanceTree m = parse_fmt(R"(
+    toplevel T; T or A; A ebe phases=4 mean=10;
+  )");
+  EXPECT_FALSE(m.ebe(*m.find("A")).degradation.inspectable());
+}
+
+TEST(FmtParser, RdepWithTriggerPhase) {
+  const FaultMaintenanceTree m = parse_fmt(R"(
+    toplevel T;
+    T or A B;
+    A ebe phases=5 mean=18 threshold=2;
+    B ebe phases=6 mean=10 threshold=4;
+    rdep R factor=2.5 trigger=A trigger_phase=3 targets B;
+  )");
+  ASSERT_EQ(m.rdeps().size(), 1u);
+  EXPECT_EQ(m.rdeps()[0].trigger_phase, 3);
+  EXPECT_DOUBLE_EQ(m.rdeps()[0].factor, 2.5);
+}
+
+TEST(FmtParser, CorrectiveOff) {
+  const FaultMaintenanceTree m = parse_fmt(R"(
+    toplevel T; T or A; A be exp(1); corrective off;
+  )");
+  EXPECT_FALSE(m.corrective().enabled);
+}
+
+TEST(FmtParser, RejectsMalformedStatements) {
+  EXPECT_THROW(parse_fmt("toplevel T; T or A; A ebe mean=5;"), ParseError);  // no phases
+  EXPECT_THROW(parse_fmt("toplevel T; T or A; A ebe phases=2;"), ParseError);  // no mean
+  EXPECT_THROW(parse_fmt("toplevel T; T or A; A ebe phases=2.5 mean=5;"), ParseError);
+  EXPECT_THROW(parse_fmt("toplevel T; T or A; A ebe phases=2 mean=5 bogus=1;"),
+               ParseError);
+  EXPECT_THROW(
+      parse_fmt("toplevel T; T or A; A be exp(1); inspection I cost=5 targets A;"),
+      ParseError);  // no period
+  EXPECT_THROW(parse_fmt("toplevel T; T or A; A be exp(1); inspection I period=1;"),
+               ParseError);  // no targets
+  EXPECT_THROW(parse_fmt(
+                   "toplevel T; T or A; A be exp(1); rdep R factor=2 targets A;"),
+               ParseError);  // no trigger
+  EXPECT_THROW(parse_fmt("toplevel T; T or A; A be exp(1); corrective off; corrective off;"),
+               ParseError);  // duplicate corrective
+}
+
+TEST(FmtParser, RejectsUnknownTargets) {
+  EXPECT_THROW(
+      parse_fmt("toplevel T; T or A; A be exp(1); inspection I period=1 targets Zed;"),
+      ParseError);
+}
+
+TEST(FmtParser, RejectsInspectionOfUndetectableLeaf) {
+  EXPECT_THROW(
+      parse_fmt("toplevel T; T or A; A be exp(1); inspection I period=1 targets A;"),
+      ModelError);  // caught by validate()
+}
+
+TEST(FmtParser, RoundTripsThroughToText) {
+  const FaultMaintenanceTree m1 = parse_fmt(kFullModel);
+  const std::string text = to_text(m1);
+  const FaultMaintenanceTree m2 = parse_fmt(text);
+  EXPECT_EQ(m1.num_ebes(), m2.num_ebes());
+  EXPECT_EQ(m1.inspections().size(), m2.inspections().size());
+  EXPECT_EQ(m1.replacements().size(), m2.replacements().size());
+  EXPECT_EQ(m1.rdeps().size(), m2.rdeps().size());
+  EXPECT_EQ(m1.corrective().cost, m2.corrective().cost);
+  for (std::size_t i = 0; i < m1.num_ebes(); ++i) {
+    EXPECT_EQ(m1.ebes()[i].name, m2.ebes()[i].name);
+    EXPECT_EQ(m1.ebes()[i].degradation.phases(), m2.ebes()[i].degradation.phases());
+    EXPECT_EQ(m1.ebes()[i].degradation.threshold_phase(),
+              m2.ebes()[i].degradation.threshold_phase());
+    EXPECT_NEAR(m1.ebes()[i].degradation.mean_time_to_failure(),
+                m2.ebes()[i].degradation.mean_time_to_failure(), 1e-9);
+  }
+  // Inspection offsets serialize explicitly, so schedules match too.
+  EXPECT_DOUBLE_EQ(m1.inspections()[0].first_at, m2.inspections()[0].first_at);
+}
+
+}  // namespace
+}  // namespace fmtree::fmt

@@ -1,0 +1,89 @@
+#include "ft/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "ft/bdd.hpp"
+
+namespace fmtree::ft {
+namespace {
+
+TEST(Importance, SeriesSystemClosedForms) {
+  // T = A or B with p_A, p_B: Birnbaum_A = 1 - p_B; FV_A = (P - p_B)/P.
+  FaultTree t;
+  const NodeId a = t.add_basic_event("A", Distribution::exponential(0.5));
+  const NodeId b = t.add_basic_event("B", Distribution::exponential(0.25));
+  t.set_top(t.add_or("T", {a, b}));
+  const double time = 1.0;
+  const double pa = 1 - std::exp(-0.5), pb = 1 - std::exp(-0.25);
+  const double p_top = 1 - (1 - pa) * (1 - pb);
+
+  const auto imps = importance_measures(t, time);
+  ASSERT_EQ(imps.size(), 2u);
+  EXPECT_EQ(imps[0].name, "A");
+  EXPECT_NEAR(imps[0].probability, pa, 1e-12);
+  EXPECT_NEAR(imps[0].birnbaum, 1 - pb, 1e-12);
+  EXPECT_NEAR(imps[0].fussell_vesely, (p_top - pb) / p_top, 1e-12);
+  EXPECT_NEAR(imps[0].criticality, (1 - pb) * pa / p_top, 1e-12);
+  EXPECT_NEAR(imps[1].birnbaum, 1 - pa, 1e-12);
+}
+
+TEST(Importance, ParallelSystemClosedForms) {
+  // T = A and B: Birnbaum_A = p_B; FV_A = 1 (removing A kills the only cut).
+  FaultTree t;
+  const NodeId a = t.add_basic_event("A", Distribution::exponential(1.0));
+  const NodeId b = t.add_basic_event("B", Distribution::exponential(2.0));
+  t.set_top(t.add_and("T", {a, b}));
+  const double time = 0.7;
+  const double pb = 1 - std::exp(-2.0 * time);
+  const auto imps = importance_measures(t, time);
+  EXPECT_NEAR(imps[0].birnbaum, pb, 1e-12);
+  EXPECT_NEAR(imps[0].fussell_vesely, 1.0, 1e-12);
+}
+
+TEST(Importance, IrrelevantEventHasZeroBirnbaum) {
+  // T = A or (A and B): B is irrelevant.
+  FaultTree t;
+  const NodeId a = t.add_basic_event("A", Distribution::exponential(1.0));
+  const NodeId b = t.add_basic_event("B", Distribution::exponential(1.0));
+  const NodeId g = t.add_and("G", {a, b});
+  t.set_top(t.add_or("T", {a, g}));
+  const auto imps = importance_measures(t, 1.0);
+  EXPECT_NEAR(imps[1].birnbaum, 0.0, 1e-12);
+  EXPECT_NEAR(imps[1].fussell_vesely, 0.0, 1e-12);
+}
+
+TEST(Importance, HigherProbabilityHigherFvInSeries) {
+  FaultTree t;
+  const NodeId a = t.add_basic_event("weak", Distribution::exponential(1.0));
+  const NodeId b = t.add_basic_event("strong", Distribution::exponential(0.1));
+  t.set_top(t.add_or("T", {a, b}));
+  const auto imps = importance_measures(t, 2.0);
+  EXPECT_GT(imps[0].fussell_vesely, imps[1].fussell_vesely);
+  EXPECT_GT(imps[0].criticality, imps[1].criticality);
+}
+
+TEST(Importance, BirnbaumIsDerivative) {
+  // Finite-difference check of dP/dp_i on a mixed tree.
+  FaultTree t;
+  const NodeId a = t.add_basic_event("A", Distribution::exponential(0.3));
+  const NodeId b = t.add_basic_event("B", Distribution::exponential(0.6));
+  const NodeId c = t.add_basic_event("C", Distribution::exponential(0.9));
+  const NodeId v = t.add_voting("V", 2, {a, b, c});
+  t.set_top(v);
+  const double time = 1.0;
+  const auto imps = importance_measures(t, time);
+  std::vector<double> p = t.probabilities_at(time);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    std::vector<double> up = p, down = p;
+    up[i] += h;
+    down[i] -= h;
+    const double fd =
+        (top_event_probability(t, up) - top_event_probability(t, down)) / (2 * h);
+    EXPECT_NEAR(imps[i].birnbaum, fd, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace fmtree::ft

@@ -1,0 +1,164 @@
+#include "ft/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ft/bdd.hpp"
+#include "ft/dot.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::ft {
+namespace {
+
+TEST(FtParser, ParsesSimpleTree) {
+  const FaultTree t = parse_fault_tree(R"(
+    toplevel System;
+    System or A B;
+    A be exp(0.5);
+    B be erlang(3, 1.0);
+  )");
+  EXPECT_EQ(t.name(t.top()), "System");
+  EXPECT_EQ(t.basic_events().size(), 2u);
+  EXPECT_EQ(t.basic(*t.find("A")).lifetime, Distribution::exponential(0.5));
+  EXPECT_EQ(t.basic(*t.find("B")).lifetime, Distribution::erlang(3, 1.0));
+}
+
+TEST(FtParser, ForwardReferencesAllowed) {
+  const FaultTree t = parse_fault_tree(R"(
+    toplevel Top;
+    A be exp(1);
+    Top and A B;
+    B be exp(2);
+  )");
+  EXPECT_EQ(t.gate(t.top()).type, GateType::And);
+}
+
+TEST(FtParser, VotingGateWithThreshold) {
+  const FaultTree t = parse_fault_tree(R"(
+    toplevel V;
+    V vot 2 A B C;
+    A be exp(1); B be exp(1); C be exp(1);
+  )");
+  EXPECT_EQ(t.gate(t.top()).type, GateType::Voting);
+  EXPECT_EQ(t.gate(t.top()).k, 2);
+}
+
+TEST(FtParser, QuotedNamesAndComments) {
+  const FaultTree t = parse_fault_tree(R"(
+    # a comment
+    toplevel "my system";   # trailing comment
+    "my system" or "part 1" Other;
+    "part 1" be exp(1);
+    Other be never;
+  )");
+  EXPECT_TRUE(t.find("my system").has_value());
+  EXPECT_TRUE(t.find("part 1").has_value());
+  EXPECT_TRUE(t.basic(*t.find("Other")).lifetime.is_never());
+}
+
+TEST(FtParser, AllDistributionForms) {
+  const FaultTree t = parse_fault_tree(R"(
+    toplevel T;
+    T or A B C D E F G;
+    A be exp(2);
+    B be erlang(4, 0.5);
+    C be erlang_mean(4, 8);
+    D be weibull(1.5, 2);
+    E be lognormal(0.1, 0.9);
+    F be uniform(1, 2);
+    G be det(3);
+  )");
+  EXPECT_EQ(t.basic(*t.find("C")).lifetime, Distribution::erlang(4, 0.5));
+  EXPECT_EQ(t.basic(*t.find("G")).lifetime, Distribution::deterministic(3));
+}
+
+TEST(FtParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_fault_tree("toplevel T;\nT or A;\nA be exp(0);\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(FtParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_fault_tree("T or A; A be exp(1);"), ParseError);  // no toplevel
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or; "), ParseError);    // no children
+  EXPECT_THROW(parse_fault_tree("toplevel T; T unknown A; A be exp(1);"), ParseError);
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or A; A be exp(1)"), ParseError);  // missing ;
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or A; A be zeta(1);"), ParseError);
+  EXPECT_THROW(parse_fault_tree("toplevel T; T vot 0 A B; A be exp(1); B be exp(1);"),
+               ParseError);
+  EXPECT_THROW(parse_fault_tree("toplevel T; toplevel U; T or A; A be exp(1);"),
+               ParseError);
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or A; T or B; A be exp(1); B be exp(1);"),
+               ParseError);  // duplicate definition
+}
+
+TEST(FtParser, RejectsUndefinedAndUnreachableAndCyclic) {
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or Missing;"), ModelError);
+  EXPECT_THROW(parse_fault_tree(R"(
+    toplevel T; T or A; A be exp(1); Orphan be exp(1);
+  )"),
+               ModelError);
+  EXPECT_THROW(parse_fault_tree(R"(
+    toplevel T; T or U; U or T;
+  )"),
+               ModelError);
+}
+
+TEST(FtParser, RoundTripsThroughToText) {
+  const std::string source = R"(
+    toplevel Sys;
+    Sys or M E;
+    M vot 2 A B C;
+    E and D F;
+    A be exp(0.1); B be exp(0.2); C be exp(0.3);
+    D be erlang(2, 0.5); F be weibull(1.5, 4);
+  )";
+  const FaultTree t1 = parse_fault_tree(source);
+  const FaultTree t2 = parse_fault_tree(to_text(t1));
+  // Same structure: identical probability at several mission times.
+  for (double time : {0.5, 1.0, 5.0})
+    EXPECT_NEAR(top_event_probability(t1, time), top_event_probability(t2, time), 1e-12);
+  EXPECT_EQ(t1.basic_events().size(), t2.basic_events().size());
+  EXPECT_EQ(t1.gates().size(), t2.gates().size());
+}
+
+TEST(FtDot, EmitsAllNodesAndEdges) {
+  const FaultTree t = parse_fault_tree(R"(
+    toplevel T;
+    T or A G;
+    G and B C;
+    A be exp(1); B be exp(1); C be exp(1);
+  )");
+  const std::string dot = to_dot(t, "example");
+  EXPECT_NE(dot.find("digraph \"example\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("[OR]"), std::string::npos);
+  EXPECT_NE(dot.find("[AND]"), std::string::npos);
+  // 4 edges: T->A, T->G, G->B, G->C.
+  std::size_t edges = 0, pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, 4u);
+}
+
+TEST(Lexer, TokenizesPunctuationAndNumbers) {
+  const auto tokens = tokenize("a(1.5e-2,b)=;");
+  ASSERT_EQ(tokens.size(), 9u);  // a ( num , b ) = ; End
+  EXPECT_EQ(tokens[0].type, TokenType::Identifier);
+  EXPECT_EQ(tokens[2].type, TokenType::Number);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0.015);
+  EXPECT_EQ(tokens[6].type, TokenType::Equals);
+  EXPECT_EQ(tokens[8].type, TokenType::End);
+}
+
+TEST(Lexer, RejectsGarbage) {
+  EXPECT_THROW(tokenize("valid @ invalid"), ParseError);
+  EXPECT_THROW(tokenize("\"unterminated"), ParseError);
+}
+
+}  // namespace
+}  // namespace fmtree::ft

@@ -1,0 +1,200 @@
+#include "ft/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ft/bdd.hpp"
+#include "ft/parser.hpp"
+#include "util/rng.hpp"
+
+namespace fmtree::ft {
+namespace {
+
+FaultTree parse(const char* text) { return parse_fault_tree(text); }
+
+std::size_t gate_count(const FaultTree& t) { return t.gates().size(); }
+
+TEST(Normalize, FlattensNestedSameTypeGates) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or G1 c;
+    G1 or a b;
+    a be exp(1); b be exp(1); c be exp(1);
+  )");
+  const FaultTree n = normalize(t);
+  EXPECT_EQ(gate_count(n), 1u);
+  EXPECT_EQ(n.gate(n.top()).children.size(), 3u);
+}
+
+TEST(Normalize, KeepsMixedTypeNesting) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or G1 c;
+    G1 and a b;
+    a be exp(1); b be exp(1); c be exp(1);
+  )");
+  const FaultTree n = normalize(t);
+  EXPECT_EQ(gate_count(n), 2u);
+}
+
+TEST(Normalize, RemovesDuplicateChildren) {
+  FaultTree t;
+  const NodeId a = t.add_basic_event("a", Distribution::exponential(1));
+  const NodeId b = t.add_basic_event("b", Distribution::exponential(1));
+  t.set_top(t.add_or("T", {a, b, a, a}));
+  const FaultTree n = normalize(t);
+  EXPECT_EQ(n.gate(n.top()).children.size(), 2u);
+}
+
+TEST(Normalize, CollapsesSingleChildGates) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or G1 b;
+    G1 and a;
+    a be exp(1); b be exp(1);
+  )");
+  const FaultTree n = normalize(t);
+  EXPECT_EQ(gate_count(n), 1u);  // G1 gone
+  EXPECT_EQ(n.gate(n.top()).children.size(), 2u);
+}
+
+TEST(Normalize, RewritesDegenerateVoting) {
+  const FaultTree t1 = parse(R"(
+    toplevel T; T vot 1 a b; a be exp(1); b be exp(1);
+  )");
+  EXPECT_EQ(normalize(t1).gate(normalize(t1).top()).type, GateType::Or);
+  const FaultTree t2 = parse(R"(
+    toplevel T; T vot 2 a b; a be exp(1); b be exp(1);
+  )");
+  EXPECT_EQ(normalize(t2).gate(normalize(t2).top()).type, GateType::And);
+  const FaultTree t3 = parse(R"(
+    toplevel T; T vot 2 a b c; a be exp(1); b be exp(1); c be exp(1);
+  )");
+  EXPECT_EQ(normalize(t3).gate(normalize(t3).top()).type, GateType::Voting);
+}
+
+TEST(Normalize, DegenerateTreeWrapsLeafTop) {
+  const FaultTree t = parse("toplevel T; T or a; a be exp(1);");
+  const FaultTree n = normalize(t);
+  EXPECT_NO_THROW(n.validate());
+  EXPECT_FALSE(n.is_basic(n.top()));
+}
+
+TEST(Normalize, PreservesBasicEventOrder) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or G c;
+    G and a b;
+    a be exp(0.1); b be exp(0.2); c be exp(0.3);
+  )");
+  const FaultTree n = normalize(t);
+  ASSERT_EQ(n.basic_events().size(), 3u);
+  EXPECT_EQ(n.basic(n.basic_events()[0]).name, "a");
+  EXPECT_EQ(n.basic(n.basic_events()[1]).name, "b");
+  EXPECT_EQ(n.basic(n.basic_events()[2]).name, "c");
+}
+
+TEST(Normalize, SemanticsPreservedExhaustively) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or G1 G2;
+    G1 or a G3;
+    G3 or b c;
+    G2 and d G4;
+    G4 and a e;
+    a be exp(1); b be exp(1); c be exp(1); d be exp(1); e be exp(1);
+  )");
+  const FaultTree n = normalize(t);
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    std::vector<bool> failed(5);
+    for (int i = 0; i < 5; ++i) failed[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+    EXPECT_EQ(t.evaluate_top(failed), n.evaluate_top(failed)) << mask;
+  }
+}
+
+TEST(Normalize, ProbabilityPreservedOnRandomTrees) {
+  RandomStream rng(7, 0);
+  for (int rep = 0; rep < 20; ++rep) {
+    FaultTree t;
+    std::vector<NodeId> nodes;
+    const int leaves = 4 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < leaves; ++i)
+      nodes.push_back(t.add_basic_event("l" + std::to_string(i),
+                                        Distribution::exponential(rng.uniform(0.1, 1))));
+    int gate_id = 0;
+    while (nodes.size() > 1) {
+      const std::size_t take = 2 + rng.below(std::min<std::uint64_t>(2, nodes.size() - 1));
+      std::vector<NodeId> kids(nodes.end() - static_cast<std::ptrdiff_t>(take), nodes.end());
+      nodes.resize(nodes.size() - take);
+      const std::string name = "g" + std::to_string(gate_id++);
+      nodes.push_back(rng.bernoulli(0.5) ? t.add_or(name, kids) : t.add_and(name, kids));
+    }
+    t.set_top(nodes.front());
+    if (t.is_basic(nodes.front())) continue;
+    const FaultTree n = normalize(t);
+    EXPECT_NEAR(top_event_probability(t, 1.0), top_event_probability(n, 1.0), 1e-12);
+    EXPECT_LE(gate_count(n), gate_count(t));
+  }
+}
+
+// ---- Modules ------------------------------------------------------------------
+
+TEST(Modules, TopIsAlwaysAModule) {
+  const FaultTree t = parse("toplevel T; T or a b; a be exp(1); b be exp(1);");
+  const auto mods = modules(t);
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0], t.top());
+}
+
+TEST(Modules, IndependentSubtreesAreModules) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or M1 M2;
+    M1 and a b;
+    M2 or c d;
+    a be exp(1); b be exp(1); c be exp(1); d be exp(1);
+  )");
+  const auto mods = modules(t);
+  EXPECT_EQ(mods.size(), 3u);  // M1, M2, T
+}
+
+TEST(Modules, SharedLeafBreaksModularity) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or G1 G2;
+    G1 and a b;
+    G2 and a c;
+    a be exp(1); b be exp(1); c be exp(1);
+  )");
+  const auto mods = modules(t);
+  // G1 and G2 share 'a', so only the top is a module.
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0], t.top());
+}
+
+TEST(Modules, NestedModulesAllReported) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or M1 x;
+    M1 and M2 y;
+    M2 or a b;
+    a be exp(1); b be exp(1); x be exp(1); y be exp(1);
+  )");
+  const auto mods = modules(t);
+  EXPECT_EQ(mods.size(), 3u);  // M2, M1, T
+}
+
+TEST(Modules, EiJointStyleVotingIsAModule) {
+  const FaultTree t = parse(R"(
+    toplevel T;
+    T or V other;
+    V vot 2 b1 b2 b3 b4;
+    b1 be exp(1); b2 be exp(1); b3 be exp(1); b4 be exp(1);
+    other be exp(1);
+  )");
+  const auto mods = modules(t);
+  ASSERT_EQ(mods.size(), 2u);
+  EXPECT_EQ(t.name(mods[0]), "V");
+}
+
+}  // namespace
+}  // namespace fmtree::ft

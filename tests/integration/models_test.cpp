@@ -1,0 +1,64 @@
+// The shipped .fmt model files must stay parseable and in sync with the
+// C++ builders they were generated from.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "compressor/compressor.hpp"
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "fmt/parser.hpp"
+#include "smc/kpi.hpp"
+
+namespace fmtree {
+namespace {
+
+std::string read_model_file(const std::string& name) {
+  // ctest runs from the build tree; models/ lives in the source tree next
+  // to it. Try both layouts.
+  for (const std::string& prefix : {std::string("models/"), std::string("../models/"),
+                                    std::string(FMTREE_SOURCE_DIR "/models/")}) {
+    std::ifstream f(prefix + name);
+    if (f) {
+      std::ostringstream text;
+      text << f.rdbuf();
+      return text.str();
+    }
+  }
+  ADD_FAILURE() << "cannot locate models/" << name;
+  return {};
+}
+
+TEST(ShippedModels, EiJointMatchesBuilder) {
+  const fmt::FaultMaintenanceTree parsed =
+      fmt::parse_fmt(read_model_file("ei_joint.fmt"));
+  const fmt::FaultMaintenanceTree built = eijoint::build_ei_joint(
+      eijoint::EiJointParameters::defaults(), eijoint::current_policy());
+  // Same serialized form = same model.
+  EXPECT_EQ(fmt::to_text(parsed), fmt::to_text(built));
+}
+
+TEST(ShippedModels, CompressorMatchesBuilder) {
+  const fmt::FaultMaintenanceTree parsed =
+      fmt::parse_fmt(read_model_file("compressor.fmt"));
+  const fmt::FaultMaintenanceTree built = compressor::build_compressor(
+      compressor::CompressorParameters::defaults(), compressor::current_plan());
+  EXPECT_EQ(fmt::to_text(parsed), fmt::to_text(built));
+}
+
+TEST(ShippedModels, PumpingStationParsesAndAnalyzes) {
+  const fmt::FaultMaintenanceTree m =
+      fmt::parse_fmt(read_model_file("pumping_station.fmt"));
+  EXPECT_EQ(m.num_ebes(), 4u);
+  EXPECT_EQ(m.rdeps().size(), 2u);
+  smc::AnalysisSettings s;
+  s.horizon = 15;
+  s.trajectories = 500;
+  s.seed = 1;
+  const smc::KpiReport k = smc::analyze(m, s);
+  EXPECT_GT(k.failures_per_year.point, 0.0);
+}
+
+}  // namespace
+}  // namespace fmtree

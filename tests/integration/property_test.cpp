@@ -1,0 +1,172 @@
+// Property-based tests: the qualitative laws of maintenance the paper's
+// analysis relies on, checked over parameter sweeps of the EI-joint model.
+#include <gtest/gtest.h>
+
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "fmt/parser.hpp"
+#include "smc/kpi.hpp"
+
+namespace fmtree {
+namespace {
+
+using eijoint::EiJointParameters;
+
+smc::AnalysisSettings settings(std::uint64_t trajectories = 4000,
+                               double horizon = 20.0) {
+  smc::AnalysisSettings s;
+  s.horizon = horizon;
+  s.trajectories = trajectories;
+  s.seed = 4242;
+  return s;
+}
+
+smc::KpiReport analyze_with_frequency(double freq, EiJointParameters params =
+                                                       EiJointParameters::defaults()) {
+  const auto model = eijoint::build_ei_joint(params, eijoint::inspections_per_year(freq));
+  return smc::analyze(model, settings());
+}
+
+// ---- P1: more inspections never hurt reliability -----------------------------
+
+class InspectionFrequencyMonotonicity
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(InspectionFrequencyMonotonicity, FewerFailuresWithMoreInspections) {
+  const auto [low_freq, high_freq] = GetParam();
+  const smc::KpiReport low = analyze_with_frequency(low_freq);
+  const smc::KpiReport high = analyze_with_frequency(high_freq);
+  EXPECT_GT(low.expected_failures.point, high.expected_failures.point)
+      << low_freq << " vs " << high_freq;
+  EXPECT_LT(low.reliability.point, high.reliability.point);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrequencyPairs, InspectionFrequencyMonotonicity,
+                         ::testing::Values(std::pair{0.0, 1.0}, std::pair{1.0, 4.0},
+                                           std::pair{4.0, 24.0}, std::pair{0.0, 24.0}));
+
+// ---- P2: reliability curves are monotone in time ------------------------------
+
+TEST(Properties, ReliabilityNonincreasingInTime) {
+  const auto model = eijoint::build_ei_joint(EiJointParameters::defaults(),
+                                             eijoint::current_policy());
+  const auto curve = smc::reliability_curve(model, smc::linspace_grid(40, 20),
+                                            settings(4000, 40));
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_LE(curve[i].value.point, curve[i - 1].value.point + 1e-12);
+}
+
+// ---- P3: disabling RDEP underestimates failures --------------------------------
+
+TEST(Properties, RdepIncreasesFailures) {
+  EiJointParameters with = EiJointParameters::defaults();
+  EiJointParameters without = with;
+  without.enable_rdep = false;
+  // Sparse inspections so batter actually reaches its trigger phase.
+  const auto m_with = eijoint::build_ei_joint(with, eijoint::inspections_per_year(0.5));
+  const auto m_without =
+      eijoint::build_ei_joint(without, eijoint::inspections_per_year(0.5));
+  const smc::KpiReport k_with = smc::analyze(m_with, settings(8000));
+  const smc::KpiReport k_without = smc::analyze(m_without, settings(8000));
+  EXPECT_GT(k_with.expected_failures.point, k_without.expected_failures.point);
+}
+
+// ---- P4: a later inspection threshold means more escapes ------------------------
+
+TEST(Properties, LaterThresholdMeansMoreFailures) {
+  EiJointParameters early = EiJointParameters::defaults();
+  early.contamination.threshold = 1;  // visible immediately
+  EiJointParameters late = EiJointParameters::defaults();
+  late.contamination.threshold = 3;  // visible only in the last phase
+  const smc::KpiReport k_early =
+      smc::analyze(eijoint::build_ei_joint(early, eijoint::current_policy()), settings(8000));
+  const smc::KpiReport k_late =
+      smc::analyze(eijoint::build_ei_joint(late, eijoint::current_policy()), settings(8000));
+  EXPECT_GT(k_late.expected_failures.point, k_early.expected_failures.point);
+}
+
+// ---- P5: single-phase (exponential) degradation defeats inspections -------------
+
+TEST(Properties, ExponentialDegradationMakesInspectionsUseless) {
+  // With one phase there is no observable precursor: inspections cannot
+  // reduce contamination failures (threshold 1 repairs only freshly-new
+  // state... threshold must be past the end to express 'no precursor').
+  EiJointParameters p = EiJointParameters::defaults();
+  p.contamination.phases = 1;
+  p.contamination.threshold = 2;  // undetectable
+  const smc::KpiReport sparse = smc::analyze(
+      eijoint::build_ei_joint(p, eijoint::inspections_per_year(1)), settings(8000));
+  const smc::KpiReport frequent = smc::analyze(
+      eijoint::build_ei_joint(p, eijoint::inspections_per_year(12)), settings(8000));
+  // Contamination-attributed failures are statistically indistinguishable.
+  const auto model = eijoint::build_ei_joint(p, eijoint::current_policy());
+  const std::size_t idx = model.ebe_index(*model.find("contamination"));
+  EXPECT_NEAR(sparse.failures_per_leaf[idx], frequent.failures_per_leaf[idx],
+              0.12 * sparse.failures_per_leaf[idx] + 0.05);
+}
+
+// ---- P6: maintenance costs respond to their drivers ------------------------------
+
+TEST(Properties, InspectionCostScalesLinearly) {
+  const smc::KpiReport k4 = analyze_with_frequency(4.0);
+  const smc::KpiReport k8 = analyze_with_frequency(8.0);
+  EXPECT_NEAR(k8.mean_cost.inspection, 2 * k4.mean_cost.inspection,
+              0.02 * k8.mean_cost.inspection + 1.0);
+}
+
+TEST(Properties, FailureCostProportionalToFailures) {
+  const smc::KpiReport k = analyze_with_frequency(2.0);
+  EXPECT_NEAR(k.mean_cost.corrective, k.expected_failures.point * 8000.0, 1e-6);
+}
+
+// ---- P7: end-to-end text-format pipeline ------------------------------------------
+
+TEST(Integration, ParsedModelAnalyzesSameAsBuilt) {
+  const auto built = eijoint::build_ei_joint(EiJointParameters::defaults(),
+                                             eijoint::current_policy());
+  const auto parsed = fmt::parse_fmt(fmt::to_text(built));
+  const smc::KpiReport k1 = smc::analyze(built, settings(3000));
+  const smc::KpiReport k2 = smc::analyze(parsed, settings(3000));
+  // Identical semantics and identical RNG consumption order -> identical
+  // estimates, not merely close ones.
+  EXPECT_DOUBLE_EQ(k1.expected_failures.point, k2.expected_failures.point);
+  EXPECT_DOUBLE_EQ(k1.total_cost.point, k2.total_cost.point);
+  EXPECT_DOUBLE_EQ(k1.reliability.point, k2.reliability.point);
+}
+
+// ---- P8: seed invariance and thread invariance of the headline analysis ----------
+
+TEST(Integration, AnalysisDeterministicAcrossThreadCounts) {
+  const auto model = eijoint::build_ei_joint(EiJointParameters::defaults(),
+                                             eijoint::current_policy());
+  smc::AnalysisSettings s1 = settings(2000);
+  s1.threads = 1;
+  smc::AnalysisSettings s8 = settings(2000);
+  s8.threads = 8;
+  const smc::KpiReport k1 = smc::analyze(model, s1);
+  const smc::KpiReport k8 = smc::analyze(model, s8);
+  EXPECT_DOUBLE_EQ(k1.expected_failures.point, k8.expected_failures.point);
+  EXPECT_DOUBLE_EQ(k1.total_cost.point, k8.total_cost.point);
+  EXPECT_DOUBLE_EQ(k1.reliability.point, k8.reliability.point);
+  EXPECT_EQ(k1.failures_per_leaf, k8.failures_per_leaf);
+}
+
+// ---- P9: the paper's headline (C4) as a regression property -----------------------
+
+TEST(Integration, CurrentPolicyNearCostOptimal) {
+  // The cost curve over inspection frequencies has an interior minimum and
+  // the current policy (4x) is within 15% of it.
+  std::vector<double> freqs{0, 1, 2, 4, 8, 12};
+  double best = 1e18, current = 0;
+  for (double f : freqs) {
+    const double cost = analyze_with_frequency(f).cost_per_year.point;
+    best = std::min(best, cost);
+    if (f == 4.0) current = cost;
+  }
+  EXPECT_LE(current, 1.15 * best);
+  // And the extremes are clearly worse than the optimum.
+  EXPECT_GT(analyze_with_frequency(0).cost_per_year.point, 1.5 * best);
+}
+
+}  // namespace
+}  // namespace fmtree

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "maintenance/optimizer.hpp"
+#include "maintenance/policy.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::maintenance {
+namespace {
+
+fmt::FaultMaintenanceTree bare_model() {
+  fmt::FaultMaintenanceTree m;
+  const fmt::NodeId a = m.add_ebe("wear", fmt::DegradationModel::erlang(3, 5.0, 2),
+                                  fmt::RepairSpec{"fix", 100});
+  const fmt::NodeId b = m.add_basic_event("shock", Distribution::exponential(0.05));
+  m.set_top(m.add_or("top", {a, b}));
+  return m;
+}
+
+TEST(Policy, ApplyAddsModulesFromPolicy) {
+  fmt::FaultMaintenanceTree m = bare_model();
+  MaintenancePolicy p;
+  p.name = "test";
+  p.inspection_period = 0.5;
+  p.inspection_cost = 10;
+  p.replacement_period = 20;
+  p.replacement_cost = 1000;
+  p.corrective = fmt::CorrectivePolicy{true, 0.1, 500, 0};
+  apply_policy(m, p);
+  ASSERT_EQ(m.inspections().size(), 1u);
+  EXPECT_DOUBLE_EQ(m.inspections()[0].period, 0.5);
+  // Only the inspectable leaf is targeted.
+  ASSERT_EQ(m.inspections()[0].targets.size(), 1u);
+  EXPECT_EQ(m.name(m.inspections()[0].targets[0]), "wear");
+  // Replacement covers everything.
+  ASSERT_EQ(m.replacements().size(), 1u);
+  EXPECT_EQ(m.replacements()[0].targets.size(), 2u);
+  EXPECT_TRUE(m.corrective().enabled);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Policy, ZeroPeriodsMeanNoModules) {
+  fmt::FaultMaintenanceTree m = bare_model();
+  MaintenancePolicy p;  // all periods 0
+  apply_policy(m, p);
+  EXPECT_TRUE(m.inspections().empty());
+  EXPECT_TRUE(m.replacements().empty());
+}
+
+TEST(Policy, InspectionWithoutInspectableLeavesThrows) {
+  fmt::FaultMaintenanceTree m;
+  m.set_top(m.add_basic_event("shock", Distribution::exponential(0.1)));
+  MaintenancePolicy p;
+  p.inspection_period = 1.0;
+  EXPECT_THROW(apply_policy(m, p), ModelError);
+}
+
+TEST(Policy, FrequencyHelpers) {
+  MaintenancePolicy p;
+  p.inspection_period = 0.25;
+  EXPECT_DOUBLE_EQ(p.inspections_per_year(), 4.0);
+  p.inspection_period = 0;
+  EXPECT_DOUBLE_EQ(p.inspections_per_year(), 0.0);
+  EXPECT_FALSE(p.has_inspections());
+}
+
+TEST(Optimizer, CandidateGenerationNamesAndPeriods) {
+  MaintenancePolicy base;
+  base.inspection_cost = 35;
+  const auto cands = inspection_frequency_candidates(base, {0, 2, 4});
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[0].name, "no-inspection");
+  EXPECT_DOUBLE_EQ(cands[0].inspection_period, 0.0);
+  EXPECT_DOUBLE_EQ(cands[1].inspection_period, 0.5);
+  EXPECT_DOUBLE_EQ(cands[2].inspection_period, 0.25);
+  EXPECT_THROW(inspection_frequency_candidates(base, {}), DomainError);
+  EXPECT_THROW(inspection_frequency_candidates(base, {-1.0}), DomainError);
+}
+
+TEST(Optimizer, SweepFindsInteriorOptimum) {
+  // Inspections are cheap relative to failures, but over-inspection must
+  // eventually dominate: the swept curve should have its minimum strictly
+  // inside and cost must be reported for every candidate.
+  auto factory = [](const MaintenancePolicy& p) {
+    fmt::FaultMaintenanceTree m = bare_model();
+    apply_policy(m, p);
+    return m;
+  };
+  MaintenancePolicy base;
+  base.inspection_cost = 30;
+  base.corrective = fmt::CorrectivePolicy{true, 0.05, 3000, 0};
+  const auto candidates = inspection_frequency_candidates(base, {0, 1, 4, 52});
+  smc::AnalysisSettings s;
+  s.horizon = 10;
+  s.trajectories = 4000;
+  s.seed = 17;
+  const SweepResult result = sweep_policies(factory, candidates, s);
+  ASSERT_EQ(result.curve.size(), 4u);
+  for (const PolicyEvaluation& e : result.curve) EXPECT_GT(e.cost_per_year(), 0.0);
+  // No inspection must be more expensive than the best found.
+  EXPECT_GT(result.curve[0].cost_per_year(), result.best().cost_per_year());
+  // Weekly inspections (52/yr at 30 each = 1560/yr) must also lose.
+  EXPECT_GT(result.curve[3].cost_per_year(), result.best().cost_per_year());
+}
+
+TEST(Optimizer, SweepRejectsEmptyCandidates) {
+  auto factory = [](const MaintenancePolicy&) { return bare_model(); };
+  smc::AnalysisSettings s;
+  EXPECT_THROW(sweep_policies(factory, {}, s), DomainError);
+}
+
+TEST(Scenarios, CatalogueIsConsistent) {
+  const auto strategies = eijoint::paper_strategies();
+  ASSERT_GE(strategies.size(), 6u);
+  EXPECT_EQ(strategies[0].name, "corrective-only");
+  EXPECT_FALSE(strategies[0].has_inspections());
+  bool found_current = false;
+  for (const auto& s : strategies) {
+    EXPECT_TRUE(s.corrective.enabled);  // failures always fixed
+    if (s.name == "current-4x") {
+      found_current = true;
+      EXPECT_DOUBLE_EQ(s.inspection_period, 0.25);
+    }
+  }
+  EXPECT_TRUE(found_current);
+  // The renewal variant really has a replacement period.
+  EXPECT_GT(strategies.back().replacement_period, 0.0);
+}
+
+TEST(Scenarios, InspectionFrequencyFactory) {
+  EXPECT_DOUBLE_EQ(eijoint::inspections_per_year(8).inspection_period, 0.125);
+  EXPECT_FALSE(eijoint::inspections_per_year(0).has_inspections());
+}
+
+}  // namespace
+}  // namespace fmtree::maintenance

@@ -1,0 +1,97 @@
+#include "maintenance/repair_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::maintenance {
+namespace {
+
+// ---- remove_inspection_target ------------------------------------------------
+
+fmt::FaultMaintenanceTree two_target_model() {
+  fmt::FaultMaintenanceTree m;
+  const auto a = m.add_ebe("a", fmt::DegradationModel::erlang(3, 5, 2),
+                           fmt::RepairSpec{"fix", 10});
+  const auto b = m.add_ebe("b", fmt::DegradationModel::erlang(3, 7, 2),
+                           fmt::RepairSpec{"fix", 10});
+  m.set_top(m.add_or("top", {a, b}));
+  m.add_inspection(fmt::InspectionModule{"i", 0.5, -1, 5, {a, b}});
+  return m;
+}
+
+TEST(RemoveInspectionTarget, RemovesOnlyTheLeaf) {
+  fmt::FaultMaintenanceTree m = two_target_model();
+  m.remove_inspection_target(0, *m.find("a"));
+  ASSERT_EQ(m.inspections().size(), 1u);
+  ASSERT_EQ(m.inspections()[0].targets.size(), 1u);
+  EXPECT_EQ(m.name(m.inspections()[0].targets[0]), "b");
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(RemoveInspectionTarget, LastTargetDeletesModule) {
+  fmt::FaultMaintenanceTree m = two_target_model();
+  m.remove_inspection_target(0, *m.find("a"));
+  m.remove_inspection_target(0, *m.find("b"));
+  EXPECT_TRUE(m.inspections().empty());
+}
+
+TEST(RemoveInspectionTarget, NonTargetIsNoop) {
+  fmt::FaultMaintenanceTree m = two_target_model();
+  m.remove_inspection_target(0, *m.find("a"));
+  m.remove_inspection_target(0, *m.find("a"));  // already gone
+  EXPECT_EQ(m.inspections()[0].targets.size(), 1u);
+  EXPECT_THROW(m.remove_inspection_target(5, *m.find("a")), ModelError);
+}
+
+// ---- repair_value_analysis ------------------------------------------------------
+
+TEST(RepairValue, RequiresInspections) {
+  const auto m = eijoint::build_ei_joint(eijoint::EiJointParameters::defaults(),
+                                         eijoint::corrective_only());
+  smc::AnalysisSettings s;
+  EXPECT_THROW(repair_value_analysis(m, s), DomainError);
+}
+
+TEST(RepairValue, KnockoutIncreasesFailuresForDominantMode) {
+  const auto m = eijoint::build_ei_joint(eijoint::EiJointParameters::defaults(),
+                                         eijoint::current_policy());
+  smc::AnalysisSettings s;
+  s.horizon = 20;
+  s.trajectories = 2000;
+  s.seed = 42;
+  const auto values = repair_value_analysis(m, s);
+  ASSERT_EQ(values.size(), 10u);  // every inspectable leaf
+  // Sorted by net value, contamination first, and dropping it clearly hurts.
+  EXPECT_EQ(values.front().mode, "contamination");
+  EXPECT_GT(values.front().extra_failures.lo, 0.0);
+  EXPECT_GT(values.front().extra_cost.lo, 0.0);
+  EXPECT_GT(values.front().repair_spend, 0.0);
+  // Net values nonincreasing.
+  for (std::size_t i = 1; i < values.size(); ++i)
+    EXPECT_LE(values[i].net_value(), values[i - 1].net_value());
+}
+
+TEST(RepairValue, WorthlessInspectionHasNoFailureEffect) {
+  // A leaf whose degradation never reaches failure within the horizon:
+  // dropping its repairs cannot change failures.
+  fmt::FaultMaintenanceTree m;
+  const auto slow = m.add_ebe("slow", fmt::DegradationModel::erlang(4, 4000, 2),
+                              fmt::RepairSpec{"fix", 10});
+  const auto fast = m.add_basic_event("fast", Distribution::exponential(0.2));
+  m.set_top(m.add_or("top", {slow, fast}));
+  m.add_inspection(fmt::InspectionModule{"i", 0.5, -1, 1, {slow}});
+  m.set_corrective(fmt::CorrectivePolicy{true, 0.0, 100, 0});
+  smc::AnalysisSettings s;
+  s.horizon = 10;
+  s.trajectories = 2000;
+  s.seed = 7;
+  const auto values = repair_value_analysis(m, s);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_TRUE(values[0].extra_failures.contains(0.0));
+}
+
+}  // namespace
+}  // namespace fmtree::maintenance

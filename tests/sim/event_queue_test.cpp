@@ -1,0 +1,152 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace fmtree::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.schedule(3.0, 3);
+  q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.schedule(5.0, i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue<int> q;
+  q.schedule(1.0, 1);
+  const EventHandle h = q.schedule(2.0, 2);
+  q.schedule(3.0, 3);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+  EventQueue<int> q;
+  const EventHandle h = q.schedule(1.0, 1);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue<int> q;
+  const EventHandle h = q.schedule(1.0, 1);
+  q.pop();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelUnknownHandleIsNoop) {
+  EventQueue<int> q;
+  EXPECT_FALSE(q.cancel(EventHandle{1234}));
+}
+
+TEST(EventQueue, PeekTimeSkipsCancelled) {
+  EventQueue<int> q;
+  const EventHandle h = q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  q.cancel(h);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 2.0);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue<int> q;
+  q.schedule(1.0, 1);
+  q.schedule(5.0, 5);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.schedule(2.0, 2);   // earlier than remaining event
+  q.schedule(4.0, 4);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 4);
+  EXPECT_EQ(q.pop().payload, 5);
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue<int> q;
+  q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.schedule(3.0, 3);
+  EXPECT_EQ(q.pop().payload, 3);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue<std::size_t> q;
+  // Schedule with decreasing times; pops must come back increasing.
+  for (std::size_t i = 0; i < 1000; ++i)
+    q.schedule(static_cast<double>(1000 - i), i);
+  double prev = 0;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(EventQueue, RandomizedAgainstReferenceModel) {
+  // Drive the queue with random schedule/cancel/pop operations and compare
+  // against a naive sorted-vector reference.
+  RandomStream rng(42, 0);
+  EventQueue<std::uint64_t> q;
+  struct RefEntry {
+    double time;
+    std::uint64_t seq;
+    std::uint64_t payload;
+  };
+  std::vector<RefEntry> reference;  // live events only
+  std::vector<EventHandle> live_handles;
+  std::uint64_t payload_counter = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.5 || q.empty()) {
+      const double time = rng.uniform(0, 100);
+      const EventHandle h = q.schedule(time, payload_counter);
+      reference.push_back(RefEntry{time, h.seq, payload_counter});
+      live_handles.push_back(h);
+      ++payload_counter;
+    } else if (dice < 0.7 && !live_handles.empty()) {
+      const std::size_t pick = rng.below(live_handles.size());
+      const EventHandle h = live_handles[pick];
+      q.cancel(h);
+      std::erase_if(reference, [&](const RefEntry& e) { return e.seq == h.seq; });
+      live_handles.erase(live_handles.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      ASSERT_FALSE(reference.empty());
+      const auto best = std::min_element(
+          reference.begin(), reference.end(), [](const RefEntry& a, const RefEntry& b) {
+            if (a.time != b.time) return a.time < b.time;
+            return a.seq < b.seq;
+          });
+      const auto popped = q.pop();
+      EXPECT_DOUBLE_EQ(popped.time, best->time);
+      EXPECT_EQ(popped.payload, best->payload);
+      std::erase_if(live_handles,
+                    [&](EventHandle h) { return h.seq == best->seq; });
+      reference.erase(best);
+    }
+    ASSERT_EQ(q.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace fmtree::sim
