@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a10_phases"
+  "../bench/bench_a10_phases.pdb"
+  "CMakeFiles/bench_a10_phases.dir/bench_a10_phases.cpp.o"
+  "CMakeFiles/bench_a10_phases.dir/bench_a10_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a10_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

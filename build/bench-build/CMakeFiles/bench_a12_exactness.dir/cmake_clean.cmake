@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a12_exactness"
+  "../bench/bench_a12_exactness.pdb"
+  "CMakeFiles/bench_a12_exactness.dir/bench_a12_exactness.cpp.o"
+  "CMakeFiles/bench_a12_exactness.dir/bench_a12_exactness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a12_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

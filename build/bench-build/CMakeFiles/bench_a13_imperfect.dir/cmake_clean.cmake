@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a13_imperfect"
+  "../bench/bench_a13_imperfect.pdb"
+  "CMakeFiles/bench_a13_imperfect.dir/bench_a13_imperfect.cpp.o"
+  "CMakeFiles/bench_a13_imperfect.dir/bench_a13_imperfect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a13_imperfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_a13_imperfect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a14_renewal"
+  "../bench/bench_a14_renewal.pdb"
+  "CMakeFiles/bench_a14_renewal.dir/bench_a14_renewal.cpp.o"
+  "CMakeFiles/bench_a14_renewal.dir/bench_a14_renewal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a14_renewal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

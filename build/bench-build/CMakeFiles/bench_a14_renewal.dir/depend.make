@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a14_renewal.
+# This may be replaced when dependencies are built.

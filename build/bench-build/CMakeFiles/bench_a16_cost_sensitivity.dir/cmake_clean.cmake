@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a16_cost_sensitivity"
+  "../bench/bench_a16_cost_sensitivity.pdb"
+  "CMakeFiles/bench_a16_cost_sensitivity.dir/bench_a16_cost_sensitivity.cpp.o"
+  "CMakeFiles/bench_a16_cost_sensitivity.dir/bench_a16_cost_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a16_cost_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a17_tornado"
+  "../bench/bench_a17_tornado.pdb"
+  "CMakeFiles/bench_a17_tornado.dir/bench_a17_tornado.cpp.o"
+  "CMakeFiles/bench_a17_tornado.dir/bench_a17_tornado.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a17_tornado.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a17_tornado.
+# This may be replaced when dependencies are built.

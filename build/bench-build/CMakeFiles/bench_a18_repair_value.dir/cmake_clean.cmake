@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a18_repair_value"
+  "../bench/bench_a18_repair_value.pdb"
+  "CMakeFiles/bench_a18_repair_value.dir/bench_a18_repair_value.cpp.o"
+  "CMakeFiles/bench_a18_repair_value.dir/bench_a18_repair_value.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a18_repair_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a18_repair_value.
+# This may be replaced when dependencies are built.

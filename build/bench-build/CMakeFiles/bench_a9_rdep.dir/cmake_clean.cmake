@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a9_rdep"
+  "../bench/bench_a9_rdep.pdb"
+  "CMakeFiles/bench_a9_rdep.dir/bench_a9_rdep.cpp.o"
+  "CMakeFiles/bench_a9_rdep.dir/bench_a9_rdep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_rdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c15_compressor"
+  "../bench/bench_c15_compressor.pdb"
+  "CMakeFiles/bench_c15_compressor.dir/bench_c15_compressor.cpp.o"
+  "CMakeFiles/bench_c15_compressor.dir/bench_c15_compressor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c15_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

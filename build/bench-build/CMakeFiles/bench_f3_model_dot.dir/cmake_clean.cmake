@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f3_model_dot"
+  "../bench/bench_f3_model_dot.pdb"
+  "CMakeFiles/bench_f3_model_dot.dir/bench_f3_model_dot.cpp.o"
+  "CMakeFiles/bench_f3_model_dot.dir/bench_f3_model_dot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_model_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

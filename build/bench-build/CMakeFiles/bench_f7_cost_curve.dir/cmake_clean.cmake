@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f7_cost_curve"
+  "../bench/bench_f7_cost_curve.pdb"
+  "CMakeFiles/bench_f7_cost_curve.dir/bench_f7_cost_curve.cpp.o"
+  "CMakeFiles/bench_f7_cost_curve.dir/bench_f7_cost_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_cost_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_m13_engine"
+  "../bench/bench_m13_engine.pdb"
+  "CMakeFiles/bench_m13_engine.dir/bench_m13_engine.cpp.o"
+  "CMakeFiles/bench_m13_engine.dir/bench_m13_engine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m13_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_m14_bdd"
+  "../bench/bench_m14_bdd.pdb"
+  "CMakeFiles/bench_m14_bdd.dir/bench_m14_bdd.cpp.o"
+  "CMakeFiles/bench_m14_bdd.dir/bench_m14_bdd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m14_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

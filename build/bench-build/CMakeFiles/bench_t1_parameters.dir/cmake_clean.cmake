@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_parameters"
+  "../bench/bench_t1_parameters.pdb"
+  "CMakeFiles/bench_t1_parameters.dir/bench_t1_parameters.cpp.o"
+  "CMakeFiles/bench_t1_parameters.dir/bench_t1_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

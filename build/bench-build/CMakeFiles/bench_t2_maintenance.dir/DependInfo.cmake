@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t2_maintenance.cpp" "bench-build/CMakeFiles/bench_t2_maintenance.dir/bench_t2_maintenance.cpp.o" "gcc" "bench-build/CMakeFiles/bench_t2_maintenance.dir/bench_t2_maintenance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eijoint/CMakeFiles/fmt_eijoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/compressor/CMakeFiles/fmt_compressor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fmt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/fmt_maint.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/fmt_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/smc/CMakeFiles/fmt_smc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmt/CMakeFiles/fmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/fmt_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t8_strategies"
+  "../bench/bench_t8_strategies.pdb"
+  "CMakeFiles/bench_t8_strategies.dir/bench_t8_strategies.cpp.o"
+  "CMakeFiles/bench_t8_strategies.dir/bench_t8_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressor_planning.dir/compressor_planning.cpp.o"
+  "CMakeFiles/compressor_planning.dir/compressor_planning.cpp.o.d"
+  "compressor_planning"
+  "compressor_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressor_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fmt_dsl.dir/custom_fmt_dsl.cpp.o"
+  "CMakeFiles/custom_fmt_dsl.dir/custom_fmt_dsl.cpp.o.d"
+  "custom_fmt_dsl"
+  "custom_fmt_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fmt_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

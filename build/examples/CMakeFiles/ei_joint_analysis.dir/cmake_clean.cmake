@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ei_joint_analysis.dir/ei_joint_analysis.cpp.o"
+  "CMakeFiles/ei_joint_analysis.dir/ei_joint_analysis.cpp.o.d"
+  "ei_joint_analysis"
+  "ei_joint_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ei_joint_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ei_joint_analysis.
+# This may be replaced when dependencies are built.

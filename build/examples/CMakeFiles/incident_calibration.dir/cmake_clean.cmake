@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_calibration.dir/incident_calibration.cpp.o"
+  "CMakeFiles/incident_calibration.dir/incident_calibration.cpp.o.d"
+  "incident_calibration"
+  "incident_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_optimization.dir/maintenance_optimization.cpp.o"
+  "CMakeFiles/maintenance_optimization.dir/maintenance_optimization.cpp.o.d"
+  "maintenance_optimization"
+  "maintenance_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

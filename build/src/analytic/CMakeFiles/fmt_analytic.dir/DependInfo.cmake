@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/ctmc.cpp" "src/analytic/CMakeFiles/fmt_analytic.dir/ctmc.cpp.o" "gcc" "src/analytic/CMakeFiles/fmt_analytic.dir/ctmc.cpp.o.d"
+  "/root/repo/src/analytic/fmt2ctmc.cpp" "src/analytic/CMakeFiles/fmt_analytic.dir/fmt2ctmc.cpp.o" "gcc" "src/analytic/CMakeFiles/fmt_analytic.dir/fmt2ctmc.cpp.o.d"
+  "/root/repo/src/analytic/solvers.cpp" "src/analytic/CMakeFiles/fmt_analytic.dir/solvers.cpp.o" "gcc" "src/analytic/CMakeFiles/fmt_analytic.dir/solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fmt/CMakeFiles/fmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/fmt_ft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_analytic.dir/ctmc.cpp.o"
+  "CMakeFiles/fmt_analytic.dir/ctmc.cpp.o.d"
+  "CMakeFiles/fmt_analytic.dir/fmt2ctmc.cpp.o"
+  "CMakeFiles/fmt_analytic.dir/fmt2ctmc.cpp.o.d"
+  "CMakeFiles/fmt_analytic.dir/solvers.cpp.o"
+  "CMakeFiles/fmt_analytic.dir/solvers.cpp.o.d"
+  "libfmt_analytic.a"
+  "libfmt_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/fmt_cli_lib.dir/cli.cpp.o.d"
+  "libfmt_cli_lib.a"
+  "libfmt_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtree_cli.dir/main.cpp.o"
+  "CMakeFiles/fmtree_cli.dir/main.cpp.o.d"
+  "fmtree"
+  "fmtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

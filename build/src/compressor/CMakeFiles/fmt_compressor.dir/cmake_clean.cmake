@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_compressor.dir/compressor.cpp.o"
+  "CMakeFiles/fmt_compressor.dir/compressor.cpp.o.d"
+  "libfmt_compressor.a"
+  "libfmt_compressor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

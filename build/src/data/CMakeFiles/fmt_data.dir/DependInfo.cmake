@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/estimate.cpp" "src/data/CMakeFiles/fmt_data.dir/estimate.cpp.o" "gcc" "src/data/CMakeFiles/fmt_data.dir/estimate.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/fmt_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/fmt_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/incident.cpp" "src/data/CMakeFiles/fmt_data.dir/incident.cpp.o" "gcc" "src/data/CMakeFiles/fmt_data.dir/incident.cpp.o.d"
+  "/root/repo/src/data/validate.cpp" "src/data/CMakeFiles/fmt_data.dir/validate.cpp.o" "gcc" "src/data/CMakeFiles/fmt_data.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smc/CMakeFiles/fmt_smc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmt/CMakeFiles/fmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/fmt_ft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

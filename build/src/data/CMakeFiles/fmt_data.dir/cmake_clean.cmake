@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_data.dir/estimate.cpp.o"
+  "CMakeFiles/fmt_data.dir/estimate.cpp.o.d"
+  "CMakeFiles/fmt_data.dir/generator.cpp.o"
+  "CMakeFiles/fmt_data.dir/generator.cpp.o.d"
+  "CMakeFiles/fmt_data.dir/incident.cpp.o"
+  "CMakeFiles/fmt_data.dir/incident.cpp.o.d"
+  "CMakeFiles/fmt_data.dir/validate.cpp.o"
+  "CMakeFiles/fmt_data.dir/validate.cpp.o.d"
+  "libfmt_data.a"
+  "libfmt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_eijoint.dir/model.cpp.o"
+  "CMakeFiles/fmt_eijoint.dir/model.cpp.o.d"
+  "CMakeFiles/fmt_eijoint.dir/scenarios.cpp.o"
+  "CMakeFiles/fmt_eijoint.dir/scenarios.cpp.o.d"
+  "libfmt_eijoint.a"
+  "libfmt_eijoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_eijoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmt/degradation.cpp" "src/fmt/CMakeFiles/fmt_core.dir/degradation.cpp.o" "gcc" "src/fmt/CMakeFiles/fmt_core.dir/degradation.cpp.o.d"
+  "/root/repo/src/fmt/fmtree.cpp" "src/fmt/CMakeFiles/fmt_core.dir/fmtree.cpp.o" "gcc" "src/fmt/CMakeFiles/fmt_core.dir/fmtree.cpp.o.d"
+  "/root/repo/src/fmt/parser.cpp" "src/fmt/CMakeFiles/fmt_core.dir/parser.cpp.o" "gcc" "src/fmt/CMakeFiles/fmt_core.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ft/CMakeFiles/fmt_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

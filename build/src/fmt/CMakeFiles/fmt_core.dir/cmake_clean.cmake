@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_core.dir/degradation.cpp.o"
+  "CMakeFiles/fmt_core.dir/degradation.cpp.o.d"
+  "CMakeFiles/fmt_core.dir/fmtree.cpp.o"
+  "CMakeFiles/fmt_core.dir/fmtree.cpp.o.d"
+  "CMakeFiles/fmt_core.dir/parser.cpp.o"
+  "CMakeFiles/fmt_core.dir/parser.cpp.o.d"
+  "libfmt_core.a"
+  "libfmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

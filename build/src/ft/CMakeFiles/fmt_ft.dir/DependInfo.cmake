@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ft/bdd.cpp" "src/ft/CMakeFiles/fmt_ft.dir/bdd.cpp.o" "gcc" "src/ft/CMakeFiles/fmt_ft.dir/bdd.cpp.o.d"
+  "/root/repo/src/ft/cutsets.cpp" "src/ft/CMakeFiles/fmt_ft.dir/cutsets.cpp.o" "gcc" "src/ft/CMakeFiles/fmt_ft.dir/cutsets.cpp.o.d"
+  "/root/repo/src/ft/dot.cpp" "src/ft/CMakeFiles/fmt_ft.dir/dot.cpp.o" "gcc" "src/ft/CMakeFiles/fmt_ft.dir/dot.cpp.o.d"
+  "/root/repo/src/ft/importance.cpp" "src/ft/CMakeFiles/fmt_ft.dir/importance.cpp.o" "gcc" "src/ft/CMakeFiles/fmt_ft.dir/importance.cpp.o.d"
+  "/root/repo/src/ft/lexer.cpp" "src/ft/CMakeFiles/fmt_ft.dir/lexer.cpp.o" "gcc" "src/ft/CMakeFiles/fmt_ft.dir/lexer.cpp.o.d"
+  "/root/repo/src/ft/parser.cpp" "src/ft/CMakeFiles/fmt_ft.dir/parser.cpp.o" "gcc" "src/ft/CMakeFiles/fmt_ft.dir/parser.cpp.o.d"
+  "/root/repo/src/ft/transform.cpp" "src/ft/CMakeFiles/fmt_ft.dir/transform.cpp.o" "gcc" "src/ft/CMakeFiles/fmt_ft.dir/transform.cpp.o.d"
+  "/root/repo/src/ft/tree.cpp" "src/ft/CMakeFiles/fmt_ft.dir/tree.cpp.o" "gcc" "src/ft/CMakeFiles/fmt_ft.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

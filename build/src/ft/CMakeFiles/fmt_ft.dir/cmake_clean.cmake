@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_ft.dir/bdd.cpp.o"
+  "CMakeFiles/fmt_ft.dir/bdd.cpp.o.d"
+  "CMakeFiles/fmt_ft.dir/cutsets.cpp.o"
+  "CMakeFiles/fmt_ft.dir/cutsets.cpp.o.d"
+  "CMakeFiles/fmt_ft.dir/dot.cpp.o"
+  "CMakeFiles/fmt_ft.dir/dot.cpp.o.d"
+  "CMakeFiles/fmt_ft.dir/importance.cpp.o"
+  "CMakeFiles/fmt_ft.dir/importance.cpp.o.d"
+  "CMakeFiles/fmt_ft.dir/lexer.cpp.o"
+  "CMakeFiles/fmt_ft.dir/lexer.cpp.o.d"
+  "CMakeFiles/fmt_ft.dir/parser.cpp.o"
+  "CMakeFiles/fmt_ft.dir/parser.cpp.o.d"
+  "CMakeFiles/fmt_ft.dir/transform.cpp.o"
+  "CMakeFiles/fmt_ft.dir/transform.cpp.o.d"
+  "CMakeFiles/fmt_ft.dir/tree.cpp.o"
+  "CMakeFiles/fmt_ft.dir/tree.cpp.o.d"
+  "libfmt_ft.a"
+  "libfmt_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_maint.dir/optimizer.cpp.o"
+  "CMakeFiles/fmt_maint.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fmt_maint.dir/policy.cpp.o"
+  "CMakeFiles/fmt_maint.dir/policy.cpp.o.d"
+  "CMakeFiles/fmt_maint.dir/repair_value.cpp.o"
+  "CMakeFiles/fmt_maint.dir/repair_value.cpp.o.d"
+  "libfmt_maint.a"
+  "libfmt_maint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_maint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_sim.dir/fmt_executor.cpp.o"
+  "CMakeFiles/fmt_sim.dir/fmt_executor.cpp.o.d"
+  "CMakeFiles/fmt_sim.dir/trace.cpp.o"
+  "CMakeFiles/fmt_sim.dir/trace.cpp.o.d"
+  "libfmt_sim.a"
+  "libfmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

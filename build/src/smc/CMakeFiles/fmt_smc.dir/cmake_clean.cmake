@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_smc.dir/compare.cpp.o"
+  "CMakeFiles/fmt_smc.dir/compare.cpp.o.d"
+  "CMakeFiles/fmt_smc.dir/export.cpp.o"
+  "CMakeFiles/fmt_smc.dir/export.cpp.o.d"
+  "CMakeFiles/fmt_smc.dir/kpi.cpp.o"
+  "CMakeFiles/fmt_smc.dir/kpi.cpp.o.d"
+  "CMakeFiles/fmt_smc.dir/runner.cpp.o"
+  "CMakeFiles/fmt_smc.dir/runner.cpp.o.d"
+  "libfmt_smc.a"
+  "libfmt_smc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fmt_smc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_util.dir/csv.cpp.o"
+  "CMakeFiles/fmt_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fmt_util.dir/distributions.cpp.o"
+  "CMakeFiles/fmt_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/fmt_util.dir/rng.cpp.o"
+  "CMakeFiles/fmt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fmt_util.dir/stats.cpp.o"
+  "CMakeFiles/fmt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fmt_util.dir/table.cpp.o"
+  "CMakeFiles/fmt_util.dir/table.cpp.o.d"
+  "libfmt_util.a"
+  "libfmt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_tests.dir/analytic/ctmc_test.cpp.o"
+  "CMakeFiles/analytic_tests.dir/analytic/ctmc_test.cpp.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/fmt2ctmc_test.cpp.o"
+  "CMakeFiles/analytic_tests.dir/analytic/fmt2ctmc_test.cpp.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/solvers_test.cpp.o"
+  "CMakeFiles/analytic_tests.dir/analytic/solvers_test.cpp.o.d"
+  "analytic_tests"
+  "analytic_tests.pdb"
+  "analytic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

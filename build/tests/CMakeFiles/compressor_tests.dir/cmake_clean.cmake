@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressor_tests.dir/compressor/compressor_test.cpp.o"
+  "CMakeFiles/compressor_tests.dir/compressor/compressor_test.cpp.o.d"
+  "compressor_tests"
+  "compressor_tests.pdb"
+  "compressor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eijoint_tests.dir/eijoint/eijoint_test.cpp.o"
+  "CMakeFiles/eijoint_tests.dir/eijoint/eijoint_test.cpp.o.d"
+  "eijoint_tests"
+  "eijoint_tests.pdb"
+  "eijoint_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eijoint_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

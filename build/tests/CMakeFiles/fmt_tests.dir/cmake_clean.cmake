@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_tests.dir/fmt/degradation_test.cpp.o"
+  "CMakeFiles/fmt_tests.dir/fmt/degradation_test.cpp.o.d"
+  "CMakeFiles/fmt_tests.dir/fmt/extensions_test.cpp.o"
+  "CMakeFiles/fmt_tests.dir/fmt/extensions_test.cpp.o.d"
+  "CMakeFiles/fmt_tests.dir/fmt/fmtree_test.cpp.o"
+  "CMakeFiles/fmt_tests.dir/fmt/fmtree_test.cpp.o.d"
+  "CMakeFiles/fmt_tests.dir/fmt/parser_test.cpp.o"
+  "CMakeFiles/fmt_tests.dir/fmt/parser_test.cpp.o.d"
+  "CMakeFiles/fmt_tests.dir/fmt/spare_test.cpp.o"
+  "CMakeFiles/fmt_tests.dir/fmt/spare_test.cpp.o.d"
+  "fmt_tests"
+  "fmt_tests.pdb"
+  "fmt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

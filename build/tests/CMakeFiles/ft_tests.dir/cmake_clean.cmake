@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_tests.dir/ft/bdd_cutsets_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/ft/bdd_cutsets_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/ft/bdd_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/ft/bdd_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/ft/cutsets_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/ft/cutsets_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/ft/importance_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/ft/importance_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/ft/parser_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/ft/parser_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/ft/transform_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/ft/transform_test.cpp.o.d"
+  "CMakeFiles/ft_tests.dir/ft/tree_test.cpp.o"
+  "CMakeFiles/ft_tests.dir/ft/tree_test.cpp.o.d"
+  "ft_tests"
+  "ft_tests.pdb"
+  "ft_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_tests.dir/maintenance/maintenance_test.cpp.o"
+  "CMakeFiles/maintenance_tests.dir/maintenance/maintenance_test.cpp.o.d"
+  "CMakeFiles/maintenance_tests.dir/maintenance/optimizer2_test.cpp.o"
+  "CMakeFiles/maintenance_tests.dir/maintenance/optimizer2_test.cpp.o.d"
+  "CMakeFiles/maintenance_tests.dir/maintenance/repair_value_test.cpp.o"
+  "CMakeFiles/maintenance_tests.dir/maintenance/repair_value_test.cpp.o.d"
+  "maintenance_tests"
+  "maintenance_tests.pdb"
+  "maintenance_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

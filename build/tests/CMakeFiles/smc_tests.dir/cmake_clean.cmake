@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smc_tests.dir/smc/compare_test.cpp.o"
+  "CMakeFiles/smc_tests.dir/smc/compare_test.cpp.o.d"
+  "CMakeFiles/smc_tests.dir/smc/npv_test.cpp.o"
+  "CMakeFiles/smc_tests.dir/smc/npv_test.cpp.o.d"
+  "CMakeFiles/smc_tests.dir/smc/smc_test.cpp.o"
+  "CMakeFiles/smc_tests.dir/smc/smc_test.cpp.o.d"
+  "smc_tests"
+  "smc_tests.pdb"
+  "smc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/ft_tests[1]_include.cmake")
+include("/root/repo/build/tests/fmt_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/smc_tests[1]_include.cmake")
+include("/root/repo/build/tests/analytic_tests[1]_include.cmake")
+include("/root/repo/build/tests/maintenance_tests[1]_include.cmake")
+include("/root/repo/build/tests/data_tests[1]_include.cmake")
+include("/root/repo/build/tests/eijoint_tests[1]_include.cmake")
+include("/root/repo/build/tests/compressor_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/cli_tests[1]_include.cmake")
