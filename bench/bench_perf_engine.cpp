@@ -1,0 +1,218 @@
+// Engine performance benchmark: trajectories/second and per-event cost of
+// the Monte-Carlo hot path on the two case-study models, emitted as
+// BENCH_engine.json so successive PRs are measured against a tracked
+// baseline (run via bench/run_perf.sh).
+//
+// Three configurations per model, all at a fixed seed:
+//  * baseline  — the pre-PR engine preserved verbatim in bench/seed_engine.hpp
+//                (std::priority_queue, full gate re-evaluation per event,
+//                fresh allocations per trajectory);
+//  * single    — the production engine, one thread, reused SimWorkspace;
+//  * parallel  — the production engine through ParallelRunner at hardware
+//                concurrency.
+//
+// Before timing, the first trajectories of the seed engine, the production
+// engine, and its reference-evaluation mode are compared bit-for-bit: the
+// speedup must come from doing the same work faster, not different work.
+//
+// Trajectory counts scale with FMTREE_BENCH_TRAJECTORIES; --smoke runs a
+// tiny count (the ctest perf smoke target) so the harness cannot bit-rot.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/seed_engine.hpp"
+#include "fmt/parser.hpp"
+#include "sim/fmt_executor.hpp"
+#include "smc/runner.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace fmtree;
+
+constexpr std::uint64_t kSeed = 20160628;
+
+std::string read_model_file(const std::string& name) {
+  for (const std::string& prefix : {std::string("models/"), std::string("../models/"),
+                                    std::string(FMTREE_SOURCE_DIR "/models/")}) {
+    std::ifstream f(prefix + name);
+    if (f) {
+      std::ostringstream text;
+      text << f.rdbuf();
+      return text.str();
+    }
+  }
+  throw IoError("cannot locate models/" + name);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct ModelReport {
+  std::string name;
+  std::uint64_t trajectories = 0;
+  double horizon = 0.0;
+  double baseline_traj_per_sec = 0.0;
+  double single_traj_per_sec = 0.0;
+  double parallel_traj_per_sec = 0.0;
+  unsigned parallel_threads = 0;
+  double events_per_trajectory = 0.0;
+  double ns_per_event = 0.0;
+  double speedup_single = 0.0;
+  double speedup_parallel = 0.0;
+  bool equivalent = false;  ///< baseline and single agree bit-for-bit
+};
+
+bool bitwise_equal(const sim::TrajectoryResult& a, const sim::TrajectoryResult& b) {
+  return a.failures == b.failures && a.first_failure_time == b.first_failure_time &&
+         a.downtime == b.downtime && a.cost.total() == b.cost.total() &&
+         a.discounted_cost.total() == b.discounted_cost.total() &&
+         a.inspections == b.inspections && a.repairs == b.repairs &&
+         a.replacements == b.replacements &&
+         a.repairs_per_leaf == b.repairs_per_leaf &&
+         a.failures_per_leaf == b.failures_per_leaf;
+}
+
+ModelReport bench_model(const std::string& name, double horizon, std::uint64_t n) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(read_model_file(name + ".fmt"));
+  const sim::FmtSimulator simulator(model);
+  const bench_seed::SeedSimulator seed_simulator(model);
+
+  ModelReport rep;
+  rep.name = name;
+  rep.trajectories = n;
+  rep.horizon = horizon;
+
+  sim::SimOptions fast;
+  fast.horizon = horizon;
+  sim::SimOptions reference = fast;
+  reference.reference_engine = true;
+
+  // Cross-check: the seed engine, the production engine, and its full
+  // re-evaluation mode must agree bit-for-bit before any timing.
+  rep.equivalent = true;
+  {
+    sim::SimWorkspace ws;
+    const std::uint64_t check = std::min<std::uint64_t>(n, 200);
+    for (std::uint64_t i = 0; i < check; ++i) {
+      const auto s = seed_simulator.run(RandomStream(kSeed, i), fast);
+      const auto a = simulator.run(RandomStream(kSeed, i), reference);
+      const auto b = simulator.run(RandomStream(kSeed, i), fast, ws);
+      if (!bitwise_equal(s, a) || !bitwise_equal(s, b)) rep.equivalent = false;
+    }
+  }
+
+  // Baseline: the engine as it stood before this optimisation pass. Runs
+  // fewer trajectories when n is large; rates normalise the difference.
+  {
+    const std::uint64_t n_base = std::max<std::uint64_t>(n / 4, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < n_base; ++i)
+      (void)seed_simulator.run(RandomStream(kSeed, i), fast);
+    rep.baseline_traj_per_sec = static_cast<double>(n_base) / seconds_since(t0);
+  }
+
+  // Production engine, single thread, reused workspace.
+  {
+    sim::SimWorkspace ws;
+    std::uint64_t events = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < n; ++i)
+      events += simulator.run(RandomStream(kSeed, i), fast, ws).events;
+    const double sec = seconds_since(t0);
+    rep.single_traj_per_sec = static_cast<double>(n) / sec;
+    rep.events_per_trajectory = static_cast<double>(events) / static_cast<double>(n);
+    rep.ns_per_event = events > 0 ? sec * 1e9 / static_cast<double>(events) : 0.0;
+  }
+
+  // Production engine through the deterministic parallel runner.
+  {
+    const smc::ParallelRunner runner(simulator, 0);
+    rep.parallel_threads = runner.threads();
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)runner.run(kSeed, 0, n, fast);
+    rep.parallel_traj_per_sec = static_cast<double>(n) / seconds_since(t0);
+  }
+
+  rep.speedup_single = rep.single_traj_per_sec / rep.baseline_traj_per_sec;
+  rep.speedup_parallel = rep.parallel_traj_per_sec / rep.baseline_traj_per_sec;
+  return rep;
+}
+
+void write_json(std::ostream& os, const std::vector<ModelReport>& reports) {
+  os << "{\n  \"benchmark\": \"engine\",\n  \"seed\": " << kSeed << ",\n  \"models\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const ModelReport& r = reports[i];
+    os << "    {\n"
+       << "      \"model\": \"" << r.name << "\",\n"
+       << "      \"trajectories\": " << r.trajectories << ",\n"
+       << "      \"horizon\": " << r.horizon << ",\n"
+       << "      \"baseline_traj_per_sec\": " << r.baseline_traj_per_sec << ",\n"
+       << "      \"single_thread_traj_per_sec\": " << r.single_traj_per_sec << ",\n"
+       << "      \"parallel_traj_per_sec\": " << r.parallel_traj_per_sec << ",\n"
+       << "      \"parallel_threads\": " << r.parallel_threads << ",\n"
+       << "      \"events_per_trajectory\": " << r.events_per_trajectory << ",\n"
+       << "      \"ns_per_event\": " << r.ns_per_event << ",\n"
+       << "      \"speedup_single_thread\": " << r.speedup_single << ",\n"
+       << "      \"speedup_parallel\": " << r.speedup_parallel << ",\n"
+       << "      \"bitwise_equivalent\": " << (r.equivalent ? "true" : "false") << "\n"
+       << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_engine.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_perf_engine [--smoke] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  fmtree::bench::header("M19", "Engine throughput",
+                        "hot-path performance baseline (not a paper claim)");
+
+  const std::uint64_t n = smoke ? 200 : fmtree::bench::trajectories(100000);
+  std::vector<ModelReport> reports;
+  reports.push_back(bench_model("ei_joint", 10.0, n));
+  reports.push_back(bench_model("compressor", 10.0, n));
+
+  bool ok = true;
+  for (const ModelReport& r : reports) {
+    std::cout << r.name << ": baseline " << static_cast<std::uint64_t>(r.baseline_traj_per_sec)
+              << " traj/s, single " << static_cast<std::uint64_t>(r.single_traj_per_sec)
+              << " traj/s (x" << r.speedup_single << "), parallel "
+              << static_cast<std::uint64_t>(r.parallel_traj_per_sec) << " traj/s (x"
+              << r.speedup_parallel << ", " << r.parallel_threads << " threads), "
+              << r.events_per_trajectory << " ev/traj, " << r.ns_per_event << " ns/ev, "
+              << (r.equivalent ? "bitwise-equivalent" : "RESULTS DIVERGED") << "\n";
+    ok = ok && r.equivalent;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  write_json(out, reports);
+  std::cout << "\nwrote " << out_path << "\n";
+  std::cout << (ok ? "PASS" : "FAIL") << ": engine results "
+            << (ok ? "bit-identical across engines" : "diverged between engines") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the tracked engine performance benchmark and writes BENCH_engine.json
+# at the repository root. Usage:
+#
+#   bench/run_perf.sh                 # full run (FMTREE_BENCH_TRAJECTORIES scales it)
+#   bench/run_perf.sh --smoke         # tiny trajectory count, seconds not minutes
+#   BUILD_DIR=out bench/run_perf.sh   # non-default build tree
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+if [ ! -d "$BUILD" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+fi
+cmake --build "$BUILD" --target bench_perf_engine -j "$(nproc)"
+
+"$BUILD/bench/bench_perf_engine" --out "$ROOT/BENCH_engine.json" "$@"

@@ -1,0 +1,429 @@
+// The pre-incremental Monte-Carlo engine, preserved verbatim as the
+// benchmark baseline: std::priority_queue event queue, full bottom-up gate
+// re-evaluation on every event, name/id lookups in the event loop, and a
+// fresh set of state vectors allocated per trajectory.
+//
+// bench_perf_engine times this against the production engine and first
+// cross-checks that both produce bit-identical TrajectoryResults, so the
+// reported speedup measures doing the *same work* faster. Not linked into
+// the library — benchmark-only code.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "fmt/fmtree.hpp"
+#include "sim/fmt_executor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fmtree::bench_seed {
+
+/// The original lazily-cancelled event queue over std::priority_queue, with
+/// the exact-fit cancelled-bitmap growth of the seed implementation.
+template <typename Payload>
+class SeedEventQueue {
+public:
+  sim::EventHandle schedule(double time, Payload payload) {
+    FMTREE_ASSERT(!(time != time), "event time is NaN");
+    const sim::EventHandle h{next_seq_++};
+    heap_.push(Entry{time, h.seq, std::move(payload)});
+    ++live_;
+    return h;
+  }
+
+  bool cancel(sim::EventHandle h) {
+    if (h.seq >= next_seq_) return false;
+    const bool inserted = cancelled_.size() <= h.seq ? (grow_cancelled(h.seq), true)
+                                                     : !cancelled_[h.seq];
+    if (!inserted) return false;
+    cancelled_[h.seq] = true;
+    if (live_ > 0) --live_;
+    return true;
+  }
+
+  bool empty() const noexcept { return live_ == 0; }
+
+  struct Event {
+    double time;
+    sim::EventHandle handle;
+    Payload payload;
+  };
+
+  Event pop() {
+    skip_cancelled();
+    FMTREE_ASSERT(!heap_.empty(), "pop on empty event queue");
+    Entry top = heap_.top();
+    heap_.pop();
+    --live_;
+    mark_fired(top.seq);
+    return Event{top.time, sim::EventHandle{top.seq}, std::move(top.payload)};
+  }
+
+  double peek_time() {
+    skip_cancelled();
+    FMTREE_ASSERT(!heap_.empty(), "peek on empty event queue");
+    return heap_.top().time;
+  }
+
+private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void grow_cancelled(std::uint64_t seq) {
+    if (cancelled_.size() <= seq) cancelled_.resize(static_cast<std::size_t>(seq) + 1, false);
+  }
+
+  void mark_fired(std::uint64_t seq) {
+    grow_cancelled(seq);
+    cancelled_[seq] = true;
+  }
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      const std::uint64_t seq = heap_.top().seq;
+      if (seq < cancelled_.size() && cancelled_[seq]) {
+        heap_.pop();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::priority_queue<Entry> heap_;
+  std::vector<bool> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+/// The original FMT executor. Semantically identical to sim::FmtSimulator
+/// (same RNG draw order, same event ordering), structured the way the seed
+/// was: every settle() re-evaluates the whole tree.
+class SeedSimulator {
+public:
+  explicit SeedSimulator(const fmt::FaultMaintenanceTree& model) : model_(model) {
+    model.validate();
+    rdeps_by_leaf_.resize(model.num_ebes());
+    for (std::size_t r = 0; r < model.rdeps().size(); ++r) {
+      for (fmt::NodeId dep : model.rdeps()[r].dependents)
+        rdeps_by_leaf_[model.ebe_index(dep)].push_back(static_cast<std::uint32_t>(r));
+    }
+    spare_of_leaf_.assign(model.num_ebes(), -1);
+    for (std::size_t sp = 0; sp < model.spares().size(); ++sp) {
+      for (fmt::NodeId child : model.spares()[sp].children)
+        spare_of_leaf_[model.ebe_index(child)] = static_cast<std::int32_t>(sp);
+    }
+  }
+
+  sim::TrajectoryResult run(RandomStream rng, const sim::SimOptions& opts) const {
+    struct Ev {
+      enum class Kind : std::uint8_t { Phase, Inspect, Replace, CorrectiveDone, RepairDone };
+      Kind kind = Kind::Phase;
+      std::uint32_t index = 0;
+    };
+
+    if (!(opts.horizon > 0)) throw DomainError("simulation horizon must be positive");
+    const ft::FaultTree& structure = model_.structure();
+    const std::size_t num_leaves = model_.num_ebes();
+    const std::size_t num_nodes = structure.node_count();
+    const fmt::CorrectivePolicy& corrective = model_.corrective();
+
+    sim::TrajectoryResult result;
+    result.horizon = opts.horizon;
+    result.repairs_per_leaf.assign(num_leaves, 0);
+    result.failures_per_leaf.assign(num_leaves, 0);
+
+    std::vector<int> phase(num_leaves, 1);
+    std::vector<double> accel(num_leaves, 1.0);
+    std::vector<double> frozen_remaining(num_leaves, 0.0);
+    std::vector<double> next_time(num_leaves, 0.0);
+    std::vector<sim::EventHandle> next_handle(num_leaves);
+    std::vector<bool> leaf_failed(num_leaves, false);
+    std::vector<bool> under_repair(num_leaves, false);
+    std::vector<sim::EventHandle> repair_handle(num_leaves);
+    std::vector<char> node_true(num_nodes, 0);
+    SeedEventQueue<Ev> queue;
+    bool system_down = false;
+    double down_since = 0.0;
+    std::optional<sim::EventHandle> corrective_pending;
+
+    const double discount_rate = opts.discount_rate;
+    if (discount_rate < 0) throw DomainError("discount rate must be >= 0");
+    const auto discount = [&](double now) {
+      return discount_rate > 0 ? std::exp(-discount_rate * now) : 1.0;
+    };
+    const auto discounted_downtime = [&](double a, double b) {
+      if (discount_rate <= 0) return corrective.downtime_cost_rate * (b - a);
+      return corrective.downtime_cost_rate *
+             (std::exp(-discount_rate * a) - std::exp(-discount_rate * b)) / discount_rate;
+    };
+
+    const auto schedule_phase = [&](std::uint32_t leaf, double now) {
+      const fmt::DegradationModel& deg = model_.ebes()[leaf].degradation;
+      const double raw = deg.sojourn(phase[leaf]).sample(rng);
+      if (accel[leaf] > 0) {
+        next_time[leaf] = now + raw / accel[leaf];
+        next_handle[leaf] = queue.schedule(next_time[leaf], Ev{Ev::Kind::Phase, leaf});
+      } else {
+        frozen_remaining[leaf] = raw;
+        next_time[leaf] = std::numeric_limits<double>::infinity();
+      }
+    };
+
+    const auto evaluate_nodes = [&] {
+      for (std::uint32_t id = 0; id < num_nodes; ++id) {
+        const ft::NodeId node{id};
+        if (structure.is_basic(node)) {
+          node_true[id] = leaf_failed[structure.basic_index(node)] ? 1 : 0;
+          continue;
+        }
+        const ft::Gate& g = structure.gate(node);
+        int count = 0;
+        for (ft::NodeId c : g.children) count += node_true[c.value];
+        switch (g.type) {
+          case ft::GateType::And:
+            node_true[id] = count == static_cast<int>(g.children.size()) ? 1 : 0;
+            break;
+          case ft::GateType::Or:
+            node_true[id] = count > 0 ? 1 : 0;
+            break;
+          case ft::GateType::Voting:
+            node_true[id] = count >= g.k ? 1 : 0;
+            break;
+        }
+      }
+    };
+
+    const auto spare_factor = [&](std::uint32_t leaf) {
+      const std::int32_t sp = spare_of_leaf_[leaf];
+      if (sp < 0) return 1.0;
+      const fmt::SpareSpec& spec = model_.spares()[static_cast<std::size_t>(sp)];
+      for (fmt::NodeId child : spec.children) {
+        const auto c = static_cast<std::uint32_t>(model_.ebe_index(child));
+        if (!leaf_failed[c]) return c == leaf ? 1.0 : spec.dormancy;
+      }
+      return 1.0;
+    };
+
+    const auto update_rates = [&](double now) {
+      if (model_.rdeps().empty() && model_.spares().empty()) return;
+      for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+        if (rdeps_by_leaf_[leaf].empty() && spare_of_leaf_[leaf] < 0) continue;
+        double desired = spare_factor(leaf);
+        for (std::uint32_t r : rdeps_by_leaf_[leaf]) {
+          const fmt::RateDependency& dep = model_.rdeps()[r];
+          bool active = false;
+          if (dep.trigger_phase == 0) {
+            active = node_true[dep.trigger.value] != 0;
+          } else {
+            const auto trig = static_cast<std::uint32_t>(model_.ebe_index(dep.trigger));
+            active = phase[trig] >= dep.trigger_phase;
+          }
+          if (active) desired *= dep.factor;
+        }
+        if (desired == accel[leaf]) continue;
+        if (!leaf_failed[leaf] && !under_repair[leaf]) {
+          const double natural = accel[leaf] > 0 ? (next_time[leaf] - now) * accel[leaf]
+                                                 : frozen_remaining[leaf];
+          if (accel[leaf] > 0) queue.cancel(next_handle[leaf]);
+          if (desired > 0) {
+            next_time[leaf] = now + natural / desired;
+            next_handle[leaf] = queue.schedule(next_time[leaf], Ev{Ev::Kind::Phase, leaf});
+          } else {
+            frozen_remaining[leaf] = natural;
+            next_time[leaf] = std::numeric_limits<double>::infinity();
+          }
+        }
+        accel[leaf] = desired;
+      }
+    };
+
+    const auto renew_leaf = [&](std::uint32_t leaf, double now) {
+      if (under_repair[leaf]) {
+        queue.cancel(repair_handle[leaf]);
+        under_repair[leaf] = false;
+      } else if (!leaf_failed[leaf] && accel[leaf] > 0) {
+        queue.cancel(next_handle[leaf]);
+      }
+      phase[leaf] = 1;
+      leaf_failed[leaf] = false;
+      schedule_phase(leaf, now);
+    };
+
+    const auto end_downtime = [&](double now) {
+      result.downtime += now - down_since;
+      result.cost.downtime += corrective.downtime_cost_rate * (now - down_since);
+      result.discounted_cost.downtime += discounted_downtime(down_since, now);
+      system_down = false;
+      if (corrective_pending) {
+        queue.cancel(*corrective_pending);
+        corrective_pending.reset();
+      }
+    };
+
+    const auto apply_fdeps = [&](double) {
+      if (model_.fdeps().empty()) return;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (const fmt::FunctionalDependency& dep : model_.fdeps()) {
+          if (!node_true[dep.trigger.value]) continue;
+          for (fmt::NodeId d : dep.dependents) {
+            const auto leaf = static_cast<std::uint32_t>(model_.ebe_index(d));
+            if (leaf_failed[leaf]) continue;
+            if (under_repair[leaf]) {
+              queue.cancel(repair_handle[leaf]);
+              under_repair[leaf] = false;
+            } else if (accel[leaf] > 0) {
+              queue.cancel(next_handle[leaf]);
+            }
+            phase[leaf] = model_.ebes()[leaf].degradation.phases() + 1;
+            leaf_failed[leaf] = true;
+            changed = true;
+          }
+        }
+        if (changed) evaluate_nodes();
+      }
+    };
+
+    const auto settle = [&](double now, std::optional<std::uint32_t> cause) {
+      evaluate_nodes();
+      apply_fdeps(now);
+      update_rates(now);
+      const bool top_now = node_true[model_.top().value] != 0;
+      if (top_now && !system_down) {
+        ++result.failures;
+        result.first_failure_time = std::min(result.first_failure_time, now);
+        const std::uint32_t cause_leaf = cause.value_or(0);
+        FMTREE_ASSERT(cause.has_value(), "top event rose without a causing leaf");
+        ++result.failures_per_leaf[cause_leaf];
+        if (opts.record_failure_log)
+          result.failure_log.push_back(sim::FailureRecord{now, cause_leaf});
+        result.cost.corrective += corrective.enabled ? corrective.cost : 0.0;
+        result.discounted_cost.corrective +=
+            corrective.enabled ? corrective.cost * discount(now) : 0.0;
+        system_down = true;
+        down_since = now;
+        if (corrective.enabled) {
+          corrective_pending =
+              queue.schedule(now + corrective.delay, Ev{Ev::Kind::CorrectiveDone, 0});
+        }
+      } else if (!top_now && system_down) {
+        end_downtime(now);
+      }
+    };
+
+    for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) schedule_phase(leaf, 0.0);
+    for (std::size_t m = 0; m < model_.inspections().size(); ++m)
+      queue.schedule(model_.inspections()[m].first_at,
+                     Ev{Ev::Kind::Inspect, static_cast<std::uint32_t>(m)});
+    for (std::size_t m = 0; m < model_.replacements().size(); ++m)
+      queue.schedule(model_.replacements()[m].first_at,
+                     Ev{Ev::Kind::Replace, static_cast<std::uint32_t>(m)});
+    evaluate_nodes();
+    update_rates(0.0);
+
+    while (!queue.empty() && queue.peek_time() <= opts.horizon) {
+      const auto event = queue.pop();
+      const double now = event.time;
+      ++result.events;
+      switch (event.payload.kind) {
+        case Ev::Kind::Phase: {
+          const std::uint32_t leaf = event.payload.index;
+          ++phase[leaf];
+          const fmt::DegradationModel& deg = model_.ebes()[leaf].degradation;
+          if (phase[leaf] > deg.phases()) {
+            leaf_failed[leaf] = true;
+            settle(now, leaf);
+          } else {
+            schedule_phase(leaf, now);
+            settle(now, std::nullopt);
+          }
+          break;
+        }
+        case Ev::Kind::Inspect: {
+          const fmt::InspectionModule& mod = model_.inspections()[event.payload.index];
+          ++result.inspections;
+          result.cost.inspection += mod.cost;
+          result.discounted_cost.inspection += mod.cost * discount(now);
+          for (fmt::NodeId target : mod.targets) {
+            const auto leaf = static_cast<std::uint32_t>(model_.ebe_index(target));
+            const fmt::ExtendedBasicEvent& e = model_.ebes()[leaf];
+            if (leaf_failed[leaf]) continue;
+            if (under_repair[leaf]) continue;
+            if (phase[leaf] < e.degradation.threshold_phase()) continue;
+            if (mod.detection_probability < 1.0 && !rng.bernoulli(mod.detection_probability)) {
+              continue;
+            }
+            ++result.repairs;
+            ++result.repairs_per_leaf[leaf];
+            result.cost.repair += e.repair.cost;
+            result.discounted_cost.repair += e.repair.cost * discount(now);
+            if (e.repair.duration > 0) {
+              queue.cancel(next_handle[leaf]);
+              under_repair[leaf] = true;
+              repair_handle[leaf] =
+                  queue.schedule(now + e.repair.duration, Ev{Ev::Kind::RepairDone, leaf});
+            } else {
+              renew_leaf(leaf, now);
+            }
+          }
+          settle(now, std::nullopt);
+          queue.schedule(now + mod.period, Ev{Ev::Kind::Inspect, event.payload.index});
+          break;
+        }
+        case Ev::Kind::Replace: {
+          const fmt::ReplacementModule& mod = model_.replacements()[event.payload.index];
+          ++result.replacements;
+          result.cost.replacement += mod.cost;
+          result.discounted_cost.replacement += mod.cost * discount(now);
+          for (fmt::NodeId target : mod.targets)
+            renew_leaf(static_cast<std::uint32_t>(model_.ebe_index(target)), now);
+          settle(now, std::nullopt);
+          queue.schedule(now + mod.period, Ev{Ev::Kind::Replace, event.payload.index});
+          break;
+        }
+        case Ev::Kind::RepairDone: {
+          const std::uint32_t leaf = event.payload.index;
+          under_repair[leaf] = false;
+          phase[leaf] = 1;
+          schedule_phase(leaf, now);
+          settle(now, std::nullopt);
+          break;
+        }
+        case Ev::Kind::CorrectiveDone: {
+          corrective_pending.reset();
+          for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) renew_leaf(leaf, now);
+          settle(now, std::nullopt);
+          break;
+        }
+      }
+    }
+
+    if (system_down) {
+      result.downtime += opts.horizon - down_since;
+      result.cost.downtime += corrective.downtime_cost_rate * (opts.horizon - down_since);
+      result.discounted_cost.downtime += discounted_downtime(down_since, opts.horizon);
+    }
+    return result;
+  }
+
+private:
+  const fmt::FaultMaintenanceTree& model_;
+  std::vector<std::vector<std::uint32_t>> rdeps_by_leaf_;
+  std::vector<std::int32_t> spare_of_leaf_;
+};
+
+}  // namespace fmtree::bench_seed

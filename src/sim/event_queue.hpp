@@ -2,8 +2,8 @@
 // timestamped events with deterministic tie-breaking.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "util/error.hpp"
@@ -19,6 +19,10 @@ struct EventHandle {
 /// Min-heap of events ordered by (time, insertion sequence). Cancellation is
 /// lazy: cancelled entries are skipped on pop. Payloads are small value
 /// types (the FMT executor uses a tagged struct).
+///
+/// The heap lives in a plain vector so reset() can drop all events while
+/// keeping the allocated capacity — reusing one queue across millions of
+/// trajectories costs no allocations in steady state.
 template <typename Payload>
 class EventQueue {
 public:
@@ -27,7 +31,8 @@ public:
   EventHandle schedule(double time, Payload payload) {
     FMTREE_ASSERT(!(time != time), "event time is NaN");
     const EventHandle h{next_seq_++};
-    heap_.push(Entry{time, h.seq, std::move(payload)});
+    heap_.push_back(Entry{time, h.seq, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end());
     ++live_;
     return h;
   }
@@ -57,8 +62,9 @@ public:
   Event pop() {
     skip_cancelled();
     FMTREE_ASSERT(!heap_.empty(), "pop on empty event queue");
-    Entry top = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end());
+    Entry top = std::move(heap_.back());
+    heap_.pop_back();
     --live_;
     mark_fired(top.seq);
     return Event{top.time, EventHandle{top.seq}, std::move(top.payload)};
@@ -68,14 +74,23 @@ public:
   double peek_time() {
     skip_cancelled();
     FMTREE_ASSERT(!heap_.empty(), "peek on empty event queue");
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
   void clear() {
-    heap_ = {};
+    heap_.clear();
     cancelled_.clear();
     live_ = 0;
     // next_seq_ keeps counting so stale handles can never alias new events.
+  }
+
+  /// As clear(), but also restarts the sequence counter. Only safe when no
+  /// handle from a previous epoch can still be presented (the simulation
+  /// workspace calls this between trajectories, resetting all stored
+  /// handles alongside); otherwise old handles would alias new events.
+  void reset() {
+    clear();
+    next_seq_ = 0;
   }
 
 private:
@@ -83,7 +98,7 @@ private:
     double time;
     std::uint64_t seq;
     Payload payload;
-    // std::priority_queue is a max-heap; invert for (time, seq) min order.
+    // std::push_heap builds a max-heap; invert for (time, seq) min order.
     friend bool operator<(const Entry& a, const Entry& b) {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
@@ -91,7 +106,13 @@ private:
   };
 
   void grow_cancelled(std::uint64_t seq) {
-    if (cancelled_.size() <= seq) cancelled_.resize(static_cast<std::size_t>(seq) + 1, false);
+    // Grow with slack: pop marks every fired sequence, so an exact-fit
+    // resize here would run once per event.
+    if (cancelled_.size() <= seq) {
+      cancelled_.resize(
+          std::max<std::size_t>(static_cast<std::size_t>(seq) + 64, cancelled_.size() * 2),
+          false);
+    }
   }
 
   void mark_fired(std::uint64_t seq) {
@@ -101,16 +122,17 @@ private:
 
   void skip_cancelled() {
     while (!heap_.empty()) {
-      const std::uint64_t seq = heap_.top().seq;
+      const std::uint64_t seq = heap_.front().seq;
       if (seq < cancelled_.size() && cancelled_[seq]) {
-        heap_.pop();
+        std::pop_heap(heap_.begin(), heap_.end());
+        heap_.pop_back();
       } else {
         break;
       }
     }
   }
 
-  std::priority_queue<Entry> heap_;
+  std::vector<Entry> heap_;
   std::vector<bool> cancelled_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;

@@ -3,41 +3,80 @@
 #include <cmath>
 #include <optional>
 
-#include "sim/event_queue.hpp"
 #include "util/error.hpp"
 
 namespace fmtree::sim {
 
-namespace {
+using detail::Ev;
 
-struct Ev {
-  enum class Kind : std::uint8_t { Phase, Inspect, Replace, CorrectiveDone, RepairDone };
-  Kind kind = Kind::Phase;
-  std::uint32_t index = 0;  // leaf index or module index
-};
-
-}  // namespace
-
-FmtSimulator::FmtSimulator(const fmt::FaultMaintenanceTree& model) : model_(model) {
+FmtSimulator::FmtSimulator(const fmt::FaultMaintenanceTree& model)
+    : model_(model), eval_(model.structure()) {
   model.validate();
+  top_node_ = model.top().value;
+
+  const auto leaf_of = [&](fmt::NodeId id) {
+    return static_cast<std::uint32_t>(model.ebe_index(id));
+  };
+
   rdeps_by_leaf_.resize(model.num_ebes());
   for (std::size_t r = 0; r < model.rdeps().size(); ++r) {
-    for (fmt::NodeId dep : model.rdeps()[r].dependents)
-      rdeps_by_leaf_[model.ebe_index(dep)].push_back(static_cast<std::uint32_t>(r));
+    const fmt::RateDependency& dep = model.rdeps()[r];
+    for (fmt::NodeId d : dep.dependents)
+      rdeps_by_leaf_[leaf_of(d)].push_back(static_cast<std::uint32_t>(r));
+    RdepInfo info;
+    info.trigger_node = dep.trigger.value;
+    info.trigger_phase = dep.trigger_phase;
+    info.factor = dep.factor;
+    if (dep.trigger_phase >= 1) info.trigger_leaf = leaf_of(dep.trigger);
+    rdep_info_.push_back(info);
   }
+
   spare_of_leaf_.assign(model.num_ebes(), -1);
   for (std::size_t sp = 0; sp < model.spares().size(); ++sp) {
-    for (fmt::NodeId child : model.spares()[sp].children)
-      spare_of_leaf_[model.ebe_index(child)] = static_cast<std::int32_t>(sp);
+    std::vector<std::uint32_t> pool;
+    for (fmt::NodeId child : model.spares()[sp].children) {
+      spare_of_leaf_[leaf_of(child)] = static_cast<std::int32_t>(sp);
+      pool.push_back(leaf_of(child));
+    }
+    spare_children_.push_back(std::move(pool));
+    spare_dormancy_.push_back(model.spares()[sp].dormancy);
+  }
+
+  for (std::uint32_t leaf = 0; leaf < model.num_ebes(); ++leaf) {
+    if (!rdeps_by_leaf_[leaf].empty() || spare_of_leaf_[leaf] >= 0)
+      rate_leaves_.push_back(leaf);
+  }
+
+  for (const fmt::InspectionModule& mod : model.inspections()) {
+    std::vector<std::uint32_t> targets;
+    for (fmt::NodeId t : mod.targets) targets.push_back(leaf_of(t));
+    inspection_targets_.push_back(std::move(targets));
+  }
+  for (const fmt::ReplacementModule& mod : model.replacements()) {
+    std::vector<std::uint32_t> targets;
+    for (fmt::NodeId t : mod.targets) targets.push_back(leaf_of(t));
+    replacement_targets_.push_back(std::move(targets));
+  }
+  for (const fmt::FunctionalDependency& dep : model.fdeps()) {
+    fdep_trigger_node_.push_back(dep.trigger.value);
+    std::vector<std::uint32_t> deps;
+    for (fmt::NodeId d : dep.dependents) deps.push_back(leaf_of(d));
+    fdep_dependents_.push_back(std::move(deps));
   }
 }
 
 TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) const {
+  SimWorkspace ws;
+  return run(rng, opts, ws);
+}
+
+TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts,
+                                   SimWorkspace& ws) const {
   if (!(opts.horizon > 0)) throw DomainError("simulation horizon must be positive");
   const ft::FaultTree& structure = model_.structure();
   const std::size_t num_leaves = model_.num_ebes();
-  const std::size_t num_nodes = structure.node_count();
   const fmt::CorrectivePolicy& corrective = model_.corrective();
+  const bool reference = opts.reference_engine;
   Trace* trace = opts.trace;
 
   TrajectoryResult result;
@@ -45,23 +84,45 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
   result.repairs_per_leaf.assign(num_leaves, 0);
   result.failures_per_leaf.assign(num_leaves, 0);
 
-  // ---- Mutable trajectory state -------------------------------------------
-  std::vector<int> phase(num_leaves, 1);
-  std::vector<double> accel(num_leaves, 1.0);
-  std::vector<double> frozen_remaining(num_leaves, 0.0);  // natural-rate time left while accel == 0
-  std::vector<double> next_time(num_leaves, 0.0);
-  std::vector<EventHandle> next_handle(num_leaves);
-  std::vector<bool> leaf_failed(num_leaves, false);
-  std::vector<bool> under_repair(num_leaves, false);
-  std::vector<EventHandle> repair_handle(num_leaves);
-  std::vector<char> node_true(num_nodes, 0);
-  EventQueue<Ev> queue;
+  // ---- Reset the workspace (no reallocation when sizes are unchanged) ------
+  ws.phase.assign(num_leaves, 1);
+  ws.accel.assign(num_leaves, 1.0);
+  ws.frozen_remaining.assign(num_leaves, 0.0);
+  ws.next_time.assign(num_leaves, 0.0);
+  ws.next_handle.assign(num_leaves, EventHandle{});
+  ws.repair_handle.assign(num_leaves, EventHandle{});
+  ws.leaf_failed.assign(num_leaves, 0);
+  ws.under_repair.assign(num_leaves, 0);
+  eval_.reset(ws.gates);
+  ws.queue.reset();  // safe: every handle of the previous trajectory is gone
+
+  auto& phase = ws.phase;
+  auto& accel = ws.accel;
+  auto& frozen_remaining = ws.frozen_remaining;
+  auto& next_time = ws.next_time;
+  auto& next_handle = ws.next_handle;
+  auto& repair_handle = ws.repair_handle;
+  auto& leaf_failed = ws.leaf_failed;
+  auto& under_repair = ws.under_repair;
+  auto& gates = ws.gates;
+  auto& queue = ws.queue;
   bool system_down = false;
   double down_since = 0.0;
   std::optional<EventHandle> corrective_pending;
 
   const auto leaf_name = [&](std::uint32_t leaf) -> const std::string& {
     return model_.ebes()[leaf].name;
+  };
+
+  // The single mutation point for leaf failure states: keeps the incremental
+  // gate evaluation in sync with leaf_failed.
+  const auto set_leaf_failed = [&](std::uint32_t leaf, bool failed) {
+    leaf_failed[leaf] = failed ? 1 : 0;
+    if (reference) {
+      eval_.set_leaf_raw(gates, leaf, failed);  // recomputed wholesale in settle
+    } else {
+      eval_.set_leaf(gates, leaf, failed);
+    }
   };
 
   // Net-present-value weight of a cost accrued at `now`.
@@ -91,59 +152,28 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
     }
   };
 
-  const auto evaluate_nodes = [&] {
-    // Children are created before parents, so ascending id order is a valid
-    // bottom-up evaluation schedule.
-    for (std::uint32_t id = 0; id < num_nodes; ++id) {
-      const ft::NodeId node{id};
-      if (structure.is_basic(node)) {
-        node_true[id] = leaf_failed[structure.basic_index(node)] ? 1 : 0;
-        continue;
-      }
-      const ft::Gate& g = structure.gate(node);
-      int count = 0;
-      for (ft::NodeId c : g.children) count += node_true[c.value];
-      switch (g.type) {
-        case ft::GateType::And:
-          node_true[id] = count == static_cast<int>(g.children.size()) ? 1 : 0;
-          break;
-        case ft::GateType::Or:
-          node_true[id] = count > 0 ? 1 : 0;
-          break;
-        case ft::GateType::Voting:
-          node_true[id] = count >= g.k ? 1 : 0;
-          break;
-      }
-    }
-  };
-
   // The leaf currently active in a spare pool: its lowest-index non-failed
   // child (all-failed pools have no active member; the value is unused then).
   const auto spare_factor = [&](std::uint32_t leaf) {
     const std::int32_t sp = spare_of_leaf_[leaf];
     if (sp < 0) return 1.0;
-    const fmt::SpareSpec& spec = model_.spares()[static_cast<std::size_t>(sp)];
-    for (fmt::NodeId child : spec.children) {
-      const auto c = static_cast<std::uint32_t>(model_.ebe_index(child));
-      if (!leaf_failed[c]) return c == leaf ? 1.0 : spec.dormancy;
+    for (std::uint32_t c : spare_children_[static_cast<std::size_t>(sp)]) {
+      if (!leaf_failed[c])
+        return c == leaf ? 1.0 : spare_dormancy_[static_cast<std::size_t>(sp)];
     }
     return 1.0;
   };
 
   const auto update_rates = [&](double now) {
-    if (model_.rdeps().empty() && model_.spares().empty()) return;
-    for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
-      if (rdeps_by_leaf_[leaf].empty() && spare_of_leaf_[leaf] < 0) continue;
+    // Only RDEP targets and spare-pool members can ever leave factor 1.0;
+    // rate_leaves_ lists exactly those, in ascending leaf order.
+    for (std::uint32_t leaf : rate_leaves_) {
       double desired = spare_factor(leaf);
       for (std::uint32_t r : rdeps_by_leaf_[leaf]) {
-        const fmt::RateDependency& dep = model_.rdeps()[r];
-        bool active = false;
-        if (dep.trigger_phase == 0) {
-          active = node_true[dep.trigger.value] != 0;
-        } else {
-          const auto trig = static_cast<std::uint32_t>(model_.ebe_index(dep.trigger));
-          active = phase[trig] >= dep.trigger_phase;
-        }
+        const RdepInfo& dep = rdep_info_[r];
+        const bool active = dep.trigger_phase == 0
+                                ? gates.node_true[dep.trigger_node] != 0
+                                : phase[dep.trigger_leaf] >= dep.trigger_phase;
         if (active) desired *= dep.factor;
       }
       if (desired == accel[leaf]) continue;
@@ -174,12 +204,12 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
     if (under_repair[leaf]) {
       // Renewal preempts the ongoing repair (the whole component is new).
       queue.cancel(repair_handle[leaf]);
-      under_repair[leaf] = false;
+      under_repair[leaf] = 0;
     } else if (!leaf_failed[leaf] && accel[leaf] > 0) {
       queue.cancel(next_handle[leaf]);
     }
     phase[leaf] = 1;
-    leaf_failed[leaf] = false;
+    set_leaf_failed(leaf, false);
     schedule_phase(leaf, now);
   };
 
@@ -195,41 +225,49 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
   };
 
   // FDEP cascade: failed triggers force their dependents to fail, possibly
-  // enabling further triggers — iterate node evaluation to the (monotone)
-  // fixpoint.
+  // enabling further triggers — iterate to the (monotone) fixpoint. The
+  // incremental evaluator propagates each flip immediately; the reference
+  // path re-evaluates wholesale after every changed round.
   const auto apply_fdeps = [&](double now) {
-    if (model_.fdeps().empty()) return;
+    if (fdep_trigger_node_.empty()) return;
     bool changed = true;
     while (changed) {
       changed = false;
-      for (const fmt::FunctionalDependency& dep : model_.fdeps()) {
-        if (!node_true[dep.trigger.value]) continue;
-        for (fmt::NodeId d : dep.dependents) {
-          const auto leaf = static_cast<std::uint32_t>(model_.ebe_index(d));
+      for (std::size_t f = 0; f < fdep_trigger_node_.size(); ++f) {
+        if (!gates.node_true[fdep_trigger_node_[f]]) continue;
+        for (std::uint32_t leaf : fdep_dependents_[f]) {
           if (leaf_failed[leaf]) continue;
           if (under_repair[leaf]) {
             queue.cancel(repair_handle[leaf]);
-            under_repair[leaf] = false;
+            under_repair[leaf] = 0;
           } else if (accel[leaf] > 0) {
             queue.cancel(next_handle[leaf]);
           }
           phase[leaf] = model_.ebes()[leaf].degradation.phases() + 1;
-          leaf_failed[leaf] = true;
+          set_leaf_failed(leaf, true);
           changed = true;
           if (trace) trace->record(now, TraceKind::LeafFailed, leaf_name(leaf));
         }
       }
-      if (changed) evaluate_nodes();
+      if (changed && reference) eval_.recompute(gates);
     }
   };
 
-  // Re-evaluates the tree and processes a potential top-event edge.
+  // Processes a potential top-event edge after leaf-state changes.
   // `cause` identifies the leaf responsible for a rising edge.
   const auto settle = [&](double now, std::optional<std::uint32_t> cause) {
-    evaluate_nodes();
+    if (reference) {
+      eval_.recompute(gates);
+    }
+#ifndef NDEBUG
+    else {
+      FMTREE_ASSERT(eval_.consistent(gates),
+                    "incremental gate state diverged from full re-evaluation");
+    }
+#endif
     apply_fdeps(now);
     update_rates(now);
-    const bool top_now = node_true[model_.top().value] != 0;
+    const bool top_now = gates.node_true[top_node_] != 0;
     if (top_now && !system_down) {
       ++result.failures;
       result.first_failure_time = std::min(result.first_failure_time, now);
@@ -264,13 +302,14 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
   for (std::size_t m = 0; m < model_.replacements().size(); ++m)
     queue.schedule(model_.replacements()[m].first_at,
                    Ev{Ev::Kind::Replace, static_cast<std::uint32_t>(m)});
-  evaluate_nodes();
+  if (reference) eval_.recompute(gates);  // reset() already evaluated otherwise
   update_rates(0.0);  // apply initial spare dormancy
 
   // ---- Main loop ------------------------------------------------------------
   while (!queue.empty() && queue.peek_time() <= opts.horizon) {
     const auto event = queue.pop();
     const double now = event.time;
+    ++result.events;
     switch (event.payload.kind) {
       case Ev::Kind::Phase: {
         const std::uint32_t leaf = event.payload.index;
@@ -279,7 +318,7 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
         if (trace)
           trace->record(now, TraceKind::PhaseTransition, leaf_name(leaf), phase[leaf]);
         if (phase[leaf] > deg.phases()) {
-          leaf_failed[leaf] = true;
+          set_leaf_failed(leaf, true);
           if (trace) trace->record(now, TraceKind::LeafFailed, leaf_name(leaf));
           settle(now, leaf);
         } else {
@@ -296,8 +335,7 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
         result.cost.inspection += mod.cost;
         result.discounted_cost.inspection += mod.cost * discount(now);
         if (trace) trace->record(now, TraceKind::InspectionPerformed, mod.name);
-        for (fmt::NodeId target : mod.targets) {
-          const auto leaf = static_cast<std::uint32_t>(model_.ebe_index(target));
+        for (std::uint32_t leaf : inspection_targets_[event.payload.index]) {
           const fmt::ExtendedBasicEvent& e = model_.ebes()[leaf];
           if (leaf_failed[leaf]) continue;  // inspections cannot fix failures
           if (under_repair[leaf]) continue;  // a crew is already on it
@@ -315,7 +353,7 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
           if (e.repair.duration > 0) {
             // Timed repair: pause degradation until the crew finishes.
             queue.cancel(next_handle[leaf]);
-            under_repair[leaf] = true;
+            under_repair[leaf] = 1;
             repair_handle[leaf] =
                 queue.schedule(now + e.repair.duration, Ev{Ev::Kind::RepairDone, leaf});
           } else {
@@ -334,15 +372,15 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts) con
         result.cost.replacement += mod.cost;
         result.discounted_cost.replacement += mod.cost * discount(now);
         if (trace) trace->record(now, TraceKind::ReplacementPerformed, mod.name);
-        for (fmt::NodeId target : mod.targets)
-          renew_leaf(static_cast<std::uint32_t>(model_.ebe_index(target)), now);
+        for (std::uint32_t leaf : replacement_targets_[event.payload.index])
+          renew_leaf(leaf, now);
         settle(now, std::nullopt);  // may restore a failed system
         queue.schedule(now + mod.period, Ev{Ev::Kind::Replace, event.payload.index});
         break;
       }
       case Ev::Kind::RepairDone: {
         const std::uint32_t leaf = event.payload.index;
-        under_repair[leaf] = false;
+        under_repair[leaf] = 0;
         phase[leaf] = 1;
         schedule_phase(leaf, now);
         if (trace) trace->record(now, TraceKind::RepairCompleted, leaf_name(leaf));

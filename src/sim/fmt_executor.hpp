@@ -16,6 +16,14 @@
 //    maintenance is enabled, the whole system is renewed `delay` time units
 //    later. Time with the top event true is downtime;
 //  * all costs accrue into a CostBreakdown.
+//
+// Performance architecture: the boolean structure is evaluated incrementally
+// (GateEvaluator — O(changed region) per leaf flip instead of O(nodes) per
+// event), and all per-trajectory mutable state lives in a reusable
+// SimWorkspace so running millions of trajectories allocates nothing in
+// steady state. Both are observationally equivalent to the straightforward
+// implementation: the random-draw sequence of a (seed, stream) pair is
+// unchanged, so every result is bit-for-bit identical.
 #pragma once
 
 #include <cstdint>
@@ -23,10 +31,21 @@
 #include <vector>
 
 #include "fmt/fmtree.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/gate_eval.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
 namespace fmtree::sim {
+
+namespace detail {
+/// Tagged event payload of the FMT executor's queue.
+struct Ev {
+  enum class Kind : std::uint8_t { Phase, Inspect, Replace, CorrectiveDone, RepairDone };
+  Kind kind = Kind::Phase;
+  std::uint32_t index = 0;  // leaf index or module index
+};
+}  // namespace detail
 
 /// One system-level failure during a trajectory.
 struct FailureRecord {
@@ -49,6 +68,7 @@ struct TrajectoryResult {
   std::uint64_t inspections = 0;   ///< inspection rounds performed
   std::uint64_t repairs = 0;       ///< condition-based repair actions
   std::uint64_t replacements = 0;  ///< planned replacement rounds
+  std::uint64_t events = 0;        ///< discrete events processed (perf metric)
   /// Per-leaf count of condition-based repairs (model.leaves() order).
   std::vector<std::uint64_t> repairs_per_leaf;
   /// Per-leaf count of system failures attributed to the leaf.
@@ -67,25 +87,77 @@ struct SimOptions {
   /// Continuous discount rate r for net-present-value cost accounting:
   /// a cost c at time t contributes c * exp(-r t) to discounted_cost.
   double discount_rate = 0.0;
+  /// Evaluate the fault tree by full bottom-up recomputation on every event
+  /// instead of incrementally. Slow; exists as the benchmark baseline and
+  /// as the oracle for equivalence tests. Results are identical either way.
+  bool reference_engine = false;
   Trace* trace = nullptr;  ///< optional event log (slows the run; tests only)
 };
 
+/// All mutable per-trajectory state of one FmtSimulator::run call. Reusing a
+/// workspace across trajectories (one per worker thread) eliminates the
+/// dozen-plus vector allocations a cold run() performs. A workspace carries
+/// no results between runs — run() fully re-initialises it — and may be
+/// handed to simulators of different models (it is resized to fit).
+struct SimWorkspace {
+  std::vector<int> phase;
+  std::vector<double> accel;
+  std::vector<double> frozen_remaining;  // natural-rate time left while accel == 0
+  std::vector<double> next_time;
+  std::vector<EventHandle> next_handle;
+  std::vector<EventHandle> repair_handle;
+  std::vector<char> leaf_failed;
+  std::vector<char> under_repair;
+  GateEvaluator::State gates;
+  EventQueue<detail::Ev> queue;
+};
+
 /// Executes trajectories of one FMT. Immutable after construction; run() is
-/// const and re-entrant, so a single instance may be shared across threads.
+/// const and re-entrant, so a single instance may be shared across threads
+/// (each thread using its own SimWorkspace).
 class FmtSimulator {
 public:
   /// Validates the model. The model must outlive the simulator.
   explicit FmtSimulator(const fmt::FaultMaintenanceTree& model);
 
-  /// Simulates one trajectory on the given random stream.
+  /// Simulates one trajectory on the given random stream using a private,
+  /// freshly allocated workspace.
   TrajectoryResult run(RandomStream rng, const SimOptions& opts) const;
 
+  /// As above, but reuses `ws` (reset on entry). The hot path for batch
+  /// Monte-Carlo: same results, no per-trajectory allocation churn.
+  TrajectoryResult run(RandomStream rng, const SimOptions& opts, SimWorkspace& ws) const;
+
   const fmt::FaultMaintenanceTree& model() const noexcept { return model_; }
+  const GateEvaluator& evaluator() const noexcept { return eval_; }
 
 private:
+  /// Flattened view of one rate dependency (hot-loop form of RateDependency:
+  /// no strings, node/leaf ids pre-resolved).
+  struct RdepInfo {
+    std::uint32_t trigger_node = 0;  ///< structure node id (event semantics)
+    std::uint32_t trigger_leaf = 0;  ///< leaf index; valid iff trigger_phase >= 1
+    int trigger_phase = 0;
+    double factor = 1.0;
+  };
+
   const fmt::FaultMaintenanceTree& model_;
+  GateEvaluator eval_;
+  std::uint32_t top_node_ = 0;  ///< model_.top().value, cached
   std::vector<std::vector<std::uint32_t>> rdeps_by_leaf_;  // rdep indices per leaf
+  std::vector<RdepInfo> rdep_info_;                        // parallel to model_.rdeps()
   std::vector<std::int32_t> spare_of_leaf_;  // spare-spec index per leaf, -1 = none
+  std::vector<std::vector<std::uint32_t>> spare_children_;  // leaf indices per pool
+  std::vector<double> spare_dormancy_;
+  /// Leaves whose acceleration factor can ever differ from 1 (RDEP targets
+  /// and spare-pool members) — the only ones update_rates must visit.
+  std::vector<std::uint32_t> rate_leaves_;
+  // Maintenance-module targets and FDEP edges resolved to leaf indices once,
+  // so the event loop never performs name/id lookups.
+  std::vector<std::vector<std::uint32_t>> inspection_targets_;
+  std::vector<std::vector<std::uint32_t>> replacement_targets_;
+  std::vector<std::uint32_t> fdep_trigger_node_;
+  std::vector<std::vector<std::uint32_t>> fdep_dependents_;
 };
 
 }  // namespace fmtree::sim

@@ -1,0 +1,118 @@
+#include "sim/gate_eval.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fmtree::sim {
+
+GateEvaluator::GateEvaluator(const ft::FaultTree& tree) {
+  const std::size_t n = tree.node_count();
+  thresholds_.assign(n, std::numeric_limits<std::int32_t>::max());
+  is_gate_.assign(n, 0);
+  parent_begin_.assign(n + 1, 0);
+  child_begin_.assign(n + 1, 0);
+
+  // Pass 1: thresholds, degree counts.
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const ft::NodeId node{id};
+    if (tree.is_basic(node)) continue;
+    const ft::Gate& g = tree.gate(node);
+    is_gate_[id] = 1;
+    switch (g.type) {
+      case ft::GateType::And:
+        thresholds_[id] = static_cast<std::int32_t>(g.children.size());
+        break;
+      case ft::GateType::Or:
+        thresholds_[id] = 1;
+        break;
+      case ft::GateType::Voting:
+        thresholds_[id] = g.k;
+        break;
+    }
+    child_begin_[id + 1] = static_cast<std::uint32_t>(g.children.size());
+    for (ft::NodeId c : g.children) ++parent_begin_[c.value + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    parent_begin_[i] += parent_begin_[i - 1];
+    child_begin_[i] += child_begin_[i - 1];
+  }
+
+  // Pass 2: fill edges.
+  parent_edges_.resize(parent_begin_[n]);
+  child_edges_.resize(child_begin_[n]);
+  std::vector<std::uint32_t> cursor(parent_begin_.begin(), parent_begin_.end() - 1);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const ft::NodeId node{id};
+    if (!is_gate_[id]) continue;
+    const ft::Gate& g = tree.gate(node);
+    std::uint32_t out = child_begin_[id];
+    for (ft::NodeId c : g.children) {
+      child_edges_[out++] = c.value;
+      parent_edges_[cursor[c.value]++] = id;
+    }
+  }
+
+  leaf_nodes_.reserve(tree.basic_events().size());
+  for (ft::NodeId leaf : tree.basic_events()) leaf_nodes_.push_back(leaf.value);
+}
+
+void GateEvaluator::reset(State& s) const {
+  const std::size_t n = node_count();
+  s.node_true.assign(n, 0);
+  s.failed_children.assign(n, 0);
+  s.worklist.clear();
+  // Gates with an (degenerate) empty child list have threshold 0 and hold
+  // even with no failures; a plain recompute covers that uniformly.
+  recompute(s);
+}
+
+void GateEvaluator::set_leaf(State& s, std::uint32_t leaf, bool failed) const {
+  const std::uint32_t node = leaf_nodes_[leaf];
+  const char v = failed ? 1 : 0;
+  if (s.node_true[node] == v) return;
+  s.node_true[node] = v;
+  const std::int32_t delta = failed ? 1 : -1;
+  // Monotone structure: one flip moves all counters the same direction, so
+  // every node flips at most once and the worklist terminates on DAGs too.
+  auto& wl = s.worklist;
+  wl.clear();
+  wl.push_back(node);
+  while (!wl.empty()) {
+    const std::uint32_t c = wl.back();
+    wl.pop_back();
+    for (std::uint32_t e = parent_begin_[c]; e < parent_begin_[c + 1]; ++e) {
+      const std::uint32_t p = parent_edges_[e];
+      s.failed_children[p] += delta;
+      const char pv = s.failed_children[p] >= thresholds_[p] ? 1 : 0;
+      if (pv != s.node_true[p]) {
+        s.node_true[p] = pv;
+        wl.push_back(p);
+      }
+    }
+  }
+}
+
+void GateEvaluator::recompute(State& s) const {
+  // Children are created before parents, so ascending id order is a valid
+  // bottom-up schedule (same argument as the original full evaluation).
+  const std::size_t n = node_count();
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (!is_gate_[id]) continue;
+    std::int32_t count = 0;
+    for (std::uint32_t e = child_begin_[id]; e < child_begin_[id + 1]; ++e)
+      count += s.node_true[child_edges_[e]];
+    s.failed_children[id] = count;
+    s.node_true[id] = count >= thresholds_[id] ? 1 : 0;
+  }
+}
+
+bool GateEvaluator::consistent(const State& s) const {
+  State ref;
+  ref.node_true = s.node_true;  // leaf entries are the inputs
+  ref.failed_children.assign(node_count(), 0);
+  recompute(ref);
+  return ref.node_true == s.node_true && ref.failed_children == s.failed_children;
+}
+
+}  // namespace fmtree::sim

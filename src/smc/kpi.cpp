@@ -18,14 +18,16 @@ void check_settings(const AnalysisSettings& s) {
 
 /// Runs trajectories (optionally in sequential batches until the relative
 /// error target on E[#failures] is met) and returns index-ordered summaries
-/// plus integer per-leaf totals.
+/// plus integer per-leaf totals. With `record_failure_log`, per-trajectory
+/// failure logs ride along in BatchResult::failure_logs.
 BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettings& s,
-                    double horizon) {
+                    double horizon, bool record_failure_log = false) {
   const sim::FmtSimulator simulator(model);
   const ParallelRunner runner(simulator, s.threads);
   sim::SimOptions opts;
   opts.horizon = horizon;
   opts.discount_rate = s.discount_rate;
+  opts.record_failure_log = record_failure_log;
 
   if (s.target_relative_error <= 0) {
     return runner.run(s.seed, 0, s.trajectories, opts);
@@ -44,6 +46,11 @@ BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettin
       failures.add(static_cast<double>(t.failures));
     all.summaries.insert(all.summaries.end(), batch.summaries.begin(),
                          batch.summaries.end());
+    if (record_failure_log) {
+      all.failure_logs.insert(all.failure_logs.end(),
+                              std::make_move_iterator(batch.failure_logs.begin()),
+                              std::make_move_iterator(batch.failure_logs.end()));
+    }
     for (std::size_t i = 0; i < all.failures_per_leaf.size(); ++i) {
       all.failures_per_leaf[i] += batch.failures_per_leaf[i];
       all.repairs_per_leaf[i] += batch.repairs_per_leaf[i];
@@ -157,22 +164,23 @@ std::vector<CurvePoint> expected_failures_curve(const fmt::FaultMaintenanceTree&
   const double horizon = *std::max_element(grid.begin(), grid.end());
   if (!(horizon > 0)) throw DomainError("grid needs a positive maximum");
 
-  // Needs per-failure timestamps, so run the simulator directly with the
-  // failure log enabled and bucket counts per grid point.
-  const sim::FmtSimulator simulator(model);
-  sim::SimOptions opts;
-  opts.horizon = horizon;
-  opts.record_failure_log = true;
+  // Needs per-failure timestamps, so collect with the failure log enabled
+  // and bucket counts per grid point. Runs through ParallelRunner under the
+  // full settings contract (threads, batch, target_relative_error), like
+  // analyze(); bucketing iterates trajectories in index order, so the
+  // statistics are bit-identical at any thread count.
+  const BatchResult batch =
+      collect(model, settings, horizon, /*record_failure_log=*/true);
 
   std::vector<double> sorted_grid = grid;
   std::sort(sorted_grid.begin(), sorted_grid.end());
 
   std::vector<RunningStats> counts(grid.size());
-  for (std::uint64_t i = 0; i < settings.trajectories; ++i) {
-    const sim::TrajectoryResult r = simulator.run(RandomStream(settings.seed, i), opts);
-    std::vector<double> times;
-    times.reserve(r.failure_log.size());
-    for (const sim::FailureRecord& f : r.failure_log) times.push_back(f.time);
+  std::vector<double> times;
+  for (const std::vector<sim::FailureRecord>& log : batch.failure_logs) {
+    times.clear();
+    times.reserve(log.size());
+    for (const sim::FailureRecord& f : log) times.push_back(f.time);
     std::sort(times.begin(), times.end());
     for (std::size_t g = 0; g < sorted_grid.size(); ++g) {
       const auto it = std::upper_bound(times.begin(), times.end(), sorted_grid[g]);

@@ -21,6 +21,7 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
   out.summaries.resize(count);
   out.failures_per_leaf.assign(num_leaves, 0);
   out.repairs_per_leaf.assign(num_leaves, 0);
+  if (opts.record_failure_log) out.failure_logs.resize(count);
 
   const unsigned workers =
       static_cast<unsigned>(std::min<std::uint64_t>(threads_, std::max<std::uint64_t>(count, 1)));
@@ -32,9 +33,10 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
       workers, std::vector<std::uint64_t>(num_leaves, 0));
 
   auto work = [&](unsigned w) {
+    sim::SimWorkspace ws;  // reused across all of this worker's trajectories
     for (std::uint64_t i = w; i < count; i += workers) {
-      const sim::TrajectoryResult r =
-          simulator_.run(RandomStream(seed, first + i), opts);
+      sim::TrajectoryResult r =
+          simulator_.run(RandomStream(seed, first + i), opts, ws);
       TrajectorySummary& s = out.summaries[i];
       s.first_failure_time = r.first_failure_time;
       s.failures = static_cast<std::uint32_t>(r.failures);
@@ -48,6 +50,7 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
         worker_failures[w][leaf] += r.failures_per_leaf[leaf];
         worker_repairs[w][leaf] += r.repairs_per_leaf[leaf];
       }
+      if (opts.record_failure_log) out.failure_logs[i] = std::move(r.failure_log);
     }
   };
 

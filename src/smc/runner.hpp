@@ -4,6 +4,11 @@
 // thread that runs it, and floating-point aggregation happens sequentially
 // over the index-ordered summaries — so every statistic is bit-for-bit
 // reproducible at any thread count.
+//
+// Each worker thread owns one sim::SimWorkspace reused across all its
+// trajectories, so a batch of millions of runs performs no per-trajectory
+// allocation in the simulator (the determinism contract is unaffected:
+// workspaces carry no state between trajectories).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +37,9 @@ struct BatchResult {
   /// Integer totals over the batch; order-independent, so summed per thread.
   std::vector<std::uint64_t> failures_per_leaf;
   std::vector<std::uint64_t> repairs_per_leaf;
+  /// Per-trajectory failure logs, parallel to `summaries`. Only filled when
+  /// SimOptions::record_failure_log is set; empty otherwise.
+  std::vector<std::vector<sim::FailureRecord>> failure_logs;
 };
 
 class ParallelRunner {

@@ -1,0 +1,217 @@
+// Randomized equivalence tests for the incremental gate evaluator.
+//
+// Two layers of defence:
+//  * GateEvaluator alone, against its own recompute() reference: random
+//    AND/OR/VOT DAGs (shared subtrees included) under long random leaf
+//    flip/repair sequences — every intermediate node_true state must match a
+//    full bottom-up re-evaluation of the same leaf values;
+//  * the whole executor: random FMT models with FDEPs, spares, RDEPs and
+//    maintenance, run in incremental and reference-evaluation mode — every
+//    TrajectoryResult field must agree bit-for-bit.
+//
+// std::mt19937 is fully specified by the standard, so these "random" tests
+// are deterministic across platforms.
+#include "sim/gate_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fmt/fmtree.hpp"
+#include "sim/fmt_executor.hpp"
+
+namespace fmtree::sim {
+namespace {
+
+using fmt::CorrectivePolicy;
+using fmt::DegradationModel;
+using fmt::FaultMaintenanceTree;
+using fmt::InspectionModule;
+using fmt::RepairSpec;
+using fmt::ReplacementModule;
+
+int pick(std::mt19937& rng, int lo, int hi) {  // inclusive bounds
+  return std::uniform_int_distribution<int>(lo, hi)(rng);
+}
+
+/// Random monotone DAG: `num_leaves` basic events, then `num_gates` gates
+/// whose children are drawn (without replacement) from all earlier nodes —
+/// so gates freely share subtrees.
+ft::FaultTree random_tree(std::mt19937& rng, int num_leaves, int num_gates) {
+  ft::FaultTree tree;
+  std::vector<ft::NodeId> nodes;
+  for (int i = 0; i < num_leaves; ++i)
+    nodes.push_back(
+        tree.add_basic_event("L" + std::to_string(i), Distribution::deterministic(1.0)));
+  for (int g = 0; g < num_gates; ++g) {
+    std::vector<ft::NodeId> pool = nodes;
+    std::shuffle(pool.begin(), pool.end(), rng);
+    const int arity = pick(rng, 2, std::min<int>(4, static_cast<int>(pool.size())));
+    std::vector<ft::NodeId> children(pool.begin(), pool.begin() + arity);
+    const int which = pick(rng, 0, 2);
+    const std::string name = "G" + std::to_string(g);
+    ft::NodeId id;
+    if (which == 0) {
+      id = tree.add_and(name, std::move(children));
+    } else if (which == 1) {
+      id = tree.add_or(name, std::move(children));
+    } else {
+      id = tree.add_voting(name, pick(rng, 1, arity), std::move(children));
+    }
+    nodes.push_back(id);
+  }
+  return tree;
+}
+
+TEST(GateEval, RandomFlipSequencesMatchFullReevaluation) {
+  for (unsigned seed = 0; seed < 12; ++seed) {
+    std::mt19937 rng(seed);
+    const int num_leaves = pick(rng, 3, 16);
+    const int num_gates = pick(rng, 1, 24);
+    const ft::FaultTree tree = random_tree(rng, num_leaves, num_gates);
+    const GateEvaluator eval(tree);
+
+    GateEvaluator::State incremental;
+    eval.reset(incremental);
+    std::vector<char> leaf_vals(static_cast<std::size_t>(num_leaves), 0);
+
+    GateEvaluator::State reference;
+    for (int step = 0; step < 400; ++step) {
+      // A mix of flips (fail <-> repair) and redundant writes (no-ops).
+      const auto leaf = static_cast<std::uint32_t>(pick(rng, 0, num_leaves - 1));
+      const bool fail = pick(rng, 0, 3) != 0 ? leaf_vals[leaf] == 0 : leaf_vals[leaf] != 0;
+      leaf_vals[leaf] = fail ? 1 : 0;
+      eval.set_leaf(incremental, leaf, fail);
+
+      eval.reset(reference);
+      for (std::uint32_t l = 0; l < static_cast<std::uint32_t>(num_leaves); ++l)
+        eval.set_leaf_raw(reference, l, leaf_vals[l] != 0);
+      eval.recompute(reference);
+
+      ASSERT_EQ(incremental.node_true, reference.node_true)
+          << "seed " << seed << " step " << step;
+      ASSERT_TRUE(eval.consistent(incremental)) << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(GateEval, VotingThresholdEdges) {
+  // 2-of-3 voting: exhaustive check of all 8 leaf assignments, reached by
+  // single flips so every intermediate state exercises the propagation.
+  ft::FaultTree tree;
+  std::vector<ft::NodeId> leaves;
+  for (int i = 0; i < 3; ++i)
+    leaves.push_back(
+        tree.add_basic_event("L" + std::to_string(i), Distribution::deterministic(1.0)));
+  const ft::NodeId top = tree.add_voting("vot", 2, leaves);
+  const GateEvaluator eval(tree);
+
+  GateEvaluator::State s;
+  eval.reset(s);
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    for (std::uint32_t l = 0; l < 3; ++l) eval.set_leaf(s, l, (mask >> l & 1u) != 0);
+    const int count = (mask & 1) + (mask >> 1 & 1) + (mask >> 2 & 1);
+    EXPECT_EQ(eval.value(s, top), count >= 2) << "mask " << mask;
+    EXPECT_TRUE(eval.consistent(s));
+  }
+}
+
+// ---- Executor-level equivalence ---------------------------------------------
+
+bool same_result(const TrajectoryResult& a, const TrajectoryResult& b) {
+  if (a.failure_log.size() != b.failure_log.size()) return false;
+  for (std::size_t i = 0; i < a.failure_log.size(); ++i) {
+    if (a.failure_log[i].time != b.failure_log[i].time ||
+        a.failure_log[i].cause_leaf != b.failure_log[i].cause_leaf)
+      return false;
+  }
+  return a.failures == b.failures && a.first_failure_time == b.first_failure_time &&
+         a.downtime == b.downtime && a.cost.total() == b.cost.total() &&
+         a.discounted_cost.total() == b.discounted_cost.total() &&
+         a.inspections == b.inspections && a.repairs == b.repairs &&
+         a.replacements == b.replacements && a.events == b.events &&
+         a.repairs_per_leaf == b.repairs_per_leaf &&
+         a.failures_per_leaf == b.failures_per_leaf;
+}
+
+/// Random FMT exercising every executor feature the evaluator interacts
+/// with: multi-phase leaves (some with timed repairs), a spare pool with
+/// dormancy, an FDEP cascade, event- and phase-triggered RDEPs, imperfect
+/// inspections, replacements and corrective renewal.
+FaultMaintenanceTree random_fmt(std::mt19937& rng) {
+  FaultMaintenanceTree m;
+  const int num_leaves = pick(rng, 4, 8);
+  std::vector<ft::NodeId> leaves;
+  for (int i = 0; i < num_leaves; ++i) {
+    const int phases = pick(rng, 1, 4);
+    const double mean = 0.5 + 0.25 * pick(rng, 0, 10);
+    RepairSpec repair{"fix", 10.0, pick(rng, 0, 2) == 0 ? 0.25 : 0.0};
+    leaves.push_back(m.add_ebe("e" + std::to_string(i),
+                               DegradationModel::erlang(phases, mean, pick(rng, 1, phases)),
+                               repair));
+  }
+
+  // Two dedicated leaves form a warm spare pool.
+  const ft::NodeId sp0 = m.add_ebe("sp0", DegradationModel::erlang(2, 2.0, 1));
+  const ft::NodeId sp1 = m.add_ebe("sp1", DegradationModel::erlang(2, 2.0, 1));
+  const ft::NodeId spare = m.add_spare("pool", {sp0, sp1}, 0.25 * pick(rng, 0, 4));
+
+  // Random two-level structure over the plain leaves, with the spare mixed in.
+  std::vector<ft::NodeId> pool = leaves;
+  std::shuffle(pool.begin(), pool.end(), rng);
+  const std::size_t half = pool.size() / 2;
+  const ft::NodeId g1 =
+      m.add_or("g1", std::vector<ft::NodeId>(pool.begin(), pool.begin() + half));
+  const ft::NodeId g2 = m.add_voting(
+      "g2", pick(rng, 1, 2), std::vector<ft::NodeId>(pool.begin() + half, pool.end()));
+  const ft::NodeId top = pick(rng, 0, 1) ? m.add_and("top", {g1, g2, spare})
+                                         : m.add_or("top", {g1, g2, spare});
+  m.set_top(top);
+
+  // FDEP: the first gate knocks out a couple of leaves from the second half.
+  if (pick(rng, 0, 1)) m.add_fdep("cascade", g1, {pool[half], pool.back()});
+  // Event-triggered RDEP on the spare pool, phase-triggered RDEP off leaf 0.
+  m.add_rdep("stress", g2, {sp0, sp1}, 1.0 + 0.5 * pick(rng, 0, 4));
+  m.add_rdep("wear", leaves[0], {leaves[1]}, 2.0, 1);
+
+  m.add_inspection(InspectionModule{
+      "insp", 0.4 + 0.2 * pick(rng, 0, 4), -1.0, 5.0,
+      std::vector<ft::NodeId>(leaves.begin(), leaves.end()),
+      pick(rng, 0, 1) ? 1.0 : 0.8});
+  m.add_replacement(ReplacementModule{"renew", 2.0 + pick(rng, 0, 3), -1.0, 50.0,
+                                      {leaves[0], sp0, sp1}});
+  m.set_corrective(CorrectivePolicy{true, 0.1 * pick(rng, 0, 3), 100.0, 25.0});
+  return m;
+}
+
+TEST(GateEval, ExecutorReferenceAndIncrementalEnginesAgreeBitForBit) {
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    std::mt19937 rng(seed);
+    const FaultMaintenanceTree model = random_fmt(rng);
+    const FmtSimulator simulator(model);
+
+    SimOptions fast;
+    fast.horizon = 25.0;
+    fast.record_failure_log = true;
+    fast.discount_rate = 0.05;
+    SimOptions reference = fast;
+    reference.reference_engine = true;
+
+    SimWorkspace ws;
+    for (std::uint64_t traj = 0; traj < 8; ++traj) {
+      const TrajectoryResult a = simulator.run(RandomStream(seed, traj), reference);
+      const TrajectoryResult b = simulator.run(RandomStream(seed, traj), fast);
+      const TrajectoryResult c = simulator.run(RandomStream(seed, traj), fast, ws);
+      EXPECT_TRUE(same_result(a, b)) << "seed " << seed << " trajectory " << traj;
+      EXPECT_TRUE(same_result(a, c)) << "seed " << seed << " trajectory " << traj
+                                     << " (reused workspace)";
+      EXPECT_GT(a.events, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fmtree::sim
