@@ -58,8 +58,10 @@ void Ctmc::dtmc_step(const std::vector<double>& v, std::vector<double>& out,
     out[to_[e]] += v[from_[e]] * (rate_[e] / lambda);
 }
 
-std::vector<double> poisson_weights(double lambda_t, double epsilon) {
-  if (lambda_t < 0) throw DomainError("poisson_weights requires lambda_t >= 0");
+std::vector<double> poisson_weights(double lambda_t, double epsilon,
+                                    std::uint64_t max_terms) {
+  if (lambda_t < 0 || !std::isfinite(lambda_t))
+    throw DomainError("poisson_weights requires finite lambda_t >= 0");
   if (lambda_t == 0) return {1.0};
   // Left/right truncation around the mode, computed in log space.
   const auto mode = static_cast<std::int64_t>(std::floor(lambda_t));
@@ -72,7 +74,10 @@ std::vector<double> poisson_weights(double lambda_t, double epsilon) {
     const double p = std::exp(log_p);
     right.push_back(p);
     if (p < epsilon && k > mode + 2) break;
-    if (k - mode > 20000000) throw DomainError("poisson series failed to converge");
+    if (static_cast<std::uint64_t>(k - mode) > max_terms)
+      throw ResourceLimitError(
+          "poisson series failed to converge",
+          {.iterations = static_cast<std::uint64_t>(k - mode), .residual = p});
     log_p += std::log(lambda_t) - std::log(static_cast<double>(k) + 1.0);
   }
   // Left side from mode-1 down to 0 (or until negligible).

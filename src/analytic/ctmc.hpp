@@ -70,7 +70,10 @@ private:
 
 /// Poisson(lambda_t) probabilities pmf[0..K] with K chosen so the truncated
 /// tail is below epsilon; numerically stable for large lambda_t (computed
-/// around the mode in log space). Exposed for tests.
-std::vector<double> poisson_weights(double lambda_t, double epsilon);
+/// around the mode in log space). Exposed for tests. Throws
+/// ResourceLimitError (carrying the number of terms expanded) if the series
+/// has not converged after `max_terms` terms past the mode.
+std::vector<double> poisson_weights(double lambda_t, double epsilon,
+                                    std::uint64_t max_terms = 20'000'000);
 
 }  // namespace fmtree::analytic

@@ -159,7 +159,9 @@ MarkovFmt fmt_to_ctmc(const fmt::FaultMaintenanceTree& model, FailureTreatment t
     auto [it, inserted] = index.try_emplace(key, static_cast<State>(keys.size()));
     if (inserted) {
       if (keys.size() >= max_states)
-        throw UnsupportedModelError("reachable state space exceeds max_states");
+        throw ResourceLimitError("reachable state space exceeds max_states (" +
+                                     std::to_string(max_states) + ")",
+                                 {.states = keys.size()});
       keys.push_back(key);
       frontier.push_back(key);
     }

@@ -35,8 +35,9 @@ enum class FailureTreatment {
 };
 
 /// Builds the CTMC. Throws UnsupportedModelError if the model has periodic
-/// maintenance or non-exponential phases, or if the reachable state space
-/// exceeds `max_states`.
+/// maintenance or non-exponential phases, and ResourceLimitError (carrying
+/// the number of states built) if the reachable state space exceeds
+/// `max_states` — callers can catch the latter and fall back to simulation.
 MarkovFmt fmt_to_ctmc(const fmt::FaultMaintenanceTree& model, FailureTreatment treatment,
                       std::size_t max_states = 1u << 20);
 

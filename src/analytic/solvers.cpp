@@ -12,9 +12,10 @@ std::vector<double> steady_state(const Ctmc& chain, const SolverOptions& opts) {
   const std::size_t n = chain.num_states();
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n);
+  double delta = 0;
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     chain.uniformized_step(pi, next);
-    double delta = 0;
+    delta = 0;
     for (std::size_t s = 0; s < n; ++s)
       delta = std::max(delta, std::fabs(next[s] - pi[s]));
     pi.swap(next);
@@ -25,7 +26,9 @@ std::vector<double> steady_state(const Ctmc& chain, const SolverOptions& opts) {
       return pi;
     }
   }
-  throw DomainError("steady_state power iteration failed to converge");
+  throw ResourceLimitError(
+      "steady_state power iteration failed to converge",
+      {.iterations = opts.max_iterations, .residual = delta, .states = n});
 }
 
 double mean_time_to_absorption(const Ctmc& chain, const std::vector<double>& initial,
@@ -73,8 +76,9 @@ double mean_time_to_absorption(const Ctmc& chain, const std::vector<double>& ini
   //   h_s = (1 + sum_{s->s'} rate * h_{s'}) / exit_s   for transient s.
   // Gauss–Seidel sweeps converge monotonically from h = 0.
   std::vector<double> h(n, 0.0);
+  double delta = 0;
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    double delta = 0;
+    delta = 0;
     for (State s = 0; s < n; ++s) {
       if (absorbing[s] || !can_reach[s]) continue;
       const double exit = chain.exit_rate(s);
@@ -93,7 +97,9 @@ double mean_time_to_absorption(const Ctmc& chain, const std::vector<double>& ini
       return mttf;
     }
   }
-  throw DomainError("mean_time_to_absorption failed to converge");
+  throw ResourceLimitError(
+      "mean_time_to_absorption failed to converge",
+      {.iterations = opts.max_iterations, .residual = delta, .states = n});
 }
 
 double exact_mttf(const fmt::FaultMaintenanceTree& model, std::size_t max_states,

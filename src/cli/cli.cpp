@@ -14,10 +14,16 @@
 #include "ft/importance.hpp"
 #include "smc/compare.hpp"
 #include "smc/kpi.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace fmtree::cli {
+
+smc::RunControl& interrupt_control() {
+  static smc::RunControl control;
+  return control;
+}
 
 namespace {
 
@@ -66,18 +72,14 @@ Options parse_args(const std::vector<std::string>& args) {
   else if (cmd == "compare") opt.command = Command::Compare;
   else throw DomainError("unknown command '" + cmd + "'\n" + usage());
 
-  std::size_t i = 1;
-  if (i >= args.size() || args[i].starts_with("--"))
-    throw DomainError("missing model file\n" + usage());
-  opt.model_path = args[i++];
-  if (opt.command == Command::Compare) {
-    if (i >= args.size() || args[i].starts_with("--"))
-      throw DomainError("compare needs two model files\n" + usage());
-    opt.model_path_b = args[i++];
-  }
-
-  while (i < args.size()) {
+  // Flags and positional model paths may interleave in any order.
+  std::vector<std::string> positional;
+  for (std::size_t i = 1; i < args.size();) {
     const std::string& flag = args[i++];
+    if (!flag.starts_with("--")) {
+      positional.push_back(flag);
+      continue;
+    }
     auto value = [&]() -> const std::string& {
       if (i >= args.size()) throw DomainError("flag " + flag + " needs a value");
       return args[i++];
@@ -89,12 +91,27 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.threads = static_cast<unsigned>(parse_count(value(), "threads"));
     else if (flag == "--confidence") opt.confidence = parse_double(value(), "confidence");
     else if (flag == "--quantiles") opt.quantiles = parse_quantiles(value());
+    else if (flag == "--timeout") opt.timeout = parse_double(value(), "timeout");
+    else if (flag == "--state-cap") opt.state_cap = parse_count(value(), "state cap");
+    else if (flag == "--json-errors") opt.json_errors = true;
+    else if (flag == "--no-fallback") opt.no_fallback = true;
     else throw DomainError("unknown flag '" + flag + "'\n" + usage());
   }
+  const std::size_t want = opt.command == Command::Compare ? 2u : 1u;
+  if (positional.empty())
+    throw DomainError("missing model file\n" + usage());
+  if (positional.size() < want)
+    throw DomainError("compare needs two model files\n" + usage());
+  if (positional.size() > want)
+    throw DomainError("unexpected argument '" + positional[want] + "'\n" + usage());
+  opt.model_path = positional[0];
+  if (opt.command == Command::Compare) opt.model_path_b = positional[1];
   if (!(opt.horizon > 0)) throw DomainError("--horizon must be positive");
   if (opt.runs == 0) throw DomainError("--runs must be positive");
   if (!(opt.confidence > 0 && opt.confidence < 1))
     throw DomainError("--confidence must lie in (0,1)");
+  if (!(opt.timeout >= 0)) throw DomainError("--timeout must be nonnegative");
+  if (opt.state_cap == 0) throw DomainError("--state-cap must be positive");
   return opt;
 }
 
@@ -128,6 +145,13 @@ int cmd_analyze(const Options& opt, const fmt::FaultMaintenanceTree& model,
   s.seed = opt.seed;
   s.threads = opt.threads;
   s.confidence = opt.confidence;
+  // The process-wide handle lets a SIGINT (wired up in main()) or --timeout
+  // stop the run between trajectories; the report then covers the completed
+  // prefix exactly. reset() clears state left by a previous run in-process.
+  smc::RunControl& control = interrupt_control();
+  control.reset();
+  if (opt.timeout > 0) control.set_timeout(opt.timeout);
+  s.control = &control;
   const smc::KpiReport k = smc::analyze(model, s);
   out << "KPIs over " << opt.horizon << " time units (" << k.trajectories
       << " runs, " << opt.confidence * 100 << "% CIs):\n";
@@ -157,7 +181,9 @@ int cmd_analyze(const Options& opt, const fmt::FaultMaintenanceTree& model,
                cell(k.repairs_per_leaf[i], 3)});
   a.print(out);
 
-  if (!opt.quantiles.empty()) {
+  // A truncated run already consumed the stop signal; launching the quantile
+  // batch would just truncate again at zero trajectories, so skip it.
+  if (!opt.quantiles.empty() && !k.truncated) {
     const auto q = smc::failure_time_quantiles(model, opt.quantiles, s);
     out << "\ntime-to-failure quantiles:\n";
     TextTable qt({"p", "t"});
@@ -166,21 +192,41 @@ int cmd_analyze(const Options& opt, const fmt::FaultMaintenanceTree& model,
                   std::isinf(q[i]) ? "> horizon" : cell(q[i], 3)});
     qt.print(out);
   }
-  return 0;
+  if (k.truncated) {
+    out << "\nNOTE: run truncated (" << smc::stop_reason_name(k.stop_reason)
+        << ") after " << k.trajectories << " of " << opt.runs
+        << " trajectories; statistics are exact over that prefix.\n";
+    return kExitTruncated;
+  }
+  return kExitOk;
 }
 
 int cmd_exact(const Options& opt, const fmt::FaultMaintenanceTree& model,
               std::ostream& out) {
-  out << "exact CTMC analysis (uniformization):\n";
-  const double unrel = analytic::exact_unreliability(model, opt.horizon);
-  out << "  P(failure within " << opt.horizon << ") = " << cell(unrel, 8) << "\n";
-  out << "  MTTF = " << cell(analytic::exact_mttf(model), 6) << "\n";
-  if (model.corrective().enabled && model.corrective().delay == 0.0) {
-    out << "  E[#failures within " << opt.horizon
-        << "] = " << cell(analytic::exact_expected_failures(model, opt.horizon), 6)
-        << "\n";
+  try {
+    // Compute everything before printing so a state-cap overflow on any of
+    // the three queries yields a clean fallback instead of a partial report.
+    const double unrel =
+        analytic::exact_unreliability(model, opt.horizon, opt.state_cap);
+    const double mttf = analytic::exact_mttf(model, opt.state_cap);
+    const bool renewal = model.corrective().enabled && model.corrective().delay == 0.0;
+    const double failures =
+        renewal ? analytic::exact_expected_failures(model, opt.horizon, opt.state_cap)
+                : 0.0;
+    out << "exact CTMC analysis (uniformization):\n";
+    out << "  P(failure within " << opt.horizon << ") = " << cell(unrel, 8) << "\n";
+    out << "  MTTF = " << cell(mttf, 6) << "\n";
+    if (renewal) {
+      out << "  E[#failures within " << opt.horizon << "] = " << cell(failures, 6)
+          << "\n";
+    }
+    return kExitOk;
+  } catch (const ResourceLimitError& e) {
+    if (opt.no_fallback) throw;
+    out << "exact analysis hit a resource limit (" << e.what()
+        << ");\nfalling back to Monte-Carlo estimation:\n\n";
+    return cmd_analyze(opt, model, out);
   }
-  return 0;
 }
 
 int cmd_dot(const fmt::FaultMaintenanceTree& model, std::ostream& out) {
@@ -253,10 +299,38 @@ int run_compare(const Options& options, const std::string& model_a_text,
   return 0;
 }
 
+namespace {
+
+/// Renders a failure on `err` — one line per diagnostic, or a JSON array
+/// with --json-errors — and returns the exit code. Exceptions that carry no
+/// diagnostic list are wrapped in a single synthetic diagnostic so the JSON
+/// channel always has the same shape.
+int report_failure(const Options& opt, std::ostream& err,
+                   std::vector<Diagnostic> diags, int code) {
+  if (opt.json_errors) {
+    Diagnostics sink;
+    for (Diagnostic& d : diags) sink.add(std::move(d));
+    err << sink.to_json() << "\n";
+  } else {
+    for (const Diagnostic& d : diags)
+      err << "fmtree: " << format_diagnostic(d) << "\n";
+  }
+  return code;
+}
+
+}  // namespace
+
 int main_impl(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
+  Options options;
   try {
-    const Options options = parse_args(args);
+    options = parse_args(args);
+  } catch (const Error& e) {
+    // Usage errors precede flag parsing, so they are always plain text.
+    err << "fmtree: " << e.what() << "\n";
+    return kExitUsage;
+  }
+  try {
     const auto read_file = [](const std::string& path) {
       std::ifstream file(path);
       if (!file) throw IoError("cannot open '" + path + "'");
@@ -269,9 +343,26 @@ int main_impl(const std::vector<std::string>& args, std::ostream& out,
                          read_file(options.model_path_b), out);
     }
     return run_on_text(options, read_file(options.model_path), out);
+  } catch (const ParseErrors& e) {
+    return report_failure(options, err, e.diagnostics(), kExitDiagnostics);
+  } catch (const ModelErrors& e) {
+    return report_failure(options, err, e.diagnostics(), kExitDiagnostics);
+  } catch (const ParseError& e) {
+    return report_failure(options, err, {diagnostic_from(e)}, kExitDiagnostics);
+  } catch (const ModelError& e) {
+    return report_failure(options, err, {diagnostic_from(e, "M104")}, kExitDiagnostics);
+  } catch (const ResourceLimitError& e) {
+    return report_failure(options, err, {diagnostic_from(e, "R101")},
+                          kExitResourceLimit);
   } catch (const Error& e) {
-    err << "fmtree: " << e.what() << "\n";
-    return 2;
+    // IoError, DomainError, UnsupportedModelError: bad input to a valid
+    // command — same exit code as a usage error.
+    return report_failure(options, err, {diagnostic_from(e, "U101")}, kExitUsage);
+  } catch (const std::exception& e) {
+    Diagnostic d;
+    d.code = "X101";
+    d.message = std::string("internal error: ") + e.what();
+    return report_failure(options, err, {d}, kExitInternal);
   }
 }
 
@@ -291,7 +382,16 @@ std::string usage() {
       "  --seed <n>         RNG seed (default 1)\n"
       "  --threads <n>      worker threads (default: all cores)\n"
       "  --confidence <p>   CI level (default 0.95)\n"
-      "  --quantiles <l>    comma-separated TTF quantiles, e.g. 0.1,0.5,0.9\n";
+      "  --quantiles <l>    comma-separated TTF quantiles, e.g. 0.1,0.5,0.9\n"
+      "  --timeout <s>      wall-clock budget in seconds; on expiry analyze\n"
+      "                     reports the completed prefix (exit code 1)\n"
+      "  --state-cap <n>    CTMC state-space cap for exact (default 2^20)\n"
+      "  --no-fallback      fail exact on a resource limit instead of\n"
+      "                     falling back to Monte-Carlo\n"
+      "  --json-errors      report failures as a JSON diagnostic array\n"
+      "exit codes: 0 ok, 1 truncated run, 2 usage/input error,\n"
+      "            3 parse/validation diagnostics, 4 resource limit,\n"
+      "            5 internal error\n";
 }
 
 }  // namespace fmtree::cli

@@ -9,20 +9,34 @@
 //   fmtree compare <a.fmt> <b.fmt> [options]      paired policy comparison
 //
 // Options: --horizon <years>  --runs <n>  --seed <n>  --threads <n>
-//          --confidence <p>   --quantiles <p1,p2,...>
+//          --confidence <p>   --quantiles <p1,p2,...>  --timeout <s>
+//          --state-cap <n>    --no-fallback  --json-errors
 //
 // Split into a library so argument parsing and command execution are unit
 // testable; main() is a thin wrapper.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "smc/run_control.hpp"
+
 namespace fmtree::cli {
 
 enum class Command { Check, Analyze, Exact, Dot, CutSets, Compare };
+
+/// Stable process exit codes (documented in DESIGN.md, "Failure semantics").
+enum ExitCode : int {
+  kExitOk = 0,             ///< success
+  kExitTruncated = 1,      ///< success over a truncated (but exact) prefix
+  kExitUsage = 2,          ///< bad usage, bad option values, I/O failures
+  kExitDiagnostics = 3,    ///< model failed to parse / validate
+  kExitResourceLimit = 4,  ///< a resource budget was exhausted
+  kExitInternal = 5,       ///< unexpected internal error
+};
 
 struct Options {
   Command command = Command::Check;
@@ -34,7 +48,17 @@ struct Options {
   unsigned threads = 0;
   double confidence = 0.95;
   std::vector<double> quantiles;  ///< empty = skip quantile report
+  bool json_errors = false;       ///< report failures as JSON diagnostics on stderr
+  double timeout = 0.0;           ///< wall-clock budget in seconds; 0 = none
+  std::uint64_t state_cap = 1u << 20;  ///< CTMC state-space cap for `exact`
+  bool no_fallback = false;       ///< fail `exact` instead of falling back to SMC
 };
+
+/// Process-wide cooperative stop handle. Long-running commands (analyze)
+/// poll it between trajectories; main() wires SIGINT to request_stop(), so
+/// an interrupted run still reports exact statistics over the completed
+/// trajectory prefix (exit code kExitTruncated).
+smc::RunControl& interrupt_control();
 
 /// Parses argv-style arguments (excluding the program name). Throws
 /// DomainError with a user-facing message on invalid usage.

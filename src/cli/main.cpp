@@ -1,9 +1,23 @@
+#include <csignal>
 #include <iostream>
 #include <vector>
 
 #include "cli/cli.hpp"
 
+namespace {
+
+// Async-signal-safe: request_stop() is a relaxed atomic store. Restoring the
+// default disposition afterwards lets a second Ctrl-C kill a run that is
+// stuck somewhere that never polls the control.
+extern "C" void handle_interrupt(int) {
+  fmtree::cli::interrupt_control().request_stop();
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::signal(SIGINT, handle_interrupt);
   std::vector<std::string> args(argv + 1, argv + argc);
   return fmtree::cli::main_impl(args, std::cout, std::cerr);
 }

@@ -165,12 +165,21 @@ const ExtendedBasicEvent& FaultMaintenanceTree::ebe(NodeId id) const {
 }
 
 void FaultMaintenanceTree::validate() const {
+  Diagnostics diags;
+  validate(diags);
+  if (!diags.has_errors()) return;
+  // Preserve the historical single-error message; aggregate otherwise.
+  if (diags.error_count() == 1) throw ModelError(diags.all().front().message);
+  throw ModelErrors(diags.all());
+}
+
+void FaultMaintenanceTree::validate(Diagnostics& diags) const {
   // Dependency triggers are used even when they do not feed the structure
   // function (e.g. a condition that only accelerates other modes).
   std::vector<NodeId> roots;
   for (const RateDependency& r : rdeps_) roots.push_back(r.trigger);
   for (const FunctionalDependency& f : fdeps_) roots.push_back(f.trigger);
-  structure_.validate(roots);
+  structure_.validate(roots, diags);
   FMTREE_ASSERT(ebes_.size() == structure_.basic_events().size(),
                 "EBE bookkeeping out of sync with structure");
   // Inspection of an undetectable EBE is legal but useless; flag it as a
@@ -178,8 +187,12 @@ void FaultMaintenanceTree::validate() const {
   for (const InspectionModule& m : inspections_) {
     for (NodeId t : m.targets) {
       if (!ebe(t).degradation.inspectable())
-        throw ModelError("inspection '" + m.name + "' targets '" + name(t) +
-                         "', whose degradation has no detectable phase");
+        diags.error("M107", {},
+                    "inspection '" + m.name + "' targets '" + name(t) +
+                        "', whose degradation has no detectable phase",
+                    "raise the EBE's threshold below its phase count or drop the "
+                    "target",
+                    name(t));
     }
   }
 }

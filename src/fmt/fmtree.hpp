@@ -92,6 +92,10 @@ public:
   /// Throws ModelError on violations.
   void validate() const;
 
+  /// Collecting variant: records every violation (M-range codes) into
+  /// `diags` instead of throwing on the first one.
+  void validate(Diagnostics& diags) const;
+
   // ---- Accessors -----------------------------------------------------------
 
   /// The boolean structure. Leaf lifetimes in this view are the

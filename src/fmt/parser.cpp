@@ -27,6 +27,7 @@ struct GateDecl {
   double dormancy = 0.0;
   std::vector<std::string> children;
   std::size_t line = 0;
+  std::size_t column = 0;
 };
 
 struct LeafDecl {
@@ -97,11 +98,15 @@ LeafDecl parse_ebe_body(TokenCursor& cur, std::size_t line) {
     else if (key == "repair_time") repair_time = value;
     else throw ParseError(line, "unknown ebe attribute '" + key + "'");
   }
-  if (phases < 1 || phases != std::floor(phases))
+  // isfinite before the casts below: casting inf/NaN (or values beyond int
+  // range) to int is undefined behaviour.
+  if (!std::isfinite(phases) || phases < 1 || phases != std::floor(phases) ||
+      phases > 1e9)
     throw ParseError(line, "ebe needs integer phases >= 1");
-  if (!(mean > 0)) throw ParseError(line, "ebe needs mean > 0");
+  if (!(mean > 0) || !std::isfinite(mean)) throw ParseError(line, "ebe needs mean > 0");
   if (threshold < 0) threshold = phases + 1;  // default: undetectable
-  if (threshold != std::floor(threshold))
+  if (!std::isfinite(threshold) || threshold != std::floor(threshold) ||
+      threshold > 2e9)
     throw ParseError(line, "ebe threshold must be an integer");
   if (repair_time < 0) throw ParseError(line, "repair_time must be >= 0");
   LeafDecl leaf{DegradationModel::erlang(static_cast<int>(phases), mean,
@@ -159,7 +164,7 @@ RdepDecl parse_rdep_body(TokenCursor& cur, std::size_t line) {
       r.trigger = cur.expect_identifier("trigger node");
     } else if (key == "trigger_phase") {
       const double tp = cur.expect_number("trigger phase");
-      if (tp < 1 || tp != std::floor(tp))
+      if (!std::isfinite(tp) || tp < 1 || tp != std::floor(tp) || tp > 1e9)
         throw ParseError(line, "trigger_phase must be a positive integer");
       r.trigger_phase = static_cast<int>(tp);
     } else {
@@ -214,77 +219,192 @@ CorrectivePolicy parse_corrective_body(TokenCursor& cur, std::size_t line) {
   return p;
 }
 
-Declarations collect(TokenCursor& cur) {
+/// Parses one ';'-terminated statement into `decls`. Throws ParseError on
+/// any syntax problem; the caller decides whether to abort or synchronize.
+void parse_statement(TokenCursor& cur, Declarations& decls) {
+  const std::size_t line = cur.line();
+  const std::size_t column = cur.column();
+  const std::string head = cur.expect_identifier("statement");
+  if (head == "toplevel") {
+    if (!decls.top.empty())
+      throw ParseError(line, column, head, "duplicate toplevel declaration", "P102",
+                       "a model has exactly one 'toplevel <name>;' statement");
+    decls.top = cur.expect_identifier("top event name");
+  } else if (head == "inspection" || head == "replacement") {
+    decls.modules.push_back(parse_module_body(cur, head == "inspection", line));
+  } else if (head == "rdep") {
+    decls.rdeps.push_back(parse_rdep_body(cur, line));
+  } else if (head == "fdep") {
+    decls.fdeps.push_back(parse_fdep_body(cur, line));
+  } else if (head == "corrective") {
+    if (decls.corrective_seen)
+      throw ParseError(line, column, head, "duplicate corrective declaration", "P102");
+    decls.corrective = parse_corrective_body(cur, line);
+    decls.corrective_seen = true;
+  } else {
+    const std::string& name = head;
+    ensure_unique_name(decls, name, line);
+    const std::string op = cur.expect_identifier("gate type, 'be' or 'ebe'");
+    if (op == "be") {
+      Distribution d = ft::parse_distribution(cur);
+      decls.leaves.emplace(
+          name, LeafDecl{DegradationModel::basic(std::move(d)), RepairSpec{}, line});
+    } else if (op == "ebe") {
+      decls.leaves.emplace(name, parse_ebe_body(cur, line));
+    } else if (op == "and" || op == "or" || op == "vot" || op == "spare") {
+      GateDecl g;
+      g.line = line;
+      g.column = column;
+      if (op == "and") g.type = GateType::And;
+      else if (op == "or") g.type = GateType::Or;
+      else if (op == "spare") {
+        g.type = GateType::And;  // boolean view of a spare pool
+        g.is_spare = true;
+        if (cur.accept_word("dormancy")) {
+          cur.expect(TokenType::Equals, "'=' after 'dormancy'");
+          g.dormancy = cur.expect_number("dormancy factor");
+          if (!(g.dormancy >= 0 && g.dormancy <= 1))
+            throw ParseError(line, "dormancy must lie in [0, 1]");
+        }
+      } else {
+        g.type = GateType::Voting;
+        const double k = cur.expect_number("voting threshold k");
+        if (!std::isfinite(k) || k != std::floor(k) || k < 1 || k > 1e9)
+          throw ParseError(line, "voting threshold must be a positive integer");
+        g.k = static_cast<int>(k);
+      }
+      while (cur.peek().type == TokenType::Identifier)
+        g.children.push_back(cur.next().text);
+      if (g.children.empty())
+        throw ParseError(line, column, name, "gate '" + name + "' has no children",
+                         "P201", "list at least one child after the gate type");
+      decls.gates.emplace(name, std::move(g));
+    } else {
+      throw ParseError(line, column, op, "unknown statement '" + op + "'", "P104");
+    }
+  }
+  cur.expect(TokenType::Semicolon, "';'");
+}
+
+Declarations collect(TokenCursor& cur, Diagnostics& diags) {
   Declarations decls;
   while (!cur.at_end()) {
-    const std::size_t line = cur.line();
-    const std::string head = cur.expect_identifier("statement");
-    if (head == "toplevel") {
-      if (!decls.top.empty()) throw ParseError(line, "duplicate toplevel declaration");
-      decls.top = cur.expect_identifier("top event name");
-    } else if (head == "inspection" || head == "replacement") {
-      decls.modules.push_back(parse_module_body(cur, head == "inspection", line));
-    } else if (head == "rdep") {
-      decls.rdeps.push_back(parse_rdep_body(cur, line));
-    } else if (head == "fdep") {
-      decls.fdeps.push_back(parse_fdep_body(cur, line));
-    } else if (head == "corrective") {
-      if (decls.corrective_seen)
-        throw ParseError(line, "duplicate corrective declaration");
-      decls.corrective = parse_corrective_body(cur, line);
-      decls.corrective_seen = true;
-    } else {
-      const std::string& name = head;
-      ensure_unique_name(decls, name, line);
-      const std::string op = cur.expect_identifier("gate type, 'be' or 'ebe'");
-      if (op == "be") {
-        Distribution d = ft::parse_distribution(cur);
-        decls.leaves.emplace(
-            name, LeafDecl{DegradationModel::basic(std::move(d)), RepairSpec{}, line});
-      } else if (op == "ebe") {
-        decls.leaves.emplace(name, parse_ebe_body(cur, line));
-      } else if (op == "and" || op == "or" || op == "vot" || op == "spare") {
-        GateDecl g;
-        g.line = line;
-        if (op == "and") g.type = GateType::And;
-        else if (op == "or") g.type = GateType::Or;
-        else if (op == "spare") {
-          g.type = GateType::And;  // boolean view of a spare pool
-          g.is_spare = true;
-          if (cur.accept_word("dormancy")) {
-            cur.expect(TokenType::Equals, "'=' after 'dormancy'");
-            g.dormancy = cur.expect_number("dormancy factor");
-            if (!(g.dormancy >= 0 && g.dormancy <= 1))
-              throw ParseError(line, "dormancy must lie in [0, 1]");
-          }
-        } else {
-          g.type = GateType::Voting;
-          const double k = cur.expect_number("voting threshold k");
-          if (k != std::floor(k) || k < 1)
-            throw ParseError(line, "voting threshold must be a positive integer");
-          g.k = static_cast<int>(k);
-        }
-        while (cur.peek().type == TokenType::Identifier)
-          g.children.push_back(cur.next().text);
-        if (g.children.empty())
-          throw ParseError(line, "gate '" + name + "' has no children");
-        decls.gates.emplace(name, std::move(g));
-      } else {
-        throw ParseError(line, "unknown statement '" + op + "'");
-      }
+    try {
+      parse_statement(cur, decls);
+    } catch (const ParseError& e) {
+      diags.add(diagnostic_from(e));
+      cur.synchronize();
+    } catch (const Error& e) {
+      // Statement helpers may surface domain errors from model construction;
+      // keep the collect contract (diagnostics, never exceptions).
+      diags.add(diagnostic_from(e, "P199"));
+      cur.synchronize();
     }
-    cur.expect(TokenType::Semicolon, "';'");
   }
-  if (decls.top.empty()) throw ParseError(cur.line(), "missing 'toplevel' declaration");
+  if (decls.top.empty())
+    diags.error("P103", {cur.line(), cur.column()}, "missing 'toplevel' declaration",
+                "declare the top event with 'toplevel <name>;'");
   return decls;
 }
 
-}  // namespace
+/// Reference / cycle / usage validation over the declaration graph,
+/// reporting every problem instead of the first. Runs only on syntactically
+/// clean inputs, so the declaration set is trustworthy.
+void validate_declarations(const Declarations& decls, Diagnostics& diags) {
+  const auto declared = [&](const std::string& name) {
+    return decls.gates.contains(name) || decls.leaves.contains(name);
+  };
+  std::unordered_set<std::string> reported;
+  const auto report_undefined = [&](const std::string& name, std::size_t line) {
+    if (!reported.insert(name).second) return;
+    diags.error("M101", {line, 0}, "node '" + name + "' referenced but never defined",
+                "declare it as a gate, 'be' or 'ebe' leaf", name);
+  };
+  if (!decls.top.empty() && !declared(decls.top)) report_undefined(decls.top, 0);
+  for (const auto& [name, g] : decls.gates)
+    for (const std::string& child : g.children)
+      if (!declared(child)) report_undefined(child, g.line);
 
-FaultMaintenanceTree parse_fmt(const std::string& text) {
-  TokenCursor cur(ft::tokenize(text));
-  const Declarations decls = collect(cur);
+  // Dependency / module statements resolve names too; historically these
+  // fail as parse errors ("unknown node"), so they get a P-range code.
+  const auto check_ref = [&](const std::string& name, std::size_t line) {
+    if (declared(name) || !reported.insert(name).second) return;
+    diags.error("P301", {line, 0}, "unknown node '" + name + "'",
+                "dependency and module statements may only reference declared nodes",
+                name);
+  };
+  for (const RdepDecl& r : decls.rdeps) {
+    check_ref(r.trigger, r.line);
+    for (const std::string& t : r.targets) check_ref(t, r.line);
+  }
+  for (const FdepDecl& f : decls.fdeps) {
+    check_ref(f.trigger, f.line);
+    for (const std::string& t : f.targets) check_ref(t, f.line);
+  }
+  for (const ModuleDecl& m : decls.modules)
+    for (const std::string& t : m.targets) check_ref(t, m.line);
 
+  // Cycle detection: iterative colored DFS over the gate graph.
+  enum class Color { White, Grey, Black };
+  std::unordered_map<std::string, Color> color;
+  for (const auto& [name, g] : decls.gates) color.emplace(name, Color::White);
+  for (const auto& [start, g0] : decls.gates) {
+    if (color[start] != Color::White) continue;
+    std::vector<std::pair<const std::string*, std::size_t>> stack;
+    stack.emplace_back(&start, 0);
+    color[start] = Color::Grey;
+    while (!stack.empty()) {
+      auto& [name, next_child] = stack.back();
+      const GateDecl& g = decls.gates.at(*name);
+      if (next_child >= g.children.size()) {
+        color[*name] = Color::Black;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& child = g.children[next_child++];
+      const auto it = decls.gates.find(child);
+      if (it == decls.gates.end()) continue;  // leaf or undefined
+      Color& c = color[child];
+      if (c == Color::Grey) {
+        diags.error("M102", {it->second.line, it->second.column},
+                    "cycle involving node '" + child + "'",
+                    "fault trees are acyclic; remove the back reference", child);
+        continue;
+      }
+      if (c == Color::White) {
+        c = Color::Grey;
+        stack.emplace_back(&it->first, 0);
+      }
+    }
+  }
+  if (diags.has_errors()) return;  // usage analysis would only cascade
+
+  // Usage mirrors FaultMaintenanceTree::validate: a node must be reachable
+  // from the top event or a dependency *trigger* (a condition may accelerate
+  // other modes without feeding the structure function). Targets are not
+  // usage roots — they must sit in the tree themselves.
+  std::unordered_set<std::string> used;
+  std::vector<const std::string*> stack{&decls.top};
+  for (const RdepDecl& r : decls.rdeps) stack.push_back(&r.trigger);
+  for (const FdepDecl& f : decls.fdeps) stack.push_back(&f.trigger);
+  while (!stack.empty()) {
+    const std::string& name = *stack.back();
+    stack.pop_back();
+    if (!used.insert(name).second) continue;
+    if (const auto it = decls.gates.find(name); it != decls.gates.end())
+      for (const std::string& child : it->second.children) stack.push_back(&child);
+  }
+  for (const auto& [name, g] : decls.gates)
+    if (!used.contains(name))
+      diags.error("M103", {g.line, g.column}, "gate '" + name + "' is used by nothing",
+                  "wire it into the tree or delete it", name);
+  for (const auto& [name, l] : decls.leaves)
+    if (!used.contains(name))
+      diags.error("M103", {l.line, 0}, "leaf '" + name + "' is used by nothing",
+                  "wire it into the tree or delete it", name);
+}
+
+FaultMaintenanceTree build_model(const Declarations& decls) {
   FaultMaintenanceTree model;
   std::unordered_map<std::string, NodeId> built;
   std::unordered_set<std::string> building;
@@ -376,6 +496,33 @@ FaultMaintenanceTree parse_fmt(const std::string& text) {
 
   model.validate();
   return model;
+}
+
+}  // namespace
+
+FmtParseResult parse_fmt_collect(const std::string& text) {
+  FmtParseResult result;
+  TokenCursor cur(ft::tokenize(text, result.diagnostics));
+  const Declarations decls = collect(cur, result.diagnostics);
+  if (result.diagnostics.has_errors()) return result;
+  validate_declarations(decls, result.diagnostics);
+  if (result.diagnostics.has_errors()) return result;
+  try {
+    result.model = build_model(decls);
+  } catch (const ParseError& e) {
+    // Build-time checks not covered by validate_declarations (detection
+    // probability range, 'targets all' matching nothing, ...).
+    result.diagnostics.add(diagnostic_from(e));
+  } catch (const Error& e) {
+    result.diagnostics.add(diagnostic_from(e, "M104"));
+  }
+  return result;
+}
+
+FaultMaintenanceTree parse_fmt(const std::string& text) {
+  FmtParseResult result = parse_fmt_collect(text);
+  result.diagnostics.throw_if_errors();
+  return std::move(*result.model);
 }
 
 namespace {

@@ -16,14 +16,30 @@
 // for `replacement ... targets all`, to every leaf.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "fmt/fmtree.hpp"
+#include "util/diagnostics.hpp"
 
 namespace fmtree::fmt {
 
-/// Parses a complete FMT. Throws ParseError / ModelError.
+/// Parses a complete FMT. Throws ParseError / ModelError; when the input has
+/// several problems the exception is a ParseErrors / ModelErrors aggregate
+/// carrying one Diagnostic per problem.
 FaultMaintenanceTree parse_fmt(const std::string& text);
+
+/// Outcome of an error-recovery parse: `model` is engaged iff no
+/// error-severity diagnostic was recorded.
+struct FmtParseResult {
+  std::optional<FaultMaintenanceTree> model;
+  Diagnostics diagnostics;
+};
+
+/// Error-recovery parse: never throws on malformed input. Statements
+/// synchronize at ';' boundaries and reference/cycle/usage validation runs
+/// over the whole declaration set, so one pass reports every problem.
+FmtParseResult parse_fmt_collect(const std::string& text);
 
 /// Serializes back to the text format (round-trips with parse_fmt for models
 /// expressible in it, i.e. Erlang-phased EBEs).

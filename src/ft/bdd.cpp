@@ -23,6 +23,12 @@ std::uint32_t BddManager::make_node(std::uint32_t v, std::uint32_t low,
   const std::array<std::uint32_t, 3> key{v, low, high};
   auto [it, inserted] = unique_.try_emplace(key, 0);
   if (!inserted) return it->second;
+  if (nodes_.size() >= max_nodes_) {
+    unique_.erase(it);  // keep the unique table consistent with nodes_
+    throw ResourceLimitError("BDD node count exceeds max_nodes (" +
+                                 std::to_string(max_nodes_) + ")",
+                             {.states = nodes_.size()});
+  }
   const auto idx = static_cast<std::uint32_t>(nodes_.size());
   nodes_.push_back(Node{v, low, high});
   it->second = idx;

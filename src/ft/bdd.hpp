@@ -50,6 +50,13 @@ public:
   /// Count of live nodes (including the two terminals).
   std::size_t node_count() const noexcept { return nodes_.size(); }
 
+  /// Caps diagram growth: once node_count() would exceed `max_nodes`, node
+  /// creation throws ResourceLimitError carrying the node count reached.
+  /// The default (2^22 nodes ≈ 64 MiB) is far above any tree analysed in
+  /// practice; lower it to bound exact analysis on adversarial inputs.
+  void set_max_nodes(std::size_t max_nodes) noexcept { max_nodes_ = max_nodes; }
+  std::size_t max_nodes() const noexcept { return max_nodes_; }
+
   /// Structural view of a node, for algorithms walking the diagram
   /// (e.g. minimal-solution extraction).
   struct NodeView {
@@ -89,6 +96,7 @@ private:
   std::uint32_t level(std::uint32_t node) const noexcept;
 
   std::uint32_t num_vars_;
+  std::size_t max_nodes_ = std::size_t{1} << 22;
   std::vector<Node> nodes_;
   std::unordered_map<std::array<std::uint32_t, 3>, std::uint32_t, TripleHash> unique_;
   std::unordered_map<std::array<std::uint32_t, 3>, std::uint32_t, TripleHash> and_cache_;

@@ -23,18 +23,28 @@ bool is_number_start(char c, char next) {
          (c == '.' && std::isdigit(static_cast<unsigned char>(next)) != 0);
 }
 
-}  // namespace
-
-std::vector<Token> tokenize(const std::string& input) {
+/// Shared scanner. With `diags == nullptr` lexical errors throw ParseError
+/// (the strict historical behaviour); with a sink they are recorded and
+/// skipped so the whole input is scanned in one pass.
+std::vector<Token> tokenize_impl(const std::string& input, Diagnostics* diags) {
   std::vector<Token> out;
   std::size_t line = 1;
   std::size_t i = 0;
+  std::size_t line_start = 0;  // index of the first character of `line`
   const std::size_t n = input.size();
+  const auto column = [&](std::size_t at) { return at - line_start + 1; };
+  const auto fail = [&](std::size_t at, std::string code, const std::string& msg,
+                        const std::string& token, const std::string& hint) {
+    if (diags == nullptr)
+      throw ParseError(line, column(at), token, msg, std::move(code), hint);
+    diags->error(std::move(code), {line, column(at)}, msg, hint, token);
+  };
   while (i < n) {
     const char c = input[i];
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
@@ -47,55 +57,88 @@ std::vector<Token> tokenize(const std::string& input) {
     }
     if (c == '"') {
       std::string text;
+      const std::size_t start = i;
       ++i;
       while (i < n && input[i] != '"') {
-        if (input[i] == '\n') ++line;
+        if (input[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         text += input[i++];
       }
-      if (i >= n) throw ParseError(line, "unterminated string literal");
+      if (i >= n) {
+        fail(start, "L102", "unterminated string literal", {},
+             "close the string with '\"'");
+        // Recovery: treat the rest of the input as the string's contents.
+        out.push_back(Token{TokenType::Identifier, std::move(text), 0.0, line,
+                            column(start)});
+        break;
+      }
       ++i;  // closing quote
-      out.push_back(Token{TokenType::Identifier, std::move(text), 0.0, line});
+      out.push_back(
+          Token{TokenType::Identifier, std::move(text), 0.0, line, column(start)});
       continue;
     }
     if (is_ident_start(c)) {
       std::size_t start = i;
       while (i < n && is_ident_char(input[i])) ++i;
-      out.push_back(
-          Token{TokenType::Identifier, input.substr(start, i - start), 0.0, line});
+      out.push_back(Token{TokenType::Identifier, input.substr(start, i - start), 0.0,
+                          line, column(start)});
       continue;
     }
     const char next = i + 1 < n ? input[i + 1] : '\0';
     if (is_number_start(c, next)) {
       char* end = nullptr;
       const double value = std::strtod(input.c_str() + i, &end);
-      if (end == input.c_str() + i) throw ParseError(line, "malformed number");
+      if (end == input.c_str() + i) {
+        fail(i, "L103", "malformed number", std::string(1, c), {});
+        ++i;  // recovery: skip the character
+        continue;
+      }
+      const std::size_t start = i;
       i = static_cast<std::size_t>(end - input.c_str());
-      out.push_back(Token{TokenType::Number, {}, value, line});
+      out.push_back(Token{TokenType::Number, {}, value, line, column(start)});
       continue;
     }
     switch (c) {
       case '(':
-        out.push_back(Token{TokenType::LParen, "(", 0.0, line});
+        out.push_back(Token{TokenType::LParen, "(", 0.0, line, column(i)});
         break;
       case ')':
-        out.push_back(Token{TokenType::RParen, ")", 0.0, line});
+        out.push_back(Token{TokenType::RParen, ")", 0.0, line, column(i)});
         break;
       case ',':
-        out.push_back(Token{TokenType::Comma, ",", 0.0, line});
+        out.push_back(Token{TokenType::Comma, ",", 0.0, line, column(i)});
         break;
       case ';':
-        out.push_back(Token{TokenType::Semicolon, ";", 0.0, line});
+        out.push_back(Token{TokenType::Semicolon, ";", 0.0, line, column(i)});
         break;
       case '=':
-        out.push_back(Token{TokenType::Equals, "=", 0.0, line});
+        out.push_back(Token{TokenType::Equals, "=", 0.0, line, column(i)});
         break;
       default:
-        throw ParseError(line, std::string("unexpected character '") + c + "'");
+        fail(i, "L101", std::string("unexpected character '") + c + "'",
+             std::string(1, c),
+             "identifiers use letters, digits, '_', '.', '-'; strings use double "
+             "quotes");
+        // Recovery: drop the character and continue scanning.
+        break;
     }
     ++i;
   }
-  out.push_back(Token{TokenType::End, {}, 0.0, line});
+  out.push_back(Token{TokenType::End, {}, 0.0, line,
+                      i >= line_start ? i - line_start + 1 : 1});
   return out;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& input) {
+  return tokenize_impl(input, nullptr);
+}
+
+std::vector<Token> tokenize(const std::string& input, Diagnostics& diags) {
+  return tokenize_impl(input, &diags);
 }
 
 const Token& TokenCursor::next() {
@@ -104,14 +147,16 @@ const Token& TokenCursor::next() {
   return t;
 }
 
+std::string token_text(const Token& t) {
+  if (t.type == TokenType::Number) return std::to_string(t.number);
+  return t.text.empty() ? token_type_name(t.type) : t.text;
+}
+
 Token TokenCursor::expect(TokenType type, const std::string& what) {
   const Token& t = peek();
   if (t.type != type)
-    throw ParseError(t.line, "expected " + what + ", found '" +
-                                 (t.type == TokenType::Number
-                                      ? std::to_string(t.number)
-                                      : (t.text.empty() ? token_type_name(t.type) : t.text)) +
-                                 "'");
+    throw ParseError(t.line, t.column, token_text(t),
+                     "expected " + what + ", found '" + token_text(t) + "'", "P101");
   return next();
 }
 
@@ -133,6 +178,12 @@ std::string TokenCursor::expect_identifier(const std::string& what) {
 
 double TokenCursor::expect_number(const std::string& what) {
   return expect(TokenType::Number, what).number;
+}
+
+void TokenCursor::synchronize() {
+  while (!at_end()) {
+    if (next().type == TokenType::Semicolon) return;
+  }
 }
 
 const char* token_type_name(TokenType t) {

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/diagnostics.hpp"
+
 namespace fmtree::ft {
 
 enum class TokenType {
@@ -23,12 +25,18 @@ struct Token {
   std::string text;     // identifier text
   double number = 0.0;  // numeric value for Number
   std::size_t line = 1;
+  std::size_t column = 1;  // 1-based column of the token's first character
 };
 
 /// Tokenizes the whole input. '#' starts a comment to end of line. Throws
 /// ParseError on unterminated strings or malformed numbers. The final token
 /// is always TokenType::End.
 std::vector<Token> tokenize(const std::string& input);
+
+/// Error-recovery tokenization: lexical problems are recorded in `diags`
+/// (codes L101/L102) and skipped instead of thrown, so one pass surfaces
+/// every bad character. Never throws on malformed input.
+std::vector<Token> tokenize(const std::string& input, Diagnostics& diags);
 
 /// Cursor over a token stream with convenience expectations.
 class TokenCursor {
@@ -39,6 +47,7 @@ public:
   const Token& next();
   bool at_end() const { return peek().type == TokenType::End; }
   std::size_t line() const { return peek().line; }
+  std::size_t column() const { return peek().column; }
 
   /// Consumes and returns a token of the given type, or throws ParseError.
   Token expect(TokenType type, const std::string& what);
@@ -51,11 +60,18 @@ public:
   /// Consumes and returns a number, or throws.
   double expect_number(const std::string& what);
 
+  /// Panic-mode recovery: skips past the next ';' (or to end of input) so
+  /// parsing can resume at the following statement.
+  void synchronize();
+
 private:
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
 };
 
 const char* token_type_name(TokenType t);
+
+/// Display text of a token, for diagnostics.
+std::string token_text(const Token& t);
 
 }  // namespace fmtree::ft

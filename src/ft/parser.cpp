@@ -30,6 +30,13 @@ Distribution parse_distribution(TokenCursor& cur) {
       throw ParseError(line, "distribution '" + kind + "' takes " + std::to_string(n) +
                                  " parameter(s), got " + std::to_string(args.size()));
   };
+  // Shape parameters are cast to int; reject anything the cast cannot
+  // represent (casting a non-finite or out-of-range double is UB).
+  auto int_shape = [&](double k, const char* which) {
+    if (!std::isfinite(k) || k != std::floor(k) || k < 1 || k > 1e9)
+      throw ParseError(line, std::string(which) + " shape must be an integer in [1, 1e9]");
+    return static_cast<int>(k);
+  };
   try {
     if (kind == "exp") {
       arity(1);
@@ -37,16 +44,11 @@ Distribution parse_distribution(TokenCursor& cur) {
     }
     if (kind == "erlang") {
       arity(2);
-      const double k = args[0];
-      if (k != std::floor(k)) throw ParseError(line, "erlang shape must be an integer");
-      return Distribution::erlang(static_cast<int>(k), args[1]);
+      return Distribution::erlang(int_shape(args[0], "erlang"), args[1]);
     }
     if (kind == "erlang_mean") {
       arity(2);
-      const double k = args[0];
-      if (k != std::floor(k))
-        throw ParseError(line, "erlang_mean shape must be an integer");
-      return Distribution::erlang_mean(static_cast<int>(k), args[1]);
+      return Distribution::erlang_mean(int_shape(args[0], "erlang_mean"), args[1]);
     }
     if (kind == "weibull") {
       arity(2);
@@ -77,6 +79,7 @@ struct GateDecl {
   int k = 0;
   std::vector<std::string> children;
   std::size_t line = 0;
+  std::size_t column = 0;
 };
 
 struct BeDecl {
@@ -91,59 +94,160 @@ struct Declarations {
   std::size_t top_line = 0;
 };
 
-Declarations collect(TokenCursor& cur) {
+/// Parses one ';'-terminated statement into `decls`. Throws ParseError on
+/// any syntax problem; the caller decides whether to abort or synchronize.
+void parse_statement(TokenCursor& cur, Declarations& decls) {
+  const std::size_t line = cur.line();
+  const std::size_t column = cur.column();
+  const std::string head = cur.expect_identifier("statement");
+  if (head == "toplevel") {
+    if (!decls.top.empty())
+      throw ParseError(line, column, head, "duplicate toplevel declaration", "P102",
+                       "a model has exactly one 'toplevel <name>;' statement");
+    decls.top = cur.expect_identifier("top event name");
+    decls.top_line = line;
+    cur.expect(TokenType::Semicolon, "';'");
+    return;
+  }
+  const std::string& name = head;
+  if (decls.gates.contains(name) || decls.basics.contains(name))
+    throw ParseError(line, column, name, "duplicate definition of '" + name + "'",
+                     "P102", "every node is declared exactly once");
+  const std::string op = cur.expect_identifier("gate type or 'be'");
+  if (op == "be") {
+    Distribution d = parse_distribution(cur);
+    cur.expect(TokenType::Semicolon, "';'");
+    decls.basics.emplace(name, BeDecl{std::move(d), line});
+    return;
+  }
+  GateDecl g;
+  g.line = line;
+  g.column = column;
+  if (op == "and") {
+    g.type = GateType::And;
+  } else if (op == "or") {
+    g.type = GateType::Or;
+  } else if (op == "vot") {
+    g.type = GateType::Voting;
+    const double k = cur.expect_number("voting threshold k");
+    if (k != std::floor(k) || k < 1)
+      throw ParseError(line, column, name, "voting threshold must be a positive integer",
+                       "P201");
+    g.k = static_cast<int>(k);
+  } else {
+    throw ParseError(line, column, op,
+                     "unknown statement '" + op + "' (expected and/or/vot/be)", "P104");
+  }
+  while (cur.peek().type == TokenType::Identifier)
+    g.children.push_back(cur.next().text);
+  if (g.children.empty())
+    throw ParseError(line, column, name, "gate '" + name + "' has no children", "P201",
+                     "list at least one child after the gate type");
+  cur.expect(TokenType::Semicolon, "';'");
+  decls.gates.emplace(name, std::move(g));
+}
+
+Declarations collect(TokenCursor& cur, Diagnostics& diags) {
   Declarations decls;
   while (!cur.at_end()) {
-    const std::size_t line = cur.line();
-    const std::string head = cur.expect_identifier("statement");
-    if (head == "toplevel") {
-      if (!decls.top.empty()) throw ParseError(line, "duplicate toplevel declaration");
-      decls.top = cur.expect_identifier("top event name");
-      decls.top_line = line;
-      cur.expect(TokenType::Semicolon, "';'");
-      continue;
+    try {
+      parse_statement(cur, decls);
+    } catch (const ParseError& e) {
+      diags.add(diagnostic_from(e));
+      cur.synchronize();
+    } catch (const Error& e) {
+      // Statement helpers may surface domain errors from model construction;
+      // keep the collect contract (diagnostics, never exceptions).
+      diags.add(diagnostic_from(e, "P199"));
+      cur.synchronize();
     }
-    const std::string& name = head;
-    if (decls.gates.contains(name) || decls.basics.contains(name))
-      throw ParseError(line, "duplicate definition of '" + name + "'");
-    const std::string op = cur.expect_identifier("gate type or 'be'");
-    if (op == "be") {
-      Distribution d = parse_distribution(cur);
-      cur.expect(TokenType::Semicolon, "';'");
-      decls.basics.emplace(name, BeDecl{std::move(d), line});
-      continue;
-    }
-    GateDecl g;
-    g.line = line;
-    if (op == "and") {
-      g.type = GateType::And;
-    } else if (op == "or") {
-      g.type = GateType::Or;
-    } else if (op == "vot") {
-      g.type = GateType::Voting;
-      const double k = cur.expect_number("voting threshold k");
-      if (k != std::floor(k) || k < 1)
-        throw ParseError(line, "voting threshold must be a positive integer");
-      g.k = static_cast<int>(k);
-    } else {
-      throw ParseError(line, "unknown statement '" + op + "' (expected and/or/vot/be)");
-    }
-    while (cur.peek().type == TokenType::Identifier)
-      g.children.push_back(cur.next().text);
-    if (g.children.empty()) throw ParseError(line, "gate '" + name + "' has no children");
-    cur.expect(TokenType::Semicolon, "';'");
-    decls.gates.emplace(name, std::move(g));
   }
-  if (decls.top.empty()) throw ParseError(cur.line(), "missing 'toplevel' declaration");
+  if (decls.top.empty())
+    diags.error("P103", {cur.line(), cur.column()}, "missing 'toplevel' declaration",
+                "declare the top event with 'toplevel <name>;'");
   return decls;
 }
 
-}  // namespace
+/// Reference / cycle / reachability validation over the declaration graph,
+/// reporting every problem instead of the first. Runs only on syntactically
+/// clean inputs, so the declaration set is trustworthy.
+void validate_declarations(const Declarations& decls, Diagnostics& diags) {
+  const auto declared = [&](const std::string& name) {
+    return decls.gates.contains(name) || decls.basics.contains(name);
+  };
+  std::unordered_set<std::string> reported;
+  const auto report_undefined = [&](const std::string& name, std::size_t line,
+                                    std::size_t column) {
+    if (!reported.insert(name).second) return;
+    diags.error("M101", {line, column},
+                "node '" + name + "' referenced but never defined",
+                "declare it as a gate or with '" + name + " be <dist>;'", name);
+  };
+  if (!decls.top.empty() && !declared(decls.top))
+    report_undefined(decls.top, decls.top_line, 0);
+  for (const auto& [name, g] : decls.gates)
+    for (const std::string& child : g.children)
+      if (!declared(child)) report_undefined(child, g.line, g.column);
 
-FaultTree parse_fault_tree(const std::string& text) {
-  TokenCursor cur(tokenize(text));
-  const Declarations decls = collect(cur);
+  // Cycle detection: iterative colored DFS over the gate graph.
+  enum class Color { White, Grey, Black };
+  std::unordered_map<std::string, Color> color;
+  for (const auto& [name, g] : decls.gates) color.emplace(name, Color::White);
+  for (const auto& [start, g0] : decls.gates) {
+    if (color[start] != Color::White) continue;
+    // Stack of (gate name, next child index to visit).
+    std::vector<std::pair<const std::string*, std::size_t>> stack;
+    stack.emplace_back(&start, 0);
+    color[start] = Color::Grey;
+    while (!stack.empty()) {
+      auto& [name, next_child] = stack.back();
+      const GateDecl& g = decls.gates.at(*name);
+      if (next_child >= g.children.size()) {
+        color[*name] = Color::Black;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& child = g.children[next_child++];
+      const auto it = decls.gates.find(child);
+      if (it == decls.gates.end()) continue;  // basic event or undefined
+      Color& c = color[child];
+      if (c == Color::Grey) {
+        diags.error("M102", {it->second.line, it->second.column},
+                    "cycle involving node '" + child + "'",
+                    "fault trees are acyclic; remove the back reference", child);
+        continue;
+      }
+      if (c == Color::White) {
+        c = Color::Grey;
+        stack.emplace_back(&it->first, 0);
+      }
+    }
+  }
+  if (diags.has_errors()) return;  // reachability would only cascade
 
+  // Orphans: every declared node must be reachable from the top event.
+  std::unordered_set<std::string> reachable;
+  std::vector<const std::string*> stack{&decls.top};
+  while (!stack.empty()) {
+    const std::string& name = *stack.back();
+    stack.pop_back();
+    if (!reachable.insert(name).second) continue;
+    if (const auto it = decls.gates.find(name); it != decls.gates.end())
+      for (const std::string& child : it->second.children) stack.push_back(&child);
+  }
+  for (const auto& [name, g] : decls.gates)
+    if (!reachable.contains(name))
+      diags.error("M103", {g.line, g.column},
+                  "gate '" + name + "' is not reachable from the top event",
+                  "wire it into the tree or delete it", name);
+  for (const auto& [name, b] : decls.basics)
+    if (!reachable.contains(name))
+      diags.error("M103", {b.line, 0},
+                  "basic event '" + name + "' is not reachable from the top event",
+                  "wire it into the tree or delete it", name);
+}
+
+FaultTree build_tree(const Declarations& decls) {
   FaultTree tree;
   std::unordered_map<std::string, NodeId> built;
   std::unordered_set<std::string> building;  // cycle detection
@@ -172,17 +276,33 @@ FaultTree parse_fault_tree(const std::string& text) {
   };
 
   tree.set_top(build(decls.top));
-
-  // Reject orphans: every declared node must end up in the tree.
-  for (const auto& [name, decl] : decls.gates)
-    if (!built.contains(name))
-      throw ModelError("gate '" + name + "' is not reachable from the top event");
-  for (const auto& [name, decl] : decls.basics)
-    if (!built.contains(name))
-      throw ModelError("basic event '" + name + "' is not reachable from the top event");
-
   tree.validate();
   return tree;
+}
+
+}  // namespace
+
+FtParseResult parse_fault_tree_collect(const std::string& text) {
+  FtParseResult result;
+  TokenCursor cur(tokenize(text, result.diagnostics));
+  const Declarations decls = collect(cur, result.diagnostics);
+  if (result.diagnostics.has_errors()) return result;
+  validate_declarations(decls, result.diagnostics);
+  if (result.diagnostics.has_errors()) return result;
+  try {
+    result.tree = build_tree(decls);
+  } catch (const ModelError& e) {
+    // validate_declarations covers the builder's failure modes, but keep the
+    // construction errors typed rather than escaping should they diverge.
+    result.diagnostics.add(diagnostic_from(e, "M104"));
+  }
+  return result;
+}
+
+FaultTree parse_fault_tree(const std::string& text) {
+  FtParseResult result = parse_fault_tree_collect(text);
+  result.diagnostics.throw_if_errors();
+  return std::move(*result.tree);
 }
 
 namespace {

@@ -16,15 +16,32 @@
 // are allowed; cycles are rejected.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "ft/lexer.hpp"
 #include "ft/tree.hpp"
+#include "util/diagnostics.hpp"
 
 namespace fmtree::ft {
 
 /// Parses a complete fault tree from text. Throws ParseError / ModelError.
+/// When the input has several problems, the exception is a ParseErrors /
+/// ModelErrors aggregate carrying one Diagnostic per problem.
 FaultTree parse_fault_tree(const std::string& text);
+
+/// Outcome of an error-recovery parse: `tree` is engaged iff no
+/// error-severity diagnostic was recorded.
+struct FtParseResult {
+  std::optional<FaultTree> tree;
+  Diagnostics diagnostics;
+};
+
+/// Error-recovery parse: never throws on malformed input. The lexer skips
+/// bad characters, the statement loop synchronizes at ';' boundaries, and
+/// reference/cycle/reachability validation reports the complete problem
+/// list — so one pass surfaces every diagnostic the input deserves.
+FtParseResult parse_fault_tree_collect(const std::string& text);
 
 /// Parses one distribution expression, e.g. "erlang(3, 0.5)". Shared with
 /// the FMT format.

@@ -45,8 +45,21 @@ void FaultTree::set_top(NodeId id) {
 }
 
 void FaultTree::validate(std::span<const NodeId> extra_roots) const {
-  if (!top_) throw ModelError("no top event set");
-  if (basics_.empty()) throw ModelError("tree has no basic events");
+  Diagnostics diags;
+  validate(extra_roots, diags);
+  if (!diags.has_errors()) return;
+  // Preserve the historical single-error message; aggregate otherwise.
+  if (diags.error_count() == 1) throw ModelError(diags.all().front().message);
+  throw ModelErrors(diags.all());
+}
+
+void FaultTree::validate(std::span<const NodeId> extra_roots,
+                         Diagnostics& diags) const {
+  if (!top_) {
+    diags.error("M105", {}, "no top event set");
+    return;  // reachability is meaningless without a root
+  }
+  if (basics_.empty()) diags.error("M106", {}, "tree has no basic events");
   // Reachability from the top (plus any dependency-trigger roots).
   std::vector<bool> seen(kinds_.size(), false);
   std::vector<NodeId> stack{*top_};
@@ -63,9 +76,11 @@ void FaultTree::validate(std::span<const NodeId> extra_roots) const {
       for (NodeId c : gate(n).children) stack.push_back(c);
   }
   for (std::size_t i = 0; i < seen.size(); ++i) {
-    if (!seen[i])
-      throw ModelError("node '" + name(NodeId{static_cast<std::uint32_t>(i)}) +
-                       "' is not reachable from the top event");
+    if (!seen[i]) {
+      const std::string& n = name(NodeId{static_cast<std::uint32_t>(i)});
+      diags.error("M103", {}, "node '" + n + "' is not reachable from the top event",
+                  "wire it into the tree or delete it", n);
+    }
   }
 }
 

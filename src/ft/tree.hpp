@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/diagnostics.hpp"
 #include "util/distributions.hpp"
 
 namespace fmtree::ft {
@@ -72,6 +73,10 @@ public:
   /// used (FMT dependency triggers need not contribute to the structure
   /// function).
   void validate(std::span<const NodeId> extra_roots) const;
+
+  /// Collecting variant: records every invariant violation (M-range codes)
+  /// into `diags` instead of throwing on the first one.
+  void validate(std::span<const NodeId> extra_roots, Diagnostics& diags) const;
 
   // ---- Accessors -----------------------------------------------------------
 

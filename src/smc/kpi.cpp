@@ -30,7 +30,7 @@ BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettin
   opts.record_failure_log = record_failure_log;
 
   if (s.target_relative_error <= 0) {
-    return runner.run(s.seed, 0, s.trajectories, opts);
+    return runner.run(s.seed, 0, s.trajectories, opts, s.control);
   }
 
   BatchResult all;
@@ -41,7 +41,7 @@ BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettin
   while (all.summaries.size() < s.trajectories) {
     const std::uint64_t todo =
         std::min<std::uint64_t>(s.batch, s.trajectories - all.summaries.size());
-    BatchResult batch = runner.run(s.seed, all.summaries.size(), todo, opts);
+    BatchResult batch = runner.run(s.seed, all.summaries.size(), todo, opts, s.control);
     for (const TrajectorySummary& t : batch.summaries)
       failures.add(static_cast<double>(t.failures));
     all.summaries.insert(all.summaries.end(), batch.summaries.begin(),
@@ -55,11 +55,17 @@ BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettin
       all.failures_per_leaf[i] += batch.failures_per_leaf[i];
       all.repairs_per_leaf[i] += batch.repairs_per_leaf[i];
     }
+    if (batch.truncated) {
+      all.truncated = true;
+      all.stop_reason = batch.stop_reason;
+      break;
+    }
     if (failures.count() >= 2 && failures.mean() > 0) {
       const double half = z * failures.std_error();
       if (half <= s.target_relative_error * failures.mean()) break;
     }
   }
+  all.completed = all.summaries.size();
   return all;
 }
 
@@ -82,11 +88,18 @@ KpiReport analyze(const fmt::FaultMaintenanceTree& model,
                   const AnalysisSettings& settings) {
   check_settings(settings);
   const BatchResult batch = collect(model, settings, settings.horizon);
+  if (batch.summaries.empty())
+    throw ResourceLimitError(
+        "run stopped (" + std::string(stop_reason_name(batch.stop_reason)) +
+            ") before any trajectory completed",
+        {});
   const auto n = static_cast<double>(batch.summaries.size());
 
   KpiReport report;
   report.horizon = settings.horizon;
   report.trajectories = batch.summaries.size();
+  report.truncated = batch.truncated;
+  report.stop_reason = batch.stop_reason;
 
   RunningStats failures, availability, total_cost, npv_cost;
   RunningStats inspections, repairs, replacements;

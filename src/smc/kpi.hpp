@@ -27,12 +27,21 @@ struct AnalysisSettings {
   /// is reached; `trajectories` then acts as the budget cap.
   double target_relative_error = 0.0;
   std::uint64_t batch = 2048;
+  /// Optional cooperative stop handle (SIGINT, deadlines, budgets). When a
+  /// stop fires mid-run the analysis returns early over the completed
+  /// trajectory prefix — statistics stay exact for the streams they cover —
+  /// and the report is flagged `truncated`. nullptr = run to completion.
+  const RunControl* control = nullptr;
 };
 
 /// Everything the case study reports, from one set of trajectories.
 struct KpiReport {
   double horizon = 0.0;
   std::uint64_t trajectories = 0;
+  /// True when a RunControl stopped the run early; `trajectories` then holds
+  /// the completed prefix the statistics are exact over.
+  bool truncated = false;
+  StopReason stop_reason = StopReason::None;
 
   ConfidenceInterval reliability;       ///< P(no system failure in [0, horizon])
   ConfidenceInterval expected_failures; ///< E[#failures in [0, horizon]]

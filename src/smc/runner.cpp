@@ -1,10 +1,25 @@
 #include "smc/runner.hpp"
 
+#include <atomic>
 #include <thread>
 
 #include "util/error.hpp"
 
 namespace fmtree::smc {
+
+namespace {
+
+/// Sparse per-trajectory copy of the integer leaf counters, kept only when a
+/// RunControl may truncate the batch: eager accumulation into the worker
+/// totals would contaminate them with trajectories beyond the delivered
+/// prefix, so the totals are rebuilt from the surviving deltas instead.
+struct LeafDelta {
+  std::uint32_t leaf = 0;
+  std::uint32_t failures = 0;
+  std::uint32_t repairs = 0;
+};
+
+}  // namespace
 
 ParallelRunner::ParallelRunner(const sim::FmtSimulator& simulator, unsigned threads)
     : simulator_(simulator),
@@ -12,7 +27,8 @@ ParallelRunner::ParallelRunner(const sim::FmtSimulator& simulator, unsigned thre
                             : std::max(1u, std::thread::hardware_concurrency())) {}
 
 BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
-                                std::uint64_t count, const sim::SimOptions& opts) const {
+                                std::uint64_t count, const sim::SimOptions& opts,
+                                const RunControl* control) const {
   if (opts.trace != nullptr)
     throw DomainError("traces are per-trajectory; run the simulator directly");
   const std::size_t num_leaves = simulator_.model().num_ebes();
@@ -26,15 +42,43 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
   const unsigned workers =
       static_cast<unsigned>(std::min<std::uint64_t>(threads_, std::max<std::uint64_t>(count, 1)));
 
-  // Per-worker integer accumulators; merged below (integers commute).
+  // Per-worker integer accumulators; merged below (integers commute). Used
+  // only on the uncontrolled path, where every trajectory survives.
   std::vector<std::vector<std::uint64_t>> worker_failures(
       workers, std::vector<std::uint64_t>(num_leaves, 0));
   std::vector<std::vector<std::uint64_t>> worker_repairs(
       workers, std::vector<std::uint64_t>(num_leaves, 0));
 
+  // Controlled path: per-trajectory sparse deltas plus, per worker, the
+  // first index it did NOT complete. Trajectory i runs on worker i % workers
+  // in increasing index order, so every index below
+  //   k = min_w first_uncompleted[w]
+  // is complete — k is the longest exact prefix.
+  std::vector<std::vector<LeafDelta>> deltas(control != nullptr ? count : 0);
+  std::vector<std::uint64_t> first_uncompleted(workers, count);
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<StopReason> stop{StopReason::None};
+
   auto work = [&](unsigned w) {
     sim::SimWorkspace ws;  // reused across all of this worker's trajectories
     for (std::uint64_t i = w; i < count; i += workers) {
+      if (control != nullptr) {
+        StopReason r = stop.load(std::memory_order_acquire);
+        // Budgets count trajectories globally: `first` carries the completed
+        // count of earlier batches (adaptive drivers pass it that way), so a
+        // budget smaller than the remaining work stops mid-batch.
+        if (r == StopReason::None &&
+            (r = control->should_stop(
+                 first + done.load(std::memory_order_relaxed))) !=
+                StopReason::None) {
+          StopReason expected = StopReason::None;
+          stop.compare_exchange_strong(expected, r, std::memory_order_acq_rel);
+        }
+        if (r != StopReason::None) {
+          first_uncompleted[w] = i;
+          return;
+        }
+      }
       sim::TrajectoryResult r =
           simulator_.run(RandomStream(seed, first + i), opts, ws);
       TrajectorySummary& s = out.summaries[i];
@@ -46,9 +90,20 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
       s.inspections = static_cast<std::uint32_t>(r.inspections);
       s.repairs = static_cast<std::uint32_t>(r.repairs);
       s.replacements = static_cast<std::uint32_t>(r.replacements);
-      for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
-        worker_failures[w][leaf] += r.failures_per_leaf[leaf];
-        worker_repairs[w][leaf] += r.repairs_per_leaf[leaf];
+      if (control == nullptr) {
+        for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+          worker_failures[w][leaf] += r.failures_per_leaf[leaf];
+          worker_repairs[w][leaf] += r.repairs_per_leaf[leaf];
+        }
+      } else {
+        for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+          if (r.failures_per_leaf[leaf] != 0 || r.repairs_per_leaf[leaf] != 0)
+            deltas[i].push_back(
+                LeafDelta{static_cast<std::uint32_t>(leaf),
+                          static_cast<std::uint32_t>(r.failures_per_leaf[leaf]),
+                          static_cast<std::uint32_t>(r.repairs_per_leaf[leaf])});
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
       }
       if (opts.record_failure_log) out.failure_logs[i] = std::move(r.failure_log);
     }
@@ -63,10 +118,30 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
     for (std::thread& t : pool) t.join();
   }
 
-  for (unsigned w = 0; w < workers; ++w) {
-    for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
-      out.failures_per_leaf[leaf] += worker_failures[w][leaf];
-      out.repairs_per_leaf[leaf] += worker_repairs[w][leaf];
+  if (control == nullptr) {
+    out.completed = count;
+    for (unsigned w = 0; w < workers; ++w) {
+      for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+        out.failures_per_leaf[leaf] += worker_failures[w][leaf];
+        out.repairs_per_leaf[leaf] += worker_repairs[w][leaf];
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t prefix = count;
+  for (unsigned w = 0; w < workers; ++w)
+    prefix = std::min(prefix, first_uncompleted[w]);
+  out.completed = prefix;
+  out.truncated = prefix < count;
+  out.stop_reason =
+      out.truncated ? stop.load(std::memory_order_acquire) : StopReason::None;
+  out.summaries.resize(prefix);
+  if (opts.record_failure_log) out.failure_logs.resize(prefix);
+  for (std::uint64_t i = 0; i < prefix; ++i) {
+    for (const LeafDelta& d : deltas[i]) {
+      out.failures_per_leaf[d.leaf] += d.failures;
+      out.repairs_per_leaf[d.leaf] += d.repairs;
     }
   }
   return out;

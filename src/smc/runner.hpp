@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/fmt_executor.hpp"
+#include "smc/run_control.hpp"
 
 namespace fmtree::smc {
 
@@ -32,7 +33,7 @@ struct TrajectorySummary {
 
 /// Result of one batch of trajectories.
 struct BatchResult {
-  /// Ordered by trajectory index (first .. first+count-1).
+  /// Ordered by trajectory index (first .. first+completed-1).
   std::vector<TrajectorySummary> summaries;
   /// Integer totals over the batch; order-independent, so summed per thread.
   std::vector<std::uint64_t> failures_per_leaf;
@@ -40,6 +41,13 @@ struct BatchResult {
   /// Per-trajectory failure logs, parallel to `summaries`. Only filled when
   /// SimOptions::record_failure_log is set; empty otherwise.
   std::vector<std::vector<sim::FailureRecord>> failure_logs;
+  /// Trajectories actually delivered (== the requested count unless the run
+  /// was truncated by a RunControl).
+  std::uint64_t completed = 0;
+  /// True when the batch stopped early. The delivered prefix is still exact:
+  /// bit-identical to an untruncated run over the same `completed` streams.
+  bool truncated = false;
+  StopReason stop_reason = StopReason::None;
 };
 
 class ParallelRunner {
@@ -48,8 +56,15 @@ public:
   explicit ParallelRunner(const sim::FmtSimulator& simulator, unsigned threads = 0);
 
   /// Runs trajectories with stream ids [first, first+count) under `seed`.
+  ///
+  /// With a RunControl, workers poll it between trajectories; on a stop the
+  /// batch is cut to the longest fully-completed index prefix, so every
+  /// delivered statistic is exact for the streams it covers — identical to
+  /// running the same seed over just those streams. Without one (`control ==
+  /// nullptr`) the batch always runs to completion.
   BatchResult run(std::uint64_t seed, std::uint64_t first, std::uint64_t count,
-                  const sim::SimOptions& opts) const;
+                  const sim::SimOptions& opts,
+                  const RunControl* control = nullptr) const;
 
   unsigned threads() const noexcept { return threads_; }
 

@@ -5,6 +5,7 @@
 // interfaces) use FMTREE_ASSERT which terminates with a message.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -24,16 +25,59 @@ public:
   explicit ModelError(const std::string& what) : Error("model error: " + what) {}
 };
 
-/// Text-format input could not be parsed.
+/// Text-format input could not be parsed. Carries the source location down
+/// to the column and the offending token so diagnostics can point at the
+/// exact spot, plus a stable code and an optional hint (see
+/// util/diagnostics.hpp for the code ranges).
 class ParseError : public Error {
 public:
   ParseError(std::size_t line, const std::string& what)
-      : Error("parse error at line " + std::to_string(line) + ": " + what), line_(line) {}
+      : ParseError(line, 0, {}, what) {}
+
+  ParseError(std::size_t line, std::size_t column, std::string token,
+             const std::string& what, std::string code = "P101", std::string hint = {})
+      : Error(render(line, column, token, what)),
+        line_(line),
+        column_(column),
+        token_(std::move(token)),
+        message_(what),
+        code_(std::move(code)),
+        hint_(std::move(hint)) {}
 
   std::size_t line() const noexcept { return line_; }
+  /// 1-based column of the offending token; 0 when unknown.
+  std::size_t column() const noexcept { return column_; }
+  /// Text of the offending token; empty when not applicable.
+  const std::string& token() const noexcept { return token_; }
+  /// The bare message without the "parse error at ..." prefix.
+  const std::string& message() const noexcept { return message_; }
+  const std::string& code() const noexcept { return code_; }
+  const std::string& hint() const noexcept { return hint_; }
+
+protected:
+  /// For aggregate subclasses that supply a fully rendered what().
+  struct Raw {};
+  ParseError(Raw, std::size_t line, std::size_t column, const std::string& what)
+      : Error(what), line_(line), column_(column), message_(what) {}
 
 private:
-  std::size_t line_;
+  static std::string render(std::size_t line, std::size_t column,
+                            const std::string& token, const std::string& what) {
+    std::string out = "parse error at line " + std::to_string(line);
+    if (column != 0) out += ", column " + std::to_string(column);
+    out += ": " + what;
+    // Mention the offending token unless the message already quotes it.
+    if (!token.empty() && what.find("'" + token + "'") == std::string::npos)
+      out += " (at '" + token + "')";
+    return out;
+  }
+
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
+  std::string token_;
+  std::string message_;
+  std::string code_ = "P101";
+  std::string hint_;
 };
 
 /// A numeric routine received parameters outside its domain.
@@ -54,6 +98,38 @@ public:
 class IoError : public Error {
 public:
   explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// A computation hit an explicit resource budget (iteration cap, series
+/// length cap, state-space cap, node cap). Unlike DomainError, the inputs
+/// were valid — the work was simply larger than the budget — so the error
+/// carries the partial progress made, letting callers report how far the
+/// computation got or fall back to another backend.
+class ResourceLimitError : public Error {
+public:
+  struct Progress {
+    std::uint64_t iterations = 0;  ///< iterations / series terms completed
+    double residual = 0.0;         ///< last convergence residual; 0 if n/a
+    std::uint64_t states = 0;      ///< states / nodes built; 0 if n/a
+  };
+
+  ResourceLimitError(const std::string& what, Progress progress)
+      : Error("resource limit: " + what + render(progress)), progress_(progress) {}
+
+  const Progress& progress() const noexcept { return progress_; }
+
+private:
+  static std::string render(const Progress& p) {
+    std::ostringstream os;
+    os << " [progress:";
+    if (p.iterations != 0) os << " iterations=" << p.iterations;
+    if (p.residual != 0.0) os << " residual=" << p.residual;
+    if (p.states != 0) os << " states=" << p.states;
+    os << "]";
+    return os.str();
+  }
+
+  Progress progress_;
 };
 
 namespace detail {

@@ -10,6 +10,10 @@
 namespace fmtree {
 
 void RunningStats::add(double x) noexcept {
+  if (!std::isfinite(x)) {
+    ++non_finite_;
+    return;
+  }
   if (n_ == 0) {
     min_ = x;
     max_ = x;
@@ -24,9 +28,12 @@ void RunningStats::add(double x) noexcept {
 }
 
 void RunningStats::merge(const RunningStats& other) noexcept {
+  non_finite_ += other.non_finite_;
   if (other.n_ == 0) return;
   if (n_ == 0) {
+    const std::uint64_t non_finite = non_finite_;
     *this = other;
+    non_finite_ = non_finite;
     return;
   }
   const double na = static_cast<double>(n_);
@@ -53,6 +60,9 @@ double RunningStats::std_error() const noexcept {
 ConfidenceInterval RunningStats::mean_ci(double confidence) const {
   if (!(confidence > 0 && confidence < 1))
     throw DomainError("confidence must lie in (0,1)");
+  if (non_finite_ > 0)
+    throw DomainError("sample contains " + std::to_string(non_finite_) +
+                      " non-finite value(s); refusing to build a confidence interval");
   const double z = normal_quantile(0.5 + confidence / 2.0);
   const double hw = z * std_error();
   return {mean(), mean() - hw, mean() + hw, confidence};

@@ -18,6 +18,10 @@ struct ConfidenceInterval {
 };
 
 /// Welford's online algorithm: numerically stable running mean/variance.
+/// Non-finite samples (NaN/inf) are counted but excluded from the moments —
+/// they would silently poison every later estimate otherwise — and any
+/// moment query that matters for inference (mean_ci) refuses to produce an
+/// interval once one was seen.
 class RunningStats {
 public:
   void add(double x) noexcept;
@@ -25,6 +29,8 @@ public:
   void merge(const RunningStats& other) noexcept;
 
   std::uint64_t count() const noexcept { return n_; }
+  /// Number of non-finite samples seen (and excluded from the moments).
+  std::uint64_t non_finite_count() const noexcept { return non_finite_; }
   double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
   /// Unbiased sample variance; 0 when fewer than two samples.
   double variance() const noexcept;
@@ -36,10 +42,13 @@ public:
   double sum() const noexcept { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
 
   /// Normal-approximation CI for the mean at the given confidence level.
+  /// Throws DomainError if any non-finite sample was recorded: an interval
+  /// over a contaminated sample would be silently wrong.
   ConfidenceInterval mean_ci(double confidence = 0.95) const;
 
 private:
   std::uint64_t n_ = 0;
+  std::uint64_t non_finite_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;

@@ -213,8 +213,15 @@ TEST(FmtToCtmc, StateSpaceCapEnforced) {
     leaves.push_back(m.add_ebe("l" + std::to_string(i),
                                DegradationModel::erlang(4, 10.0, 2)));
   m.set_top(m.add_and("top", leaves));
-  EXPECT_THROW(fmt_to_ctmc(m, FailureTreatment::Absorbing, 100),
-               UnsupportedModelError);
+  try {
+    fmt_to_ctmc(m, FailureTreatment::Absorbing, 100);
+    FAIL() << "expected ResourceLimitError";
+  } catch (const ResourceLimitError& e) {
+    // The cap fires while interning the 101st state, so the partial progress
+    // reports exactly the states built before the overflowing one.
+    EXPECT_EQ(e.progress().states, 100u);
+    EXPECT_NE(std::string(e.what()).find("max_states"), std::string::npos);
+  }
 }
 
 TEST(FmtToCtmc, StateCountSingleLeaf) {

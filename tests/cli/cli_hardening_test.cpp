@@ -1,0 +1,188 @@
+// CLI failure semantics: stable exit codes, --json-errors, the exact->SMC
+// fallback, and truncation reporting. Exit codes are part of the scripting
+// contract (DESIGN.md, "Failure semantics") — pin them.
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fmtree::cli {
+namespace {
+
+const char* kBrokenModel =
+    "toplevel T;\n"
+    "T or A B;\n"
+    "A ebe phases=0 mean=5;\n"   // bad attribute
+    "B foo bar;\n"               // unknown statement
+    "T ebe phases=2 mean=5;\n";  // duplicate
+
+const char* kMarkovian =
+    "toplevel T;\n"
+    "T or A B;\n"
+    "A be exp(0.2);\n"
+    "B be exp(0.3);\n"
+    "corrective cost=0 delay=0;\n";
+
+const char* kSimModel =
+    "toplevel T;\n"
+    "T or A B;\n"
+    "A ebe phases=3 mean=5 threshold=2 repair_cost=100;\n"
+    "B be exp(0.05);\n"
+    "inspection I period=0.5 cost=20 targets A;\n"
+    "corrective cost=5000 delay=0;\n";
+
+/// Writes a model under the test's working directory and returns the path.
+std::string write_model(const std::string& name, const std::string& text) {
+  const std::string path = "fmtree_cli_hardening_" + name + ".fmt";
+  std::ofstream f(path);
+  f << text;
+  return path;
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+TEST(CliArgs, HardeningFlagsParsed) {
+  const Options o = parse_args({"exact", "m.fmt", "--timeout", "2.5", "--state-cap",
+                                "4096", "--json-errors", "--no-fallback"});
+  EXPECT_DOUBLE_EQ(o.timeout, 2.5);
+  EXPECT_EQ(o.state_cap, 4096u);
+  EXPECT_TRUE(o.json_errors);
+  EXPECT_TRUE(o.no_fallback);
+  const Options defaults = parse_args({"check", "m.fmt"});
+  EXPECT_DOUBLE_EQ(defaults.timeout, 0.0);
+  EXPECT_EQ(defaults.state_cap, 1u << 20);
+  EXPECT_FALSE(defaults.json_errors);
+  EXPECT_FALSE(defaults.no_fallback);
+}
+
+TEST(CliArgs, HardeningFlagsValidated) {
+  EXPECT_THROW(parse_args({"check", "m", "--timeout", "-1"}), DomainError);
+  EXPECT_THROW(parse_args({"check", "m", "--state-cap", "0"}), DomainError);
+  EXPECT_THROW(parse_args({"check", "m", "--state-cap", "1.5"}), DomainError);
+}
+
+TEST(CliArgs, FlagsMayPrecedeTheModelPath) {
+  // `fmtree check --json-errors broken.fmt` is the documented invocation;
+  // flag/positional order must not matter.
+  const Options o = parse_args({"check", "--json-errors", "m.fmt"});
+  EXPECT_TRUE(o.json_errors);
+  EXPECT_EQ(o.model_path, "m.fmt");
+  const Options c = parse_args({"compare", "--runs", "7", "a.fmt", "b.fmt"});
+  EXPECT_EQ(c.model_path, "a.fmt");
+  EXPECT_EQ(c.model_path_b, "b.fmt");
+  EXPECT_EQ(c.runs, 7u);
+  EXPECT_THROW(parse_args({"check", "--json-errors"}), DomainError);
+  EXPECT_THROW(parse_args({"compare", "a.fmt", "--runs", "7"}), DomainError);
+  EXPECT_THROW(parse_args({"check", "a.fmt", "b.fmt"}), DomainError);
+}
+
+TEST(CliExit, DiagnosticsExitThreeAndListEveryError) {
+  const std::string path = write_model("broken", kBrokenModel);
+  std::ostringstream out, err;
+  const int rc = main_impl({"check", path}, out, err);
+  EXPECT_EQ(rc, kExitDiagnostics);
+  // All three problems from one pass, each with a stable code tag.
+  EXPECT_EQ(count_occurrences(err.str(), "error["), 3u);
+  EXPECT_NE(err.str().find("P104"), std::string::npos);
+  EXPECT_NE(err.str().find("duplicate"), std::string::npos);
+}
+
+TEST(CliExit, JsonErrorsEmitMachineReadableDiagnostics) {
+  const std::string path = write_model("broken_json", kBrokenModel);
+  std::ostringstream out, err;
+  const int rc = main_impl({"check", path, "--json-errors"}, out, err);
+  EXPECT_EQ(rc, kExitDiagnostics);
+  const std::string json = err.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(count_occurrences(json, "\"code\":"), 3u);
+  EXPECT_NE(json.find("\"line\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+}
+
+TEST(CliExit, JsonErrorsCoverIoFailuresToo) {
+  std::ostringstream out, err;
+  const int rc = main_impl({"check", "/nonexistent/x.fmt", "--json-errors"}, out, err);
+  EXPECT_EQ(rc, kExitUsage);  // pinned: missing file stays exit 2
+  EXPECT_NE(err.str().find("\"code\":\"U101\""), std::string::npos);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+TEST(CliExit, ModelDiagnosticsAlsoExitThree) {
+  const std::string path = write_model(
+      "orphan", "toplevel T;\nT or A;\nA be exp(1);\nOrphan be exp(1);\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(main_impl({"check", path}, out, err), kExitDiagnostics);
+  EXPECT_NE(err.str().find("M103"), std::string::npos);
+}
+
+TEST(CliExit, ExactFallsBackToSmcWhenStateCapExceeded) {
+  const std::string path = write_model("fallback", kMarkovian);
+  std::ostringstream out, err;
+  const int rc =
+      main_impl({"exact", path, "--state-cap", "2", "--runs", "500"}, out, err);
+  EXPECT_EQ(rc, kExitOk);
+  EXPECT_NE(out.str().find("falling back to Monte-Carlo"), std::string::npos);
+  EXPECT_NE(out.str().find("reliability"), std::string::npos);
+}
+
+TEST(CliExit, ExactNoFallbackExitsFour) {
+  const std::string path = write_model("nofallback", kMarkovian);
+  std::ostringstream out, err;
+  const int rc =
+      main_impl({"exact", path, "--state-cap", "2", "--no-fallback"}, out, err);
+  EXPECT_EQ(rc, kExitResourceLimit);
+  EXPECT_NE(err.str().find("R101"), std::string::npos);
+  EXPECT_NE(err.str().find("max_states"), std::string::npos);
+}
+
+TEST(CliExit, ExactWithinCapStillExact) {
+  const std::string path = write_model("exact_ok", kMarkovian);
+  std::ostringstream out, err;
+  EXPECT_EQ(main_impl({"exact", path}, out, err), kExitOk);
+  EXPECT_NE(out.str().find("MTTF = 2"), std::string::npos);
+}
+
+TEST(CliExit, UnsupportedModelKeepsExitTwo) {
+  // Non-Markovian exact is a modelling problem, not a resource limit: no
+  // fallback, historic exit code 2.
+  const std::string path = write_model("nonmarkov", kSimModel);
+  std::ostringstream out, err;
+  EXPECT_EQ(main_impl({"exact", path}, out, err), kExitUsage);
+}
+
+TEST(CliExit, TimeoutTruncatesAnalyzeWithExitOne) {
+  // A budget far too small for 1M trajectories: the run starts (the first
+  // poll precedes the deadline) and is then cut, yielding the truncated
+  // exit code and an explicit notice over the exact prefix.
+  const std::string path = write_model("timeout", kSimModel);
+  std::ostringstream out, err;
+  const int rc = main_impl({"analyze", path, "--runs", "1000000", "--timeout",
+                            "0.25", "--threads", "2", "--seed", "3"},
+                           out, err);
+  EXPECT_EQ(rc, kExitTruncated);
+  EXPECT_NE(out.str().find("truncated (deadline)"), std::string::npos);
+  EXPECT_NE(out.str().find("reliability"), std::string::npos);
+}
+
+TEST(CliExit, InterruptControlIsProcessWideSingleton) {
+  EXPECT_EQ(&interrupt_control(), &interrupt_control());
+  interrupt_control().request_stop();
+  EXPECT_TRUE(interrupt_control().stop_requested());
+  interrupt_control().reset();
+  EXPECT_FALSE(interrupt_control().stop_requested());
+}
+
+}  // namespace
+}  // namespace fmtree::cli
