@@ -9,7 +9,12 @@
 //                fresh allocations per trajectory);
 //  * single    — the production engine, one thread, reused SimWorkspace;
 //  * parallel  — the production engine through ParallelRunner at hardware
-//                concurrency.
+//                concurrency;
+//  * telemetry — the parallel configuration re-run with all three obs sinks
+//                attached (metrics + tracer + throttled progress), to measure
+//                the observability overhead and re-check that telemetry
+//                changes no result bit (the acceptance bar is <3% on the
+//                EI-joint model).
 //
 // Before timing, the first trajectories of the seed engine, the production
 // engine, and its reference-evaluation mode are compared bit-for-bit: the
@@ -28,6 +33,9 @@
 #include "bench/common.hpp"
 #include "bench/seed_engine.hpp"
 #include "fmt/parser.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
 #include "sim/fmt_executor.hpp"
 #include "smc/runner.hpp"
 #include "util/error.hpp"
@@ -63,12 +71,32 @@ struct ModelReport {
   double single_traj_per_sec = 0.0;
   double parallel_traj_per_sec = 0.0;
   unsigned parallel_threads = 0;
+  double telemetry_traj_per_sec = 0.0;
+  double telemetry_overhead_pct = 0.0;  ///< parallel slowdown with sinks attached
   double events_per_trajectory = 0.0;
   double ns_per_event = 0.0;
   double speedup_single = 0.0;
   double speedup_parallel = 0.0;
-  bool equivalent = false;  ///< baseline and single agree bit-for-bit
+  bool equivalent = false;            ///< baseline and single agree bit-for-bit
+  bool telemetry_equivalent = false;  ///< telemetry run reproduces every summary bit
 };
+
+bool bitwise_equal(const smc::TrajectorySummary& a, const smc::TrajectorySummary& b) {
+  return a.first_failure_time == b.first_failure_time && a.failures == b.failures &&
+         a.downtime == b.downtime && a.cost.inspection == b.cost.inspection &&
+         a.cost.repair == b.cost.repair && a.cost.replacement == b.cost.replacement &&
+         a.cost.corrective == b.cost.corrective && a.cost.downtime == b.cost.downtime &&
+         a.discounted_total == b.discounted_total && a.inspections == b.inspections &&
+         a.repairs == b.repairs && a.replacements == b.replacements;
+}
+
+bool bitwise_equal(const smc::BatchResult& a, const smc::BatchResult& b) {
+  if (a.summaries.size() != b.summaries.size()) return false;
+  for (std::size_t i = 0; i < a.summaries.size(); ++i)
+    if (!bitwise_equal(a.summaries[i], b.summaries[i])) return false;
+  return a.failures_per_leaf == b.failures_per_leaf &&
+         a.repairs_per_leaf == b.repairs_per_leaf;
+}
 
 bool bitwise_equal(const sim::TrajectoryResult& a, const sim::TrajectoryResult& b) {
   return a.failures == b.failures && a.first_failure_time == b.first_failure_time &&
@@ -133,12 +161,30 @@ ModelReport bench_model(const std::string& name, double horizon, std::uint64_t n
   }
 
   // Production engine through the deterministic parallel runner.
+  const smc::ParallelRunner runner(simulator, 0);
+  rep.parallel_threads = runner.threads();
+  smc::BatchResult plain;
   {
-    const smc::ParallelRunner runner(simulator, 0);
-    rep.parallel_threads = runner.threads();
     const auto t0 = std::chrono::steady_clock::now();
-    (void)runner.run(kSeed, 0, n, fast);
+    plain = runner.run(kSeed, 0, n, fast);
     rep.parallel_traj_per_sec = static_cast<double>(n) / seconds_since(t0);
+  }
+
+  // Same parallel run with every telemetry sink attached: the observability
+  // overhead, and a re-check that telemetry changes no result bit.
+  {
+    obs::MetricsRegistry metrics;
+    obs::Tracer tracer;
+    obs::ProgressReporter progress([](const obs::Progress&) {}, 0.25);
+    sim::SimOptions instrumented = fast;
+    instrumented.telemetry = {.metrics = &metrics, .tracer = &tracer, .progress = &progress};
+    const auto t0 = std::chrono::steady_clock::now();
+    const smc::BatchResult traced = runner.run(kSeed, 0, n, instrumented);
+    rep.telemetry_traj_per_sec = static_cast<double>(n) / seconds_since(t0);
+    rep.telemetry_overhead_pct =
+        (1.0 - rep.telemetry_traj_per_sec / rep.parallel_traj_per_sec) * 100.0;
+    rep.telemetry_equivalent = bitwise_equal(plain, traced) &&
+                               metrics.counter_value("smc.trajectories") == n;
   }
 
   rep.speedup_single = rep.single_traj_per_sec / rep.baseline_traj_per_sec;
@@ -158,11 +204,15 @@ void write_json(std::ostream& os, const std::vector<ModelReport>& reports) {
        << "      \"single_thread_traj_per_sec\": " << r.single_traj_per_sec << ",\n"
        << "      \"parallel_traj_per_sec\": " << r.parallel_traj_per_sec << ",\n"
        << "      \"parallel_threads\": " << r.parallel_threads << ",\n"
+       << "      \"telemetry_traj_per_sec\": " << r.telemetry_traj_per_sec << ",\n"
+       << "      \"telemetry_overhead_pct\": " << r.telemetry_overhead_pct << ",\n"
        << "      \"events_per_trajectory\": " << r.events_per_trajectory << ",\n"
        << "      \"ns_per_event\": " << r.ns_per_event << ",\n"
        << "      \"speedup_single_thread\": " << r.speedup_single << ",\n"
        << "      \"speedup_parallel\": " << r.speedup_parallel << ",\n"
-       << "      \"bitwise_equivalent\": " << (r.equivalent ? "true" : "false") << "\n"
+       << "      \"bitwise_equivalent\": " << (r.equivalent ? "true" : "false") << ",\n"
+       << "      \"telemetry_bitwise_equivalent\": "
+       << (r.telemetry_equivalent ? "true" : "false") << "\n"
        << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -199,10 +249,14 @@ int main(int argc, char** argv) {
               << " traj/s, single " << static_cast<std::uint64_t>(r.single_traj_per_sec)
               << " traj/s (x" << r.speedup_single << "), parallel "
               << static_cast<std::uint64_t>(r.parallel_traj_per_sec) << " traj/s (x"
-              << r.speedup_parallel << ", " << r.parallel_threads << " threads), "
-              << r.events_per_trajectory << " ev/traj, " << r.ns_per_event << " ns/ev, "
-              << (r.equivalent ? "bitwise-equivalent" : "RESULTS DIVERGED") << "\n";
-    ok = ok && r.equivalent;
+              << r.speedup_parallel << ", " << r.parallel_threads << " threads), telemetry "
+              << static_cast<std::uint64_t>(r.telemetry_traj_per_sec) << " traj/s ("
+              << r.telemetry_overhead_pct << "% overhead), " << r.events_per_trajectory
+              << " ev/traj, " << r.ns_per_event << " ns/ev, "
+              << (r.equivalent && r.telemetry_equivalent ? "bitwise-equivalent"
+                                                         : "RESULTS DIVERGED")
+              << "\n";
+    ok = ok && r.equivalent && r.telemetry_equivalent;
   }
 
   std::ofstream out(out_path);

@@ -3,19 +3,24 @@
 // policy, and compute every KPI the DSN'16 study reports — reliability,
 // expected number of failures (with per-mode attribution), availability and
 // cost — plus the classic static-analysis view (importance measures).
+//
+// Runs through the fmtree::Analysis facade with telemetry enabled, so the
+// end of the run can also show what the engine did (trajectory and event
+// counts, phase timings) — the same data `fmtree analyze --metrics/--trace`
+// exports as JSON.
 #include <iostream>
 
 #include "eijoint/model.hpp"
 #include "eijoint/scenarios.hpp"
+#include "fmtree/analysis.hpp"
 #include "ft/importance.hpp"
-#include "smc/kpi.hpp"
 #include "util/table.hpp"
 
 using namespace fmtree;
 
 int main() {
   const auto params = eijoint::EiJointParameters::defaults();
-  const fmt::FaultMaintenanceTree model =
+  fmt::FaultMaintenanceTree model =
       eijoint::build_ei_joint(params, eijoint::current_policy());
 
   std::cout << "EI-joint FMT: " << model.num_ebes() << " failure modes, "
@@ -24,11 +29,10 @@ int main() {
             << "Policy: quarterly inspections + corrective renewal\n\n";
 
   // ---- Full FMT analysis (statistical model checking) ----------------------
-  smc::AnalysisSettings settings;
-  settings.horizon = 20.0;
-  settings.trajectories = 20000;
-  settings.seed = 1;
-  const smc::KpiReport k = smc::analyze(model, settings);
+  Analysis study(std::move(model));
+  study.horizon(20.0).trajectories(20000).seed(1).enable_metrics().enable_tracing();
+  const smc::KpiReport k = study.kpis();
+  const double horizon = study.settings().horizon;
 
   std::cout << "KPIs over a 20-year horizon (" << k.trajectories << " runs):\n";
   TextTable kpis({"KPI", "estimate", "95% CI"});
@@ -46,7 +50,7 @@ int main() {
   kpis.print(std::cout);
 
   std::cout << "\nCost breakdown per year:\n";
-  const fmt::CostBreakdown per_year = k.mean_cost / settings.horizon;
+  const fmt::CostBreakdown per_year = k.mean_cost / horizon;
   TextTable costs({"component", "euro/yr"});
   costs.set_alignment({Align::Left, Align::Right});
   costs.add_row({"inspections", cell(per_year.inspection, 1)});
@@ -58,18 +62,30 @@ int main() {
   std::cout << "\nFailure attribution (per joint-year):\n";
   TextTable attr({"mode", "failures/yr", "repairs/yr"});
   attr.set_alignment({Align::Left, Align::Right, Align::Right});
-  for (std::size_t i = 0; i < model.num_ebes(); ++i) {
-    attr.add_row({model.ebes()[i].name,
-                  cell(k.failures_per_leaf[i] / settings.horizon, 4),
-                  cell(k.repairs_per_leaf[i] / settings.horizon, 3)});
+  for (std::size_t i = 0; i < study.model().num_ebes(); ++i) {
+    attr.add_row({study.model().ebes()[i].name,
+                  cell(k.failures_per_leaf[i] / horizon, 4),
+                  cell(k.repairs_per_leaf[i] / horizon, 3)});
   }
   attr.print(std::cout);
+
+  // ---- What the engine did (telemetry of the session) ----------------------
+  std::cout << "\nEngine telemetry (enabled sinks never change a result bit):\n";
+  TextTable tel({"metric", "value"});
+  tel.set_alignment({Align::Left, Align::Right});
+  for (const char* name : {"smc.trajectories", "smc.events", "smc.failures",
+                           "smc.inspections", "smc.repairs"}) {
+    tel.add_row({name, std::to_string(study.metrics().counter_value(name))});
+  }
+  tel.print(std::cout);
+  std::cout << "(full export: study.metrics_json() / study.trace_json())\n";
 
   // ---- Classic static fault-tree view (maintenance ignored) -----------------
   std::cout << "\nStatic view at a 10-year mission (no maintenance), importance:\n";
   TextTable imp({"mode", "P(fail by 10y)", "Birnbaum", "Fussell-Vesely"});
   imp.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right});
-  for (const ft::Importance& i : ft::importance_measures(model.structure(), 10.0)) {
+  for (const ft::Importance& i :
+       ft::importance_measures(study.model().structure(), 10.0)) {
     imp.add_row({i.name, cell(i.probability, 3), cell(i.birnbaum, 3),
                  cell(i.fussell_vesely, 3)});
   }

@@ -1,5 +1,5 @@
-// Quickstart: build a small fault maintenance tree, analyse its KPIs, and
-// compare maintenance strategies.
+// Quickstart: build a small fault maintenance tree, analyse its KPIs through
+// the fmtree::Analysis facade, and compare maintenance strategies.
 //
 // The system is a two-component pump skid: the pump wears through 4
 // degradation phases (visible from phase 3, repairable by overhaul), the
@@ -7,8 +7,7 @@
 // fails.
 #include <iostream>
 
-#include "fmt/fmtree.hpp"
-#include "smc/kpi.hpp"
+#include "fmtree/analysis.hpp"
 #include "util/table.hpp"
 
 using namespace fmtree;
@@ -44,18 +43,23 @@ fmt::FaultMaintenanceTree build_pump_skid(double inspections_per_year) {
 }  // namespace
 
 int main() {
-  smc::AnalysisSettings settings;
-  settings.horizon = 10.0;  // years
-  settings.trajectories = 20000;
-  settings.seed = 42;
+  // This first block is the README's opening sample: one session object, the
+  // settings chained onto it, every KPI from a single call.
+  Analysis study(build_pump_skid(/*inspections_per_year=*/4.0));
+  study.horizon(10.0).trajectories(20000).seed(42);
+  const smc::KpiReport k = study.kpis();
+  std::cout << "With quarterly inspections: R(10y) = " << k.reliability.point
+            << ", cost/yr = " << k.cost_per_year.point << "\n\n";
 
+  // Comparing strategies = one session per candidate model, same settings.
   TextTable table({"strategy", "reliability(10y)", "E[failures]/y", "availability",
                    "cost/yr"});
   table.set_alignment({Align::Left, Align::Right, Align::Right, Align::Right,
                        Align::Right});
   for (double freq : {0.0, 1.0, 2.0, 4.0}) {
-    const fmt::FaultMaintenanceTree model = build_pump_skid(freq);
-    const smc::KpiReport kpis = smc::analyze(model, settings);
+    Analysis candidate(build_pump_skid(freq));
+    const smc::KpiReport kpis =
+        candidate.horizon(10.0).trajectories(20000).seed(42).kpis();
     table.add_row({freq == 0 ? "no inspections" : std::to_string(static_cast<int>(freq)) + "x/year",
                    cell(kpis.reliability.point, 4),
                    cell(kpis.failures_per_year.point, 4),

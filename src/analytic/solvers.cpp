@@ -4,11 +4,54 @@
 #include <deque>
 
 #include "analytic/fmt2ctmc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
+#include "smc/run_control.hpp"
 #include "util/error.hpp"
 
 namespace fmtree::analytic {
 
+namespace {
+
+/// Shared per-sweep telemetry of the iterative solvers: an iteration/residual
+/// progress snapshot plus a cooperative-stop poll, every `kStride` sweeps.
+/// Pure observation except for the stop, which raises ResourceLimitError
+/// carrying the progress made — results are never silently partial.
+constexpr std::size_t kStride = 256;
+
+void poll_iteration(const SolverOptions& opts, const char* what, std::size_t it,
+                    double residual, std::size_t states) {
+  if ((it + 1) % kStride != 0) return;
+  if (opts.control != nullptr &&
+      opts.control->should_stop(0) != smc::StopReason::None) {
+    throw ResourceLimitError(std::string(what) + " interrupted",
+                             {.iterations = it + 1, .residual = residual,
+                              .states = states});
+  }
+  if (obs::ProgressReporter* progress = opts.telemetry.progress;
+      progress != nullptr && progress->due()) {
+    obs::Progress p;
+    p.phase = "solve";
+    p.done = it + 1;
+    p.total = opts.max_iterations;
+    p.residual = residual;
+    progress->update(p);
+  }
+}
+
+void record_convergence(const SolverOptions& opts, std::size_t iterations,
+                        double residual) {
+  if (obs::MetricsRegistry* metrics = opts.telemetry.metrics) {
+    metrics->add(metrics->counter("solver.iterations"), iterations);
+    metrics->set(metrics->gauge("solver.residual"), residual);
+  }
+}
+
+}  // namespace
+
 std::vector<double> steady_state(const Ctmc& chain, const SolverOptions& opts) {
+  auto solve_span = obs::maybe_span(opts.telemetry.tracer, "solve");
   const std::size_t n = chain.num_states();
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n);
@@ -23,8 +66,10 @@ std::vector<double> steady_state(const Ctmc& chain, const SolverOptions& opts) {
       double total = 0;  // normalize away accumulated rounding
       for (double p : pi) total += p;
       for (double& p : pi) p /= total;
+      record_convergence(opts, it + 1, delta);
       return pi;
     }
+    poll_iteration(opts, "steady_state power iteration", it, delta, n);
   }
   throw ResourceLimitError(
       "steady_state power iteration failed to converge",
@@ -37,6 +82,7 @@ double mean_time_to_absorption(const Ctmc& chain, const std::vector<double>& ini
   const std::size_t n = chain.num_states();
   if (initial.size() != n || absorbing.size() != n)
     throw DomainError("vector size does not match state count");
+  auto solve_span = obs::maybe_span(opts.telemetry.tracer, "solve");
 
   // Group edges per source and build reverse adjacency for reachability.
   std::vector<std::vector<CtmcEdge>> out(n);
@@ -94,8 +140,10 @@ double mean_time_to_absorption(const Ctmc& chain, const std::vector<double>& ini
     if (delta < opts.tolerance) {
       double mttf = 0;
       for (State s = 0; s < n; ++s) mttf += initial[s] * h[s];
+      record_convergence(opts, it + 1, delta);
       return mttf;
     }
+    poll_iteration(opts, "mean_time_to_absorption", it, delta, n);
   }
   throw ResourceLimitError(
       "mean_time_to_absorption failed to converge",
@@ -104,7 +152,12 @@ double mean_time_to_absorption(const Ctmc& chain, const std::vector<double>& ini
 
 double exact_mttf(const fmt::FaultMaintenanceTree& model, std::size_t max_states,
                   const SolverOptions& opts) {
+  auto build_span = obs::maybe_span(opts.telemetry.tracer, "build");
   const MarkovFmt m = fmt_to_ctmc(model, FailureTreatment::Absorbing, max_states);
+  build_span.close();
+  if (obs::MetricsRegistry* metrics = opts.telemetry.metrics)
+    metrics->set(metrics->gauge("solver.states"),
+                 static_cast<double>(m.chain.num_states()));
   return mean_time_to_absorption(m.chain, m.initial, m.failed, opts);
 }
 

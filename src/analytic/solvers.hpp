@@ -5,10 +5,16 @@
 
 #include "analytic/ctmc.hpp"
 #include "fmt/fmtree.hpp"
+#include "fmtree/run_settings.hpp"
 
 namespace fmtree::analytic {
 
-struct SolverOptions {
+/// Iterative-solver options. Embeds fmtree::RunSettings: the solvers honor
+/// `control` (polled every few hundred sweeps; an interrupt or expired
+/// deadline raises ResourceLimitError carrying the progress made) and
+/// `telemetry` (iteration/residual progress snapshots, solver.* metrics,
+/// spans); horizon/seed/threads do not apply to the linear solvers.
+struct SolverOptions : fmtree::RunSettings {
   double tolerance = 1e-12;      ///< max-norm change per sweep
   std::size_t max_iterations = 200000;
 };

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -12,6 +14,9 @@
 #include "ft/dot.hpp"
 #include "ft/bdd.hpp"
 #include "ft/importance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
 #include "smc/compare.hpp"
 #include "smc/kpi.hpp"
 #include "util/diagnostics.hpp"
@@ -95,6 +100,9 @@ Options parse_args(const std::vector<std::string>& args) {
     else if (flag == "--state-cap") opt.state_cap = parse_count(value(), "state cap");
     else if (flag == "--json-errors") opt.json_errors = true;
     else if (flag == "--no-fallback") opt.no_fallback = true;
+    else if (flag == "--metrics") opt.metrics_path = value();
+    else if (flag == "--trace") opt.trace_path = value();
+    else if (flag == "--progress") opt.progress = true;
     else throw DomainError("unknown flag '" + flag + "'\n" + usage());
   }
   const std::size_t want = opt.command == Command::Compare ? 2u : 1u;
@@ -122,6 +130,75 @@ std::string ci(const ConfidenceInterval& c, int decimals) {
          cell(c.hi, decimals) + "]";
 }
 
+/// One progress line, throttled by the reporter. Quantities that do not
+/// apply to the current phase (ETA before a rate exists, CI before two
+/// batches, residual outside solve) are simply omitted.
+void print_progress(std::ostream& out, const obs::Progress& p) {
+  out << "progress: " << p.phase << " " << p.done;
+  if (p.total > 0) {
+    out << "/" << p.total << " ("
+        << static_cast<int>(100.0 * static_cast<double>(p.done) /
+                            static_cast<double>(p.total))
+        << "%)";
+  }
+  if (p.rate > 0) out << "  " << cell(p.rate, 0) << "/s";
+  if (p.eta_seconds >= 0) out << "  ETA " << cell(p.eta_seconds, 1) << "s";
+  if (p.ci_half_width >= 0) {
+    out << "  rel.CI " << cell(p.ci_half_width, 4);
+    if (p.ci_target > 0) out << " (target " << cell(p.ci_target, 4) << ")";
+  }
+  if (p.residual >= 0) out << "  residual " << cell(p.residual, 10);
+  out << "\n" << std::flush;
+}
+
+/// The telemetry sinks of one CLI invocation, created from the --metrics /
+/// --trace / --progress flags. Commands run with handles() wired into their
+/// settings; write_files() exports afterwards — also for a truncated run,
+/// whose telemetry is exactly what one wants to inspect.
+struct TelemetrySession {
+  explicit TelemetrySession(const Options& opt) : opt_(opt) {
+    if (!opt.metrics_path.empty()) metrics_ = std::make_unique<obs::MetricsRegistry>();
+    if (!opt.trace_path.empty()) tracer_ = std::make_unique<obs::Tracer>();
+    if (opt.progress) {
+      std::ostream* sink =
+          opt.progress_stream != nullptr ? opt.progress_stream : &std::cerr;
+      progress_ = std::make_unique<obs::ProgressReporter>(
+          [sink](const obs::Progress& p) { print_progress(*sink, p); },
+          /*min_interval_seconds=*/1.0);
+    }
+  }
+
+  obs::Telemetry handles() const noexcept {
+    return {metrics_.get(), tracer_.get(), progress_.get()};
+  }
+
+  obs::Tracer* tracer() const noexcept { return tracer_.get(); }
+
+  void write_files() const {
+    if (metrics_) write(opt_.metrics_path, metrics_->to_json());
+    if (tracer_) {
+      constexpr std::string_view kChrome = "chrome:";
+      if (opt_.trace_path.starts_with(kChrome)) {
+        write(opt_.trace_path.substr(kChrome.size()), tracer_->to_chrome_trace());
+      } else {
+        write(opt_.trace_path, tracer_->to_json());
+      }
+    }
+  }
+
+private:
+  static void write(const std::string& path, const std::string& content) {
+    std::ofstream file(path);
+    file << content << "\n";
+    if (!file) throw IoError("cannot write '" + path + "'");
+  }
+
+  const Options& opt_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::ProgressReporter> progress_;
+};
+
 int cmd_check(const fmt::FaultMaintenanceTree& model, std::ostream& out) {
   out << "model OK\n"
       << "  top event:           " << model.name(model.top()) << "\n"
@@ -138,13 +215,14 @@ int cmd_check(const fmt::FaultMaintenanceTree& model, std::ostream& out) {
 }
 
 int cmd_analyze(const Options& opt, const fmt::FaultMaintenanceTree& model,
-                std::ostream& out) {
+                std::ostream& out, obs::Telemetry telemetry) {
   smc::AnalysisSettings s;
   s.horizon = opt.horizon;
   s.trajectories = opt.runs;
   s.seed = opt.seed;
   s.threads = opt.threads;
   s.confidence = opt.confidence;
+  s.telemetry = telemetry;
   // The process-wide handle lets a SIGINT (wired up in main()) or --timeout
   // stop the run between trajectories; the report then covers the completed
   // prefix exactly. reset() clears state left by a previous run in-process.
@@ -202,13 +280,15 @@ int cmd_analyze(const Options& opt, const fmt::FaultMaintenanceTree& model,
 }
 
 int cmd_exact(const Options& opt, const fmt::FaultMaintenanceTree& model,
-              std::ostream& out) {
+              std::ostream& out, obs::Telemetry telemetry) {
   try {
     // Compute everything before printing so a state-cap overflow on any of
     // the three queries yields a clean fallback instead of a partial report.
     const double unrel =
         analytic::exact_unreliability(model, opt.horizon, opt.state_cap);
-    const double mttf = analytic::exact_mttf(model, opt.state_cap);
+    analytic::SolverOptions solver;
+    solver.telemetry = telemetry;
+    const double mttf = analytic::exact_mttf(model, opt.state_cap, solver);
     const bool renewal = model.corrective().enabled && model.corrective().delay == 0.0;
     const double failures =
         renewal ? analytic::exact_expected_failures(model, opt.horizon, opt.state_cap)
@@ -225,7 +305,7 @@ int cmd_exact(const Options& opt, const fmt::FaultMaintenanceTree& model,
     if (opt.no_fallback) throw;
     out << "exact analysis hit a resource limit (" << e.what()
         << ");\nfalling back to Monte-Carlo estimation:\n\n";
-    return cmd_analyze(opt, model, out);
+    return cmd_analyze(opt, model, out, telemetry);
   }
 }
 
@@ -260,29 +340,42 @@ int cmd_cutsets(const Options& opt, const fmt::FaultMaintenanceTree& model,
 
 int run_on_text(const Options& options, const std::string& model_text,
                 std::ostream& out) {
+  const TelemetrySession session(options);
+  auto parse_span = obs::maybe_span(session.tracer(), "parse");
   const fmt::FaultMaintenanceTree model = fmt::parse_fmt(model_text);
-  switch (options.command) {
-    case Command::Check: return cmd_check(model, out);
-    case Command::Analyze: return cmd_analyze(options, model, out);
-    case Command::Exact: return cmd_exact(options, model, out);
-    case Command::Dot: return cmd_dot(model, out);
-    case Command::CutSets: return cmd_cutsets(options, model, out);
-    case Command::Compare:
-      throw DomainError("compare needs two models; use run_compare");
-  }
-  throw DomainError("unhandled command");
+  parse_span.close();
+  const auto dispatch = [&] {
+    switch (options.command) {
+      case Command::Check: return cmd_check(model, out);
+      case Command::Analyze:
+        return cmd_analyze(options, model, out, session.handles());
+      case Command::Exact: return cmd_exact(options, model, out, session.handles());
+      case Command::Dot: return cmd_dot(model, out);
+      case Command::CutSets: return cmd_cutsets(options, model, out);
+      case Command::Compare:
+        throw DomainError("compare needs two models; use run_compare");
+    }
+    throw DomainError("unhandled command");
+  };
+  const int code = dispatch();
+  session.write_files();
+  return code;
 }
 
 int run_compare(const Options& options, const std::string& model_a_text,
                 const std::string& model_b_text, std::ostream& out) {
+  const TelemetrySession session(options);
+  auto parse_span = obs::maybe_span(session.tracer(), "parse");
   const fmt::FaultMaintenanceTree a = fmt::parse_fmt(model_a_text);
   const fmt::FaultMaintenanceTree b = fmt::parse_fmt(model_b_text);
+  parse_span.close();
   smc::AnalysisSettings s;
   s.horizon = options.horizon;
   s.trajectories = options.runs;
   s.seed = options.seed;
   s.threads = options.threads;
   s.confidence = options.confidence;
+  s.telemetry = session.handles();
   const smc::PairedComparison cmp = smc::compare_models(a, b, s);
   out << "paired comparison (common random numbers, " << cmp.trajectories
       << " runs; positive = first model higher):\n";
@@ -296,6 +389,7 @@ int run_compare(const Options& options, const std::string& model_a_text,
   row("total cost", cmp.cost_diff);
   row("downtime", cmp.downtime_diff);
   t.print(out);
+  session.write_files();
   return 0;
 }
 
@@ -389,6 +483,10 @@ std::string usage() {
       "  --no-fallback      fail exact on a resource limit instead of\n"
       "                     falling back to Monte-Carlo\n"
       "  --json-errors      report failures as a JSON diagnostic array\n"
+      "  --metrics <file>   write engine metrics as JSON (fmtree.metrics/v1)\n"
+      "  --trace <file>     write phase spans as JSON (fmtree.trace/v1);\n"
+      "                     chrome:<file> writes Chrome trace_event format\n"
+      "  --progress         print throttled progress lines while running\n"
       "exit codes: 0 ok, 1 truncated run, 2 usage/input error,\n"
       "            3 parse/validation diagnostics, 4 resource limit,\n"
       "            5 internal error\n";

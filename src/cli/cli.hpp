@@ -11,6 +11,7 @@
 // Options: --horizon <years>  --runs <n>  --seed <n>  --threads <n>
 //          --confidence <p>   --quantiles <p1,p2,...>  --timeout <s>
 //          --state-cap <n>    --no-fallback  --json-errors
+//          --metrics <file>   --trace <file|chrome:file>  --progress
 //
 // Split into a library so argument parsing and command execution are unit
 // testable; main() is a thin wrapper.
@@ -52,6 +53,15 @@ struct Options {
   double timeout = 0.0;           ///< wall-clock budget in seconds; 0 = none
   std::uint64_t state_cap = 1u << 20;  ///< CTMC state-space cap for `exact`
   bool no_fallback = false;       ///< fail `exact` instead of falling back to SMC
+  /// Telemetry exports; written after the command runs (also on a truncated
+  /// run). Empty = sink disabled. A `chrome:` prefix on the trace path
+  /// selects Chrome trace_event format instead of "fmtree.trace/v1".
+  std::string metrics_path;
+  std::string trace_path;
+  bool progress = false;  ///< emit throttled progress lines while running
+  /// Destination for --progress lines; nullptr = std::cerr. main_impl points
+  /// it at its `err` stream so tests capture the output.
+  std::ostream* progress_stream = nullptr;
 };
 
 /// Process-wide cooperative stop handle. Long-running commands (analyze)

@@ -1,0 +1,149 @@
+#include "fmtree/analysis.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "fmt/parser.hpp"
+#include "util/error.hpp"
+
+namespace fmtree {
+
+Analysis::Analysis(fmt::FaultMaintenanceTree model) : model_(std::move(model)) {}
+
+Analysis::~Analysis() = default;
+
+Analysis Analysis::from_text(const std::string& text) {
+  return Analysis(fmt::parse_fmt(text));
+}
+
+Analysis Analysis::from_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw IoError("cannot open model file: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return from_text(text.str());
+}
+
+Analysis& Analysis::horizon(double years) {
+  settings_.horizon = years;
+  return *this;
+}
+
+Analysis& Analysis::trajectories(std::uint64_t n) {
+  settings_.trajectories = n;
+  return *this;
+}
+
+Analysis& Analysis::seed(std::uint64_t value) {
+  settings_.seed = value;
+  return *this;
+}
+
+Analysis& Analysis::threads(unsigned n) {
+  settings_.threads = n;
+  return *this;
+}
+
+Analysis& Analysis::confidence(double level) {
+  settings_.confidence = level;
+  return *this;
+}
+
+Analysis& Analysis::discount_rate(double rate) {
+  settings_.discount_rate = rate;
+  return *this;
+}
+
+Analysis& Analysis::target_relative_error(double rel) {
+  settings_.target_relative_error = rel;
+  return *this;
+}
+
+Analysis& Analysis::control(const smc::RunControl* ctl) {
+  settings_.control = ctl;
+  return *this;
+}
+
+Analysis& Analysis::enable_metrics() {
+  if (!metrics_) metrics_ = std::make_unique<obs::MetricsRegistry>();
+  settings_.telemetry.metrics = metrics_.get();
+  return *this;
+}
+
+Analysis& Analysis::enable_tracing() {
+  if (!tracer_) tracer_ = std::make_unique<obs::Tracer>();
+  settings_.telemetry.tracer = tracer_.get();
+  return *this;
+}
+
+Analysis& Analysis::on_progress(obs::ProgressFn fn, double min_interval_seconds) {
+  progress_ =
+      std::make_unique<obs::ProgressReporter>(std::move(fn), min_interval_seconds);
+  settings_.telemetry.progress = progress_.get();
+  return *this;
+}
+
+obs::MetricsRegistry& Analysis::metrics() {
+  enable_metrics();
+  return *metrics_;
+}
+
+obs::Tracer& Analysis::tracer() {
+  enable_tracing();
+  return *tracer_;
+}
+
+std::string Analysis::metrics_json() const {
+  return metrics_ ? metrics_->to_json() : std::string();
+}
+
+std::string Analysis::trace_json() const {
+  return tracer_ ? tracer_->to_json() : std::string();
+}
+
+std::string Analysis::chrome_trace() const {
+  return tracer_ ? tracer_->to_chrome_trace() : std::string();
+}
+
+smc::KpiReport Analysis::kpis() { return smc::analyze(model_, settings_); }
+
+std::vector<smc::CurvePoint> Analysis::reliability_curve(std::size_t points) {
+  return reliability_curve(smc::linspace_grid(settings_.horizon, points));
+}
+
+std::vector<smc::CurvePoint> Analysis::reliability_curve(
+    const std::vector<double>& grid) {
+  return smc::reliability_curve(model_, grid, settings_);
+}
+
+std::vector<smc::CurvePoint> Analysis::expected_failures_curve(std::size_t points) {
+  return smc::expected_failures_curve(
+      model_, smc::linspace_grid(settings_.horizon, points), settings_);
+}
+
+smc::MttfEstimate Analysis::mttf() {
+  return smc::mean_time_to_failure(model_, settings_);
+}
+
+double Analysis::exact_mttf(std::size_t max_states) {
+  analytic::SolverOptions opts;
+  static_cast<RunSettings&>(opts) = settings_;
+  return analytic::exact_mttf(model_, max_states, opts);
+}
+
+maintenance::SweepResult Analysis::optimize_policy(
+    const maintenance::ModelFactory& factory,
+    const std::vector<maintenance::MaintenancePolicy>& candidates) {
+  return maintenance::sweep_policies(factory, candidates, settings_);
+}
+
+maintenance::RefinedOptimum Analysis::optimize_inspection_frequency(
+    const maintenance::ModelFactory& factory,
+    const maintenance::MaintenancePolicy& base, double lo, double hi,
+    int iterations) {
+  return maintenance::refine_inspection_frequency(factory, base, lo, hi, settings_,
+                                                  iterations);
+}
+
+}  // namespace fmtree

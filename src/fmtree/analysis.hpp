@@ -1,0 +1,141 @@
+// The single-header public facade of the library: one `fmtree::Analysis`
+// session object owning the model, the settings and the telemetry sinks, so
+// a complete study — load, configure, analyse, export telemetry — reads as a
+// handful of chained calls instead of a tour of the layer headers:
+//
+//   auto study = fmtree::Analysis::from_file("models/ei_joint.fmt")
+//                    .horizon(20.0).trajectories(20000).seed(1);
+//   const smc::KpiReport k = study.kpis();
+//
+// Everything the facade returns is the exact type the underlying layer
+// produces (smc::KpiReport, smc::CurvePoint, maintenance::SweepResult, ...),
+// so code can start on the facade and drop down a layer without rewriting.
+//
+// Telemetry sinks are opt-in and owned by the session: enable_metrics() /
+// enable_tracing() / on_progress() attach them to every subsequent analysis
+// call, and metrics_json() / trace_json() / chrome_trace() export what they
+// collected. Enabling telemetry changes no analysis output bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytic/solvers.hpp"
+#include "fmt/fmtree.hpp"
+#include "maintenance/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
+#include "smc/kpi.hpp"
+
+namespace fmtree {
+
+/// An analysis session over one fault maintenance tree.
+///
+/// Move-only (it owns the telemetry sinks). Settings accessors chain; every
+/// analysis method reads the settings as they stand at the call, so one
+/// session can answer several questions — `kpis()`, then a curve, then an
+/// optimization — under identical configuration and one telemetry record.
+/// Successive calls accumulate into the same metrics/trace sinks; that is
+/// the point of a session (export once, with the full picture).
+class Analysis {
+public:
+  /// Takes ownership of an in-memory model (e.g. from a builder function).
+  explicit Analysis(fmt::FaultMaintenanceTree model);
+
+  /// Parses a model in the textual FMT format (fmt::parse_fmt). Throws
+  /// ParseError on malformed input. (Parsing happens before the session
+  /// exists, so it cannot appear as a span; the CLI traces it separately.)
+  static Analysis from_text(const std::string& text);
+
+  /// Reads and parses a model file. Throws IoError / ParseError.
+  static Analysis from_file(const std::string& path);
+
+  Analysis(Analysis&&) noexcept = default;
+  Analysis& operator=(Analysis&&) noexcept = default;
+  Analysis(const Analysis&) = delete;
+  Analysis& operator=(const Analysis&) = delete;
+  ~Analysis();
+
+  // ---- Configuration (chainable) -----------------------------------------
+
+  Analysis& horizon(double years);
+  Analysis& trajectories(std::uint64_t n);
+  Analysis& seed(std::uint64_t value);
+  Analysis& threads(unsigned n);  ///< 0 = hardware concurrency
+  Analysis& confidence(double level);
+  Analysis& discount_rate(double rate);
+  /// Adaptive stopping: simulate until the CI half-width of E[#failures]
+  /// is <= rel * mean (trajectories() then caps the budget).
+  Analysis& target_relative_error(double rel);
+  /// Cooperative cancellation/budgets for every subsequent call.
+  Analysis& control(const smc::RunControl* ctl);
+
+  /// Full settings escape hatch (also where the embedded RunSettings live).
+  smc::AnalysisSettings& settings() noexcept { return settings_; }
+  const smc::AnalysisSettings& settings() const noexcept { return settings_; }
+  const fmt::FaultMaintenanceTree& model() const noexcept { return model_; }
+
+  // ---- Telemetry sinks ----------------------------------------------------
+
+  /// Attaches a MetricsRegistry to all subsequent analysis calls.
+  Analysis& enable_metrics();
+  /// Attaches a Tracer (phase spans: parse/build/simulate/solve/aggregate).
+  Analysis& enable_tracing();
+  /// Registers a throttled progress callback (trajectory throughput, CI
+  /// trend, solver residuals). Implies nothing about metrics/tracing.
+  Analysis& on_progress(obs::ProgressFn fn, double min_interval_seconds = 0.25);
+
+  /// The sinks themselves; enable on first access if not already enabled.
+  obs::MetricsRegistry& metrics();
+  obs::Tracer& tracer();
+
+  /// Exports ("" when the corresponding sink was never enabled).
+  std::string metrics_json() const;
+  std::string trace_json() const;
+  std::string chrome_trace() const;
+
+  // ---- Analyses -----------------------------------------------------------
+
+  /// All KPIs of the study: reliability, E[#failures], availability, cost.
+  smc::KpiReport kpis();
+
+  /// P(first failure > t) on an even grid of `points` intervals over the
+  /// horizon, or on an explicit grid.
+  std::vector<smc::CurvePoint> reliability_curve(std::size_t points = 50);
+  std::vector<smc::CurvePoint> reliability_curve(const std::vector<double>& grid);
+
+  /// E[cumulative failures by t] on an even grid of `points` intervals.
+  std::vector<smc::CurvePoint> expected_failures_curve(std::size_t points = 50);
+
+  /// Monte-Carlo mean time to first failure (right-censored at the horizon).
+  smc::MttfEstimate mttf();
+
+  /// Exact MTTF via the CTMC solver (Markovian models only; throws
+  /// UnsupportedModelError otherwise). Honors control + telemetry.
+  double exact_mttf(std::size_t max_states = std::size_t{1} << 20);
+
+  /// Evaluates every candidate policy under this session's settings and
+  /// returns the cost curve plus the optimum. The factory rebuilds the model
+  /// per policy; this session's own model is not used.
+  maintenance::SweepResult optimize_policy(
+      const maintenance::ModelFactory& factory,
+      const std::vector<maintenance::MaintenancePolicy>& candidates);
+
+  /// Golden-section refinement of the inspection frequency in [lo, hi].
+  maintenance::RefinedOptimum optimize_inspection_frequency(
+      const maintenance::ModelFactory& factory,
+      const maintenance::MaintenancePolicy& base, double lo, double hi,
+      int iterations = 16);
+
+private:
+  fmt::FaultMaintenanceTree model_;
+  smc::AnalysisSettings settings_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::ProgressReporter> progress_;
+};
+
+}  // namespace fmtree

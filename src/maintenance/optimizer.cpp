@@ -3,19 +3,40 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 
 namespace fmtree::maintenance {
+
+namespace {
+
+void count_evaluation(const smc::AnalysisSettings& settings) {
+  if (obs::MetricsRegistry* metrics = settings.telemetry.metrics)
+    metrics->add(metrics->counter("optimizer.evaluations"));
+}
+
+}  // namespace
 
 SweepResult sweep_policies(const ModelFactory& factory,
                            const std::vector<MaintenancePolicy>& candidates,
                            const smc::AnalysisSettings& settings) {
   if (candidates.empty()) throw DomainError("policy sweep needs candidates");
+  auto sweep_span = obs::maybe_span(settings.telemetry.tracer, "sweep");
   SweepResult result;
   result.curve.reserve(candidates.size());
   for (const MaintenancePolicy& policy : candidates) {
     const fmt::FaultMaintenanceTree model = factory(policy);
     result.curve.push_back(PolicyEvaluation{policy, smc::analyze(model, settings)});
+    count_evaluation(settings);
+    if (obs::ProgressReporter* progress = settings.telemetry.progress) {
+      obs::Progress p;
+      p.phase = "sweep";
+      p.done = result.curve.size();
+      p.total = candidates.size();
+      progress->update(p);
+    }
   }
   for (std::size_t i = 1; i < result.curve.size(); ++i) {
     if (result.curve[i].cost_per_year() < result.curve[result.best_index].cost_per_year())
@@ -55,13 +76,25 @@ RefinedOptimum refine_inspection_frequency(const ModelFactory& factory,
                                            int iterations) {
   if (!(lo > 0) || !(hi > lo)) throw DomainError("need 0 < lo < hi");
   if (iterations < 1) throw DomainError("need at least one iteration");
+  auto refine_span = obs::maybe_span(settings.telemetry.tracer, "refine");
 
+  // Golden-section evaluates two probes up front, then one per iteration.
+  const auto total_evaluations = static_cast<std::uint64_t>(iterations) + 2;
   std::size_t evaluations = 0;
   const auto cost_at = [&](double freq) {
     MaintenancePolicy p = base;
     p.inspection_period = 1.0 / freq;
     ++evaluations;
-    return smc::analyze(factory(p), settings).cost_per_year.point;
+    const double cost = smc::analyze(factory(p), settings).cost_per_year.point;
+    count_evaluation(settings);
+    if (obs::ProgressReporter* progress = settings.telemetry.progress) {
+      obs::Progress p2;
+      p2.phase = "refine";
+      p2.done = evaluations;
+      p2.total = total_evaluations;
+      progress->update(p2);
+    }
+    return cost;
   };
 
   constexpr double kInvPhi = 0.61803398874989484;  // 1/golden ratio

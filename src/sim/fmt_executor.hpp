@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "fmt/fmtree.hpp"
+#include "fmtree/run_settings.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/gate_eval.hpp"
 #include "sim/trace.hpp"
@@ -81,9 +82,25 @@ struct TrajectoryResult {
   }
 };
 
-struct SimOptions {
-  double horizon = 1.0;
+/// Per-run simulator options. Embeds fmtree::RunSettings: the simulator
+/// itself honors `horizon` and (through ParallelRunner) `telemetry`; the
+/// inherited seed/threads/control fields are consumed by batch drivers, not
+/// by the single-trajectory executor — stream identity always comes from
+/// the RandomStream handed to run().
+struct SimOptions : fmtree::RunSettings {
+  /// The single-trajectory default horizon stays 1.0 (the batch layers
+  /// always set it explicitly from their own settings).
+  SimOptions() noexcept { horizon = 1.0; }
+
   bool record_failure_log = false;
+  /// Cap on the total number of FailureRecord entries a ParallelRunner batch
+  /// retains across all trajectories when record_failure_log is set.
+  /// Trajectory logs that would exceed the cap are dropped whole and the
+  /// batch is flagged failure_logs_truncated; per-trajectory statistics are
+  /// unaffected (logs are auxiliary). Which logs near the boundary are
+  /// dropped depends on thread scheduling; at one thread the retained set is
+  /// the deterministic index-order prefix that fits.
+  std::uint64_t failure_log_cap = std::uint64_t{1} << 24;
   /// Continuous discount rate r for net-present-value cost accounting:
   /// a cost c at time t contributes c * exp(-r t) to discounted_cost.
   double discount_rate = 0.0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 
 namespace fmtree::smc {
@@ -22,14 +25,23 @@ void check_settings(const AnalysisSettings& s) {
 /// failure logs ride along in BatchResult::failure_logs.
 BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettings& s,
                     double horizon, bool record_failure_log = false) {
+  auto build_span = obs::maybe_span(s.telemetry.tracer, "build");
   const sim::FmtSimulator simulator(model);
+  build_span.close();
   const ParallelRunner runner(simulator, s.threads);
   sim::SimOptions opts;
+  static_cast<RunSettings&>(opts) = s;  // horizon overridden below
   opts.horizon = horizon;
   opts.discount_rate = s.discount_rate;
   opts.record_failure_log = record_failure_log;
+  opts.failure_log_cap = s.failure_log_cap;
+  obs::MetricsRegistry* metrics = s.telemetry.metrics;
+  const obs::CounterId batches_counter =
+      metrics != nullptr ? metrics->counter("smc.batches") : obs::CounterId{};
+  auto simulate_span = obs::maybe_span(s.telemetry.tracer, "simulate");
 
   if (s.target_relative_error <= 0) {
+    if (metrics != nullptr) metrics->add(batches_counter);
     return runner.run(s.seed, 0, s.trajectories, opts, s.control);
   }
 
@@ -42,6 +54,7 @@ BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettin
     const std::uint64_t todo =
         std::min<std::uint64_t>(s.batch, s.trajectories - all.summaries.size());
     BatchResult batch = runner.run(s.seed, all.summaries.size(), todo, opts, s.control);
+    if (metrics != nullptr) metrics->add(batches_counter);
     for (const TrajectorySummary& t : batch.summaries)
       failures.add(static_cast<double>(t.failures));
     all.summaries.insert(all.summaries.end(), batch.summaries.begin(),
@@ -51,6 +64,7 @@ BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettin
                               std::make_move_iterator(batch.failure_logs.begin()),
                               std::make_move_iterator(batch.failure_logs.end()));
     }
+    all.failure_logs_truncated |= batch.failure_logs_truncated;
     for (std::size_t i = 0; i < all.failures_per_leaf.size(); ++i) {
       all.failures_per_leaf[i] += batch.failures_per_leaf[i];
       all.repairs_per_leaf[i] += batch.repairs_per_leaf[i];
@@ -60,10 +74,20 @@ BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettin
       all.stop_reason = batch.stop_reason;
       break;
     }
-    if (failures.count() >= 2 && failures.mean() > 0) {
-      const double half = z * failures.std_error();
-      if (half <= s.target_relative_error * failures.mean()) break;
+    const bool have_ci = failures.count() >= 2 && failures.mean() > 0;
+    const double half = have_ci ? z * failures.std_error() : 0.0;
+    // The CI-trend snapshot after every adaptive batch: how tight the
+    // estimate is versus the requested target, alongside raw throughput.
+    if (obs::ProgressReporter* progress = s.telemetry.progress) {
+      obs::Progress p;
+      p.phase = "simulate";
+      p.done = all.summaries.size();
+      p.total = s.trajectories;
+      p.ci_half_width = have_ci ? half / failures.mean() : -1.0;
+      p.ci_target = s.target_relative_error;
+      progress->update(p);
     }
+    if (have_ci && half <= s.target_relative_error * failures.mean()) break;
   }
   all.completed = all.summaries.size();
   return all;
@@ -94,6 +118,7 @@ KpiReport analyze(const fmt::FaultMaintenanceTree& model,
             ") before any trajectory completed",
         {});
   const auto n = static_cast<double>(batch.summaries.size());
+  auto aggregate_span = obs::maybe_span(settings.telemetry.tracer, "aggregate");
 
   KpiReport report;
   report.horizon = settings.horizon;
@@ -148,6 +173,7 @@ std::vector<CurvePoint> reliability_curve(const fmt::FaultMaintenanceTree& model
   s.horizon = *std::max_element(grid.begin(), grid.end());
   if (!(s.horizon > 0)) s.horizon = settings.horizon;
   const BatchResult batch = collect(model, s, s.horizon);
+  auto aggregate_span = obs::maybe_span(settings.telemetry.tracer, "aggregate");
 
   // Sorting the first-failure times lets each grid point be answered with a
   // binary search instead of a pass over all trajectories.
@@ -184,6 +210,12 @@ std::vector<CurvePoint> expected_failures_curve(const fmt::FaultMaintenanceTree&
   // statistics are bit-identical at any thread count.
   const BatchResult batch =
       collect(model, settings, horizon, /*record_failure_log=*/true);
+  if (batch.failure_logs_truncated)
+    throw ResourceLimitError(
+        "failure-log cap exceeded while estimating the failures curve; raise "
+        "AnalysisSettings::failure_log_cap or reduce the trajectory count",
+        {.iterations = batch.completed, .residual = 0.0, .states = 0});
+  auto aggregate_span = obs::maybe_span(settings.telemetry.tracer, "aggregate");
 
   std::vector<double> sorted_grid = grid;
   std::sort(sorted_grid.begin(), sorted_grid.end());

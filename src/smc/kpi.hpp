@@ -8,17 +8,22 @@
 #include <vector>
 
 #include "fmt/fmtree.hpp"
+#include "fmtree/run_settings.hpp"
 #include "smc/runner.hpp"
 #include "util/stats.hpp"
 
 namespace fmtree::smc {
 
-struct AnalysisSettings {
-  double horizon = 10.0;            ///< time horizon (the study's unit: years)
+/// Monte-Carlo analysis settings. The execution knobs every backend shares —
+/// horizon, seed, threads, RunControl, telemetry — live in the embedded
+/// fmtree::RunSettings base (their old field locations keep compiling:
+/// `settings.seed`, `settings.horizon`, ... resolve to the base subobject).
+/// A stop via `control` returns early over the completed trajectory prefix —
+/// statistics stay exact for the streams they cover — and the report is
+/// flagged `truncated`.
+struct AnalysisSettings : RunSettings {
   std::uint64_t trajectories = 10000;
   double confidence = 0.95;
-  std::uint64_t seed = 1;
-  unsigned threads = 0;             ///< 0 = hardware concurrency
   /// Continuous discount rate for net-present-value cost reporting
   /// (KpiReport::npv_cost); 0 disables discounting.
   double discount_rate = 0.0;
@@ -27,11 +32,11 @@ struct AnalysisSettings {
   /// is reached; `trajectories` then acts as the budget cap.
   double target_relative_error = 0.0;
   std::uint64_t batch = 2048;
-  /// Optional cooperative stop handle (SIGINT, deadlines, budgets). When a
-  /// stop fires mid-run the analysis returns early over the completed
-  /// trajectory prefix — statistics stay exact for the streams they cover —
-  /// and the report is flagged `truncated`. nullptr = run to completion.
-  const RunControl* control = nullptr;
+  /// Cap on the total number of sim::FailureRecord entries retained per
+  /// collection when failure logs are recorded (expected_failures_curve);
+  /// bounds memory on multi-million-trajectory runs. See
+  /// sim::SimOptions::failure_log_cap for the truncation contract.
+  std::uint64_t failure_log_cap = std::uint64_t{1} << 24;
 };
 
 /// Everything the case study reports, from one set of trajectories.

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "util/error.hpp"
 
 namespace fmtree::smc {
@@ -19,6 +21,28 @@ struct LeafDelta {
   std::uint32_t repairs = 0;
 };
 
+/// Metric handles of one batch; registered up front (idempotent name
+/// lookups) so the worker loop touches nothing but dense local arrays.
+struct BatchMetricIds {
+  obs::CounterId trajectories, events, failures, repairs, inspections,
+      replacements, log_records_dropped;
+  obs::HistogramId events_per_trajectory;
+};
+
+BatchMetricIds register_batch_metrics(obs::MetricsRegistry& registry) {
+  BatchMetricIds ids;
+  ids.trajectories = registry.counter("smc.trajectories");
+  ids.events = registry.counter("smc.events");
+  ids.failures = registry.counter("smc.failures");
+  ids.repairs = registry.counter("smc.repairs");
+  ids.inspections = registry.counter("smc.inspections");
+  ids.replacements = registry.counter("smc.replacements");
+  ids.log_records_dropped = registry.counter("smc.failure_log_records_dropped");
+  ids.events_per_trajectory =
+      registry.histogram("smc.events_per_trajectory", 0.0, 1024.0, 64);
+  return ids;
+}
+
 }  // namespace
 
 ParallelRunner::ParallelRunner(const sim::FmtSimulator& simulator, unsigned threads)
@@ -32,6 +56,10 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
   if (opts.trace != nullptr)
     throw DomainError("traces are per-trajectory; run the simulator directly");
   const std::size_t num_leaves = simulator_.model().num_ebes();
+  obs::MetricsRegistry* metrics = opts.telemetry.metrics;
+  obs::ProgressReporter* progress = opts.telemetry.progress;
+  const BatchMetricIds metric_ids =
+      metrics != nullptr ? register_batch_metrics(*metrics) : BatchMetricIds{};
 
   BatchResult out;
   out.summaries.resize(count);
@@ -59,8 +87,23 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
   std::atomic<std::uint64_t> done{0};
   std::atomic<StopReason> stop{StopReason::None};
 
+  // Failure-log memory cap: a shared budget of records. A trajectory whose
+  // log does not fit is delivered without its log and the batch flagged.
+  std::atomic<std::int64_t> log_budget{
+      static_cast<std::int64_t>(std::min<std::uint64_t>(
+          opts.failure_log_cap, std::uint64_t{1} << 62))};
+  std::atomic<bool> logs_truncated{false};
+
+  // Progress needs a cross-worker completion count; the controlled path
+  // maintains one anyway, so only the progress-without-control case adds an
+  // (uncontended, relaxed) increment to the hot loop.
+  const bool count_done = control != nullptr || progress != nullptr;
+
   auto work = [&](unsigned w) {
     sim::SimWorkspace ws;  // reused across all of this worker's trajectories
+    obs::LocalMetrics local =
+        metrics != nullptr ? metrics->local() : obs::LocalMetrics{};
+    std::uint64_t polls = 0;
     for (std::uint64_t i = w; i < count; i += workers) {
       if (control != nullptr) {
         StopReason r = stop.load(std::memory_order_acquire);
@@ -76,7 +119,7 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
         }
         if (r != StopReason::None) {
           first_uncompleted[w] = i;
-          return;
+          break;
         }
       }
       sim::TrajectoryResult r =
@@ -103,10 +146,41 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
                           static_cast<std::uint32_t>(r.failures_per_leaf[leaf]),
                           static_cast<std::uint32_t>(r.repairs_per_leaf[leaf])});
         }
-        done.fetch_add(1, std::memory_order_relaxed);
       }
-      if (opts.record_failure_log) out.failure_logs[i] = std::move(r.failure_log);
+      if (count_done) done.fetch_add(1, std::memory_order_relaxed);
+      if (opts.record_failure_log) {
+        const auto need = static_cast<std::int64_t>(r.failure_log.size());
+        if (need == 0 ||
+            log_budget.fetch_sub(need, std::memory_order_relaxed) >= need) {
+          out.failure_logs[i] = std::move(r.failure_log);
+        } else {
+          log_budget.fetch_add(need, std::memory_order_relaxed);
+          logs_truncated.store(true, std::memory_order_relaxed);
+          local.add(metric_ids.log_records_dropped,
+                    static_cast<std::uint64_t>(need));
+        }
+      }
+      if (metrics != nullptr) {
+        local.add(metric_ids.trajectories);
+        local.add(metric_ids.events, r.events);
+        local.add(metric_ids.failures, r.failures);
+        local.add(metric_ids.repairs, r.repairs);
+        local.add(metric_ids.inspections, r.inspections);
+        local.add(metric_ids.replacements, r.replacements);
+        local.observe(metric_ids.events_per_trajectory,
+                      static_cast<double>(r.events));
+      }
+      // The steady_clock read inside due() costs ~20 ns; polling every 32nd
+      // trajectory keeps it out of the per-trajectory budget entirely.
+      if (progress != nullptr && (++polls & 31u) == 0 && progress->due()) {
+        obs::Progress p;
+        p.phase = "simulate";
+        p.done = first + done.load(std::memory_order_relaxed);
+        p.total = first + count;
+        progress->update(p);
+      }
     }
+    if (metrics != nullptr) metrics->merge(local);
   };
 
   if (workers == 1) {
@@ -117,6 +191,7 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
     for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work, w);
     for (std::thread& t : pool) t.join();
   }
+  out.failure_logs_truncated = logs_truncated.load(std::memory_order_relaxed);
 
   if (control == nullptr) {
     out.completed = count;

@@ -41,6 +41,10 @@ struct BatchResult {
   /// Per-trajectory failure logs, parallel to `summaries`. Only filled when
   /// SimOptions::record_failure_log is set; empty otherwise.
   std::vector<std::vector<sim::FailureRecord>> failure_logs;
+  /// True when at least one trajectory's failure log was dropped because the
+  /// batch hit SimOptions::failure_log_cap. Summaries and per-leaf totals
+  /// are unaffected; only the auxiliary logs are incomplete.
+  bool failure_logs_truncated = false;
   /// Trajectories actually delivered (== the requested count unless the run
   /// was truncated by a RunControl).
   std::uint64_t completed = 0;
@@ -62,6 +66,11 @@ public:
   /// delivered statistic is exact for the streams it covers — identical to
   /// running the same seed over just those streams. Without one (`control ==
   /// nullptr`) the batch always runs to completion.
+  ///
+  /// Telemetry rides in `opts.telemetry`: smc.* counters and the
+  /// events-per-trajectory histogram accumulate per worker and merge at the
+  /// end of the batch; a ProgressReporter is polled between trajectories.
+  /// Telemetry reads counters only — enabling it changes no result bit.
   BatchResult run(std::uint64_t seed, std::uint64_t first, std::uint64_t count,
                   const sim::SimOptions& opts,
                   const RunControl* control = nullptr) const;

@@ -1,0 +1,144 @@
+// The fmtree::Analysis facade: one session object must produce exactly what
+// the layer APIs it wraps produce, and its telemetry sinks must follow the
+// session (accumulate across calls, export on demand).
+#include "fmtree/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "eijoint/model.hpp"
+#include "eijoint/scenarios.hpp"
+#include "fmt/parser.hpp"
+#include "util/error.hpp"
+
+namespace fmtree {
+namespace {
+
+const char* kModel = R"(
+toplevel System;
+System or Wear Electronics;
+Wear ebe phases=4 mean=6 threshold=3 repair_cost=800;
+Electronics be exp(0.08);
+inspection Visual period=0.5 cost=35 targets Wear;
+corrective cost=8000 delay=0.02 downtime_rate=50000;
+)";
+
+TEST(AnalysisFacade, MatchesTheLayerApisExactly) {
+  smc::AnalysisSettings s;
+  s.horizon = 8.0;
+  s.trajectories = 3000;
+  s.seed = 11;
+  s.threads = 2;
+  const smc::KpiReport direct = smc::analyze(fmt::parse_fmt(kModel), s);
+
+  Analysis study = Analysis::from_text(kModel);
+  study.horizon(8.0).trajectories(3000).seed(11).threads(2);
+  const smc::KpiReport facade = study.kpis();
+
+  EXPECT_EQ(facade.trajectories, direct.trajectories);
+  EXPECT_EQ(std::memcmp(&facade.reliability, &direct.reliability,
+                        sizeof(direct.reliability)),
+            0);
+  EXPECT_EQ(std::memcmp(&facade.total_cost, &direct.total_cost,
+                        sizeof(direct.total_cost)),
+            0);
+
+  const auto direct_curve =
+      smc::reliability_curve(fmt::parse_fmt(kModel), smc::linspace_grid(8.0, 10), s);
+  const auto facade_curve = study.reliability_curve(10);
+  ASSERT_EQ(facade_curve.size(), direct_curve.size());
+  for (std::size_t i = 0; i < facade_curve.size(); ++i)
+    EXPECT_EQ(facade_curve[i].value.point, direct_curve[i].value.point) << i;
+
+  const smc::MttfEstimate mttf = study.mttf();
+  EXPECT_GT(mttf.mttf.point, 0.0);
+}
+
+TEST(AnalysisFacade, SettingsChainAndEscapeHatchAgree) {
+  Analysis study = Analysis::from_text(kModel);
+  study.horizon(5.0)
+      .trajectories(123)
+      .seed(99)
+      .threads(3)
+      .confidence(0.9)
+      .discount_rate(0.04)
+      .target_relative_error(0.1);
+  EXPECT_DOUBLE_EQ(study.settings().horizon, 5.0);
+  EXPECT_EQ(study.settings().trajectories, 123u);
+  EXPECT_EQ(study.settings().seed, 99u);
+  EXPECT_EQ(study.settings().threads, 3u);
+  EXPECT_DOUBLE_EQ(study.settings().confidence, 0.9);
+  EXPECT_DOUBLE_EQ(study.settings().discount_rate, 0.04);
+  EXPECT_DOUBLE_EQ(study.settings().target_relative_error, 0.1);
+  study.settings().batch = 500;  // escape hatch reaches everything else
+  EXPECT_EQ(study.settings().batch, 500u);
+}
+
+TEST(AnalysisFacade, TelemetryAccumulatesAcrossTheSession) {
+  Analysis study = Analysis::from_text(kModel);
+  study.horizon(8.0).trajectories(500).seed(1).enable_metrics().enable_tracing();
+  std::uint64_t progress_calls = 0;
+  study.on_progress([&](const obs::Progress&) { ++progress_calls; }, 0.0);
+
+  study.kpis();
+  EXPECT_EQ(study.metrics().counter_value("smc.trajectories"), 500u);
+  study.kpis();
+  EXPECT_EQ(study.metrics().counter_value("smc.trajectories"), 1000u);
+  EXPECT_GT(study.tracer().size(), 0u);
+  EXPECT_GT(progress_calls, 0u);
+
+  EXPECT_NE(study.metrics_json().find("fmtree.metrics/v1"), std::string::npos);
+  EXPECT_NE(study.trace_json().find("fmtree.trace/v1"), std::string::npos);
+  EXPECT_EQ(study.chrome_trace().front(), '[');
+}
+
+TEST(AnalysisFacade, ExportsAreEmptyWithoutSinks) {
+  Analysis study = Analysis::from_text(kModel);
+  EXPECT_TRUE(study.metrics_json().empty());
+  EXPECT_TRUE(study.trace_json().empty());
+  EXPECT_TRUE(study.chrome_trace().empty());
+}
+
+TEST(AnalysisFacade, FromFileAndErrors) {
+  EXPECT_THROW(Analysis::from_file("/nonexistent/model.fmt"), IoError);
+  EXPECT_THROW(Analysis::from_text("toplevel Broken"), Error);
+  const Analysis study =
+      Analysis::from_file(std::string(FMTREE_SOURCE_DIR) + "/models/ei_joint.fmt");
+  EXPECT_GT(study.model().num_ebes(), 0u);
+}
+
+TEST(AnalysisFacade, ExactMttfAndOptimizerPassThrough) {
+  // Markovian model (no inspections/phases): the exact backend applies.
+  Analysis study = Analysis::from_text(R"(
+toplevel System;
+System or Part;
+Part be exp(0.1);
+corrective cost=100 delay=0;
+)");
+  EXPECT_NEAR(study.exact_mttf(), 10.0, 1e-6);
+
+  // The optimizer runs under the session settings (seed fixed => exact
+  // agreement with a direct sweep).
+  Analysis ei(fmt::FaultMaintenanceTree{});
+  ei.horizon(10.0).trajectories(300).seed(5).enable_metrics();
+  const auto factory = eijoint::ei_joint_factory(eijoint::EiJointParameters::defaults());
+  const auto candidates = maintenance::inspection_frequency_candidates(
+      eijoint::current_policy(), {1.0, 4.0});
+  const maintenance::SweepResult sweep = ei.optimize_policy(factory, candidates);
+  ASSERT_EQ(sweep.curve.size(), 2u);
+  const maintenance::SweepResult direct =
+      maintenance::sweep_policies(factory, candidates, [&] {
+        smc::AnalysisSettings s;
+        s.horizon = 10.0;
+        s.trajectories = 300;
+        s.seed = 5;
+        return s;
+      }());
+  EXPECT_EQ(sweep.best_index, direct.best_index);
+  EXPECT_DOUBLE_EQ(sweep.best().cost_per_year(), direct.best().cost_per_year());
+  EXPECT_EQ(ei.metrics().counter_value("optimizer.evaluations"), 2u);
+}
+
+}  // namespace
+}  // namespace fmtree

@@ -54,7 +54,9 @@ TEST(RunControl, UncontrolledRunIsNeverTruncated) {
   const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
   const sim::FmtSimulator simulator(model);
   const ParallelRunner runner(simulator, 2);
-  const BatchResult r = runner.run(7, 0, 200, sim::SimOptions{.horizon = 10.0});
+  sim::SimOptions run_opts;
+  run_opts.horizon = 10.0;
+  const BatchResult r = runner.run(7, 0, 200, run_opts);
   EXPECT_EQ(r.completed, 200u);
   EXPECT_FALSE(r.truncated);
   EXPECT_EQ(r.stop_reason, StopReason::None);
@@ -67,7 +69,8 @@ TEST(RunControl, NullControlMatchesNoControlBitExactly) {
   const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
   const sim::FmtSimulator simulator(model);
   const ParallelRunner runner(simulator, 3);
-  const sim::SimOptions opts{.horizon = 10.0};
+  sim::SimOptions opts;
+  opts.horizon = 10.0;
   RunControl idle;  // no condition armed
   const BatchResult plain = runner.run(11, 0, 300, opts);
   const BatchResult controlled = runner.run(11, 0, 300, opts, &idle);
@@ -88,7 +91,8 @@ TEST(RunControl, TruncatedPrefixBitIdenticalToUntruncatedRun) {
   const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
   const sim::FmtSimulator simulator(model);
   const ParallelRunner runner(simulator, 4);
-  const sim::SimOptions opts{.horizon = 10.0};
+  sim::SimOptions opts;
+  opts.horizon = 10.0;
 
   RunControl control;
   control.set_trajectory_budget(120);
