@@ -26,7 +26,8 @@ int main() {
     const smc::KpiReport k_without =
         smc::analyze(eijoint::build_ei_joint(without_rdep, policy), settings);
     const double delta =
-        100.0 * (1.0 - k_without.failures_per_year.point / k_with.failures_per_year.point);
+        100.0 *
+        (1.0 - k_without.failures_per_year.point / k_with.failures_per_year.point);
     // The dependency only matters while batter lingers past its trigger
     // phase, i.e. under sparse inspection; at 4x/yr the repairs suppress it.
     if (freq <= 0.5 &&

@@ -2,12 +2,34 @@
 // Expected shape: U-shaped curve; failure costs dominate on the left,
 // inspection+repair costs on the right; the minimum sits at/near the current
 // 4x-per-year policy (abstract claim C4).
+#include <chrono>
+#include <cstring>
+
+#include "batch/result_cache.hpp"
 #include "bench/common.hpp"
 #include "eijoint/model.hpp"
 #include "eijoint/scenarios.hpp"
 #include "maintenance/optimizer.hpp"
 
 using namespace fmtree;
+
+namespace {
+
+bool same_bits(const ConfidenceInterval& a, const ConfidenceInterval& b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+/// Bitwise equality of the KPI fields the curve reports — the cache-identity
+/// invariant (see batch/result_cache.hpp) promises exactly this.
+bool same_bits(const smc::KpiReport& a, const smc::KpiReport& b) {
+  return same_bits(a.cost_per_year, b.cost_per_year) &&
+         same_bits(a.total_cost, b.total_cost) &&
+         same_bits(a.failures_per_year, b.failures_per_year) &&
+         std::memcmp(&a.mean_cost, &b.mean_cost, sizeof a.mean_cost) == 0 &&
+         a.trajectories == b.trajectories;
+}
+
+}  // namespace
 
 int main() {
   bench::header("F7", "Yearly cost vs inspection frequency (breakdown)",
@@ -17,8 +39,19 @@ int main() {
   const auto candidates = maintenance::inspection_frequency_candidates(
       eijoint::current_policy(), eijoint::cost_curve_frequencies());
   const smc::AnalysisSettings settings = bench::default_settings(20.0, 8000);
+
+  // The curve runs through the batch sweep engine with a result cache: the
+  // first pass simulates, the second is served from the cache bit-for-bit.
+  using clock = std::chrono::steady_clock;
+  batch::ResultCache cache;
+  const auto cold_start = clock::now();
   const maintenance::SweepResult sweep =
-      maintenance::sweep_policies(factory, candidates, settings);
+      maintenance::sweep_policies(factory, candidates, settings, &cache);
+  const double cold_s = std::chrono::duration<double>(clock::now() - cold_start).count();
+  const auto warm_start = clock::now();
+  const maintenance::SweepResult warm =
+      maintenance::sweep_policies(factory, candidates, settings, &cache);
+  const double warm_s = std::chrono::duration<double>(clock::now() - warm_start).count();
 
   TextTable t({"inspections/yr", "inspection", "repairs", "corrective", "downtime",
                "total/yr (95% CI)"});
@@ -48,5 +81,14 @@ int main() {
             << "% above optimum).\n"
             << "Shape check (current within 15% of optimum): "
             << (near_optimal ? "PASS" : "FAIL") << "\n";
-  return near_optimal ? 0 : 1;
+
+  bool cached_identical = warm.curve.size() == sweep.curve.size();
+  for (std::size_t i = 0; cached_identical && i < sweep.curve.size(); ++i)
+    cached_identical = same_bits(sweep.curve[i].kpis, warm.curve[i].kpis);
+  const auto st = cache.stats();
+  std::cout << "\nCache replay: cold " << cell(cold_s, 2) << "s, warm "
+            << cell(warm_s, 3) << "s (" << st.hits << " hits, " << st.misses
+            << " misses); bitwise identical: " << (cached_identical ? "PASS" : "FAIL")
+            << "\n";
+  return near_optimal && cached_identical ? 0 : 1;
 }

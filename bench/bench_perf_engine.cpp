@@ -177,7 +177,8 @@ ModelReport bench_model(const std::string& name, double horizon, std::uint64_t n
     obs::Tracer tracer;
     obs::ProgressReporter progress([](const obs::Progress&) {}, 0.25);
     sim::SimOptions instrumented = fast;
-    instrumented.telemetry = {.metrics = &metrics, .tracer = &tracer, .progress = &progress};
+    instrumented.telemetry = {
+        .metrics = &metrics, .tracer = &tracer, .progress = &progress};
     const auto t0 = std::chrono::steady_clock::now();
     const smc::BatchResult traced = runner.run(kSeed, 0, n, instrumented);
     rep.telemetry_traj_per_sec = static_cast<double>(n) / seconds_since(t0);
@@ -193,7 +194,8 @@ ModelReport bench_model(const std::string& name, double horizon, std::uint64_t n
 }
 
 void write_json(std::ostream& os, const std::vector<ModelReport>& reports) {
-  os << "{\n  \"benchmark\": \"engine\",\n  \"seed\": " << kSeed << ",\n  \"models\": [\n";
+  os << "{\n  \"benchmark\": \"engine\",\n  \"seed\": " << kSeed
+     << ",\n  \"models\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const ModelReport& r = reports[i];
     os << "    {\n"
@@ -245,11 +247,13 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   for (const ModelReport& r : reports) {
-    std::cout << r.name << ": baseline " << static_cast<std::uint64_t>(r.baseline_traj_per_sec)
+    std::cout << r.name << ": baseline "
+              << static_cast<std::uint64_t>(r.baseline_traj_per_sec)
               << " traj/s, single " << static_cast<std::uint64_t>(r.single_traj_per_sec)
               << " traj/s (x" << r.speedup_single << "), parallel "
               << static_cast<std::uint64_t>(r.parallel_traj_per_sec) << " traj/s (x"
-              << r.speedup_parallel << ", " << r.parallel_threads << " threads), telemetry "
+              << r.speedup_parallel << ", " << r.parallel_threads
+              << " threads), telemetry "
               << static_cast<std::uint64_t>(r.telemetry_traj_per_sec) << " traj/s ("
               << r.telemetry_overhead_pct << "% overhead), " << r.events_per_trajectory
               << " ev/traj, " << r.ns_per_event << " ns/ev, "

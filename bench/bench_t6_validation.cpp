@@ -52,7 +52,8 @@ int main() {
     electrical_kids.push_back(fitted_leaf("impact_damage"));
     for (int b = 1; b <= params.num_bolts; ++b)
       bolts.push_back(fitted_leaf("bolt_" + std::to_string(b)));
-    mechanical_kids.push_back(calibrated.add_voting("bolt_group", params.bolt_vote, bolts));
+    mechanical_kids.push_back(
+        calibrated.add_voting("bolt_group", params.bolt_vote, bolts));
     mechanical_kids.push_back(fitted_leaf("fishplate_crack"));
     mechanical_kids.push_back(fitted_leaf("glue_degradation"));
     mechanical_kids.push_back(fitted_leaf("joint_batter"));

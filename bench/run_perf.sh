@@ -15,4 +15,10 @@ if [ ! -d "$BUILD" ]; then
 fi
 cmake --build "$BUILD" --target bench_perf_engine -j "$(nproc)"
 
-"$BUILD/bench/bench_perf_engine" --out "$ROOT/BENCH_engine.json" "$@"
+BIN="$BUILD/bench/bench_perf_engine"
+if [ ! -x "$BIN" ]; then
+  echo "error: benchmark binary missing at $BIN (build failed, or set BUILD_DIR to the right tree)" >&2
+  exit 1
+fi
+
+"$BIN" --out "$ROOT/BENCH_engine.json" "$@"

@@ -83,7 +83,8 @@ private:
   };
 
   void grow_cancelled(std::uint64_t seq) {
-    if (cancelled_.size() <= seq) cancelled_.resize(static_cast<std::size_t>(seq) + 1, false);
+    if (cancelled_.size() <= seq)
+      cancelled_.resize(static_cast<std::size_t>(seq) + 1, false);
   }
 
   void mark_fired(std::uint64_t seq) {
@@ -129,7 +130,13 @@ public:
 
   sim::TrajectoryResult run(RandomStream rng, const sim::SimOptions& opts) const {
     struct Ev {
-      enum class Kind : std::uint8_t { Phase, Inspect, Replace, CorrectiveDone, RepairDone };
+      enum class Kind : std::uint8_t {
+        Phase,
+        Inspect,
+        Replace,
+        CorrectiveDone,
+        RepairDone
+      };
       Kind kind = Kind::Phase;
       std::uint32_t index = 0;
     };
@@ -167,7 +174,8 @@ public:
     const auto discounted_downtime = [&](double a, double b) {
       if (discount_rate <= 0) return corrective.downtime_cost_rate * (b - a);
       return corrective.downtime_cost_rate *
-             (std::exp(-discount_rate * a) - std::exp(-discount_rate * b)) / discount_rate;
+             (std::exp(-discount_rate * a) - std::exp(-discount_rate * b)) /
+             discount_rate;
     };
 
     const auto schedule_phase = [&](std::uint32_t leaf, double now) {
@@ -240,7 +248,8 @@ public:
           if (accel[leaf] > 0) queue.cancel(next_handle[leaf]);
           if (desired > 0) {
             next_time[leaf] = now + natural / desired;
-            next_handle[leaf] = queue.schedule(next_time[leaf], Ev{Ev::Kind::Phase, leaf});
+            next_handle[leaf] =
+                queue.schedule(next_time[leaf], Ev{Ev::Kind::Phase, leaf});
           } else {
             frozen_remaining[leaf] = natural;
             next_time[leaf] = std::numeric_limits<double>::infinity();
@@ -364,7 +373,8 @@ public:
             if (leaf_failed[leaf]) continue;
             if (under_repair[leaf]) continue;
             if (phase[leaf] < e.degradation.threshold_phase()) continue;
-            if (mod.detection_probability < 1.0 && !rng.bernoulli(mod.detection_probability)) {
+            if (mod.detection_probability < 1.0 &&
+                !rng.bernoulli(mod.detection_probability)) {
               continue;
             }
             ++result.repairs;

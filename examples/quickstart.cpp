@@ -60,7 +60,8 @@ int main() {
     Analysis candidate(build_pump_skid(freq));
     const smc::KpiReport kpis =
         candidate.horizon(10.0).trajectories(20000).seed(42).kpis();
-    table.add_row({freq == 0 ? "no inspections" : std::to_string(static_cast<int>(freq)) + "x/year",
+    table.add_row({freq == 0 ? "no inspections"
+                             : std::to_string(static_cast<int>(freq)) + "x/year",
                    cell(kpis.reliability.point, 4),
                    cell(kpis.failures_per_year.point, 4),
                    cell(kpis.availability.point, 5),

@@ -65,8 +65,8 @@ std::vector<double> poisson_weights(double lambda_t, double epsilon,
   if (lambda_t == 0) return {1.0};
   // Left/right truncation around the mode, computed in log space.
   const auto mode = static_cast<std::int64_t>(std::floor(lambda_t));
-  const double log_pmf_mode =
-      static_cast<double>(mode) * std::log(lambda_t) - lambda_t - std::lgamma(static_cast<double>(mode) + 1.0);
+  const double log_pmf_mode = static_cast<double>(mode) * std::log(lambda_t) -
+                              lambda_t - std::lgamma(static_cast<double>(mode) + 1.0);
   // Find right bound.
   std::vector<double> right;  // pmf from mode upward
   double log_p = log_pmf_mode;

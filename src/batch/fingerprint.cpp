@@ -1,0 +1,30 @@
+#include "batch/fingerprint.hpp"
+
+#include "fmt/canonical.hpp"
+#include "smc/kpi.hpp"
+
+namespace fmtree::batch {
+
+Fingerprint settings_fingerprint(const smc::AnalysisSettings& s) {
+  KeyedHasher h("fmtree.settings/v1");
+  h.f64("horizon", s.horizon);
+  h.u64("seed", s.seed);
+  h.u64("trajectories", s.trajectories);
+  h.f64("confidence", s.confidence);
+  h.f64("discount_rate", s.discount_rate);
+  const bool adaptive = s.target_relative_error > 0;
+  h.f64("target_relative_error", adaptive ? s.target_relative_error : 0.0);
+  if (adaptive) h.u64("batch", s.batch);
+  return h.digest();
+}
+
+CacheKey kpi_cache_key(const fmt::FaultMaintenanceTree& model,
+                       const smc::AnalysisSettings& settings) {
+  KeyedHasher request("fmtree.request/v1");
+  request.str("kind", "kpis");
+  request.u64("result_schema", 1);  // bump with ResultCache's serialization
+  request.fingerprint("settings", settings_fingerprint(settings));
+  return CacheKey{fmt::canonical_hash(model), request.digest()};
+}
+
+}  // namespace fmtree::batch

@@ -1,0 +1,224 @@
+#include "batch/result_cache.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace fmtree::batch {
+
+namespace {
+
+/// C99 hexfloat form: exact bits, locale-independent, strtod-parseable.
+std::string hexfloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parse_hexfloat(const json::Value& v) {
+  if (!v.is(json::Kind::String)) throw IoError("cache entry: expected a hexfloat string");
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(v.text.c_str(), &end);
+  if (end == v.text.c_str() || *end != '\0')
+    throw IoError("cache entry: bad hexfloat '" + v.text + "'");
+  return d;
+}
+
+void encode_ci(std::ostringstream& os, const char* name,
+               const ConfidenceInterval& ci) {
+  os << "    \"" << name << "\": [\"" << hexfloat(ci.point) << "\", \""
+     << hexfloat(ci.lo) << "\", \"" << hexfloat(ci.hi) << "\", \""
+     << hexfloat(ci.confidence) << "\"],\n";
+}
+
+ConfidenceInterval decode_ci(const json::Value& report, const char* name) {
+  const json::Value* v = report.find(name);
+  if (v == nullptr || !v->is(json::Kind::Array) || v->items.size() != 4)
+    throw IoError("cache entry: missing interval '" + std::string(name) + "'");
+  return {parse_hexfloat(v->items[0]), parse_hexfloat(v->items[1]),
+          parse_hexfloat(v->items[2]), parse_hexfloat(v->items[3])};
+}
+
+void encode_doubles(std::ostringstream& os, const char* name,
+                    const std::vector<double>& values, bool trailing_comma) {
+  os << "    \"" << name << "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i)
+    os << (i == 0 ? "\"" : ", \"") << hexfloat(values[i]) << "\"";
+  os << "]" << (trailing_comma ? "," : "") << "\n";
+}
+
+std::vector<double> decode_doubles(const json::Value& report, const char* name) {
+  const json::Value* v = report.find(name);
+  if (v == nullptr || !v->is(json::Kind::Array))
+    throw IoError("cache entry: missing array '" + std::string(name) + "'");
+  std::vector<double> out;
+  out.reserve(v->items.size());
+  for (const json::Value& item : v->items) out.push_back(parse_hexfloat(item));
+  return out;
+}
+
+double decode_double(const json::Value& report, const char* name) {
+  const json::Value* v = report.find(name);
+  if (v == nullptr) throw IoError("cache entry: missing field '" + std::string(name) + "'");
+  return parse_hexfloat(*v);
+}
+
+}  // namespace
+
+std::string encode_report(const CacheKey& key, const smc::KpiReport& r) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"fmtree.result/v1\",\n"
+     << "  \"model\": \"" << key.model.hex() << "\",\n"
+     << "  \"request\": \"" << key.request.hex() << "\",\n"
+     << "  \"report\": {\n"
+     << "    \"horizon\": \"" << hexfloat(r.horizon) << "\",\n"
+     << "    \"trajectories\": " << r.trajectories << ",\n";
+  encode_ci(os, "reliability", r.reliability);
+  encode_ci(os, "expected_failures", r.expected_failures);
+  encode_ci(os, "failures_per_year", r.failures_per_year);
+  encode_ci(os, "availability", r.availability);
+  encode_ci(os, "total_cost", r.total_cost);
+  encode_ci(os, "cost_per_year", r.cost_per_year);
+  encode_ci(os, "npv_cost", r.npv_cost);
+  encode_doubles(os, "mean_cost",
+                 {r.mean_cost.inspection, r.mean_cost.repair, r.mean_cost.replacement,
+                  r.mean_cost.corrective, r.mean_cost.downtime},
+                 /*trailing_comma=*/true);
+  os << "    \"mean_inspections\": \"" << hexfloat(r.mean_inspections) << "\",\n"
+     << "    \"mean_repairs\": \"" << hexfloat(r.mean_repairs) << "\",\n"
+     << "    \"mean_replacements\": \"" << hexfloat(r.mean_replacements) << "\",\n";
+  encode_doubles(os, "failures_per_leaf", r.failures_per_leaf, true);
+  encode_doubles(os, "repairs_per_leaf", r.repairs_per_leaf, false);
+  os << "  }\n}\n";
+  return os.str();
+}
+
+smc::KpiReport decode_report(const CacheKey& key, const std::string& text) {
+  const json::Value doc = json::parse(text);
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is(json::Kind::String) ||
+      schema->text != "fmtree.result/v1")
+    throw IoError("cache entry: unknown schema");
+  const json::Value* model = doc.find("model");
+  const json::Value* request = doc.find("request");
+  if (model == nullptr || request == nullptr || model->text != key.model.hex() ||
+      request->text != key.request.hex())
+    throw IoError("cache entry: key mismatch");
+  const json::Value* rep = doc.find("report");
+  if (rep == nullptr || !rep->is(json::Kind::Object))
+    throw IoError("cache entry: missing report object");
+
+  smc::KpiReport r;
+  r.horizon = decode_double(*rep, "horizon");
+  const json::Value* traj = rep->find("trajectories");
+  if (traj == nullptr) throw IoError("cache entry: missing trajectory count");
+  r.trajectories = traj->as_u64();
+  r.truncated = false;  // put() never stores truncated reports
+  r.stop_reason = smc::StopReason::None;
+  r.reliability = decode_ci(*rep, "reliability");
+  r.expected_failures = decode_ci(*rep, "expected_failures");
+  r.failures_per_year = decode_ci(*rep, "failures_per_year");
+  r.availability = decode_ci(*rep, "availability");
+  r.total_cost = decode_ci(*rep, "total_cost");
+  r.cost_per_year = decode_ci(*rep, "cost_per_year");
+  r.npv_cost = decode_ci(*rep, "npv_cost");
+  const std::vector<double> cost = decode_doubles(*rep, "mean_cost");
+  if (cost.size() != 5) throw IoError("cache entry: mean_cost needs 5 components");
+  r.mean_cost = {cost[0], cost[1], cost[2], cost[3], cost[4]};
+  r.mean_inspections = decode_double(*rep, "mean_inspections");
+  r.mean_repairs = decode_double(*rep, "mean_repairs");
+  r.mean_replacements = decode_double(*rep, "mean_replacements");
+  r.failures_per_leaf = decode_doubles(*rep, "failures_per_leaf");
+  r.repairs_per_leaf = decode_doubles(*rep, "repairs_per_leaf");
+  return r;
+}
+
+ResultCache::ResultCache(std::string directory) : directory_(std::move(directory)) {
+  if (directory_.empty()) throw IoError("result cache needs a directory path");
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec)
+    throw IoError("cannot create cache directory '" + directory_ +
+                  "': " + ec.message());
+}
+
+std::string ResultCache::entry_path(const CacheKey& key) const {
+  return directory_ + "/" + key.id() + ".json";
+}
+
+std::optional<smc::KpiReport> ResultCache::get(const CacheKey& key) {
+  std::lock_guard lock(mutex_);
+  const std::string id = key.id();
+  if (const auto it = memory_.find(id); it != memory_.end()) {
+    ++stats_.hits;
+    ++stats_.memory_hits;
+    return it->second;
+  }
+  if (!directory_.empty()) {
+    std::ifstream in(entry_path(key));
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        smc::KpiReport report = decode_report(key, text.str());
+        memory_.emplace(id, report);
+        ++stats_.hits;
+        ++stats_.disk_hits;
+        return report;
+      } catch (const IoError&) {
+        ++stats_.disk_failures;  // corrupt entry: fall through to a miss
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(const CacheKey& key, const smc::KpiReport& report) {
+  if (report.truncated) return;  // a stop prefix is not the key's canonical result
+  std::lock_guard lock(mutex_);
+  memory_.insert_or_assign(key.id(), report);
+  if (directory_.empty()) return;
+  // Write-then-rename so concurrent readers never observe a partial entry.
+  const std::string final_path = entry_path(key);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      ++stats_.disk_failures;
+      return;
+    }
+    out << encode_report(key, report);
+    if (!out.flush()) {
+      ++stats_.disk_failures;
+      std::remove(tmp_path.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ++stats_.disk_failures;
+    std::remove(tmp_path.c_str());
+    return;
+  }
+  ++stats_.disk_writes;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return memory_.size();
+}
+
+}  // namespace fmtree::batch

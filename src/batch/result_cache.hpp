@@ -1,0 +1,91 @@
+// Content-addressed cache of analysis results.
+//
+// Two tiers:
+//  * memory — always on; a mutex-guarded map from CacheKey to KpiReport;
+//  * disk   — optional; one JSON file per entry ("fmtree.result/v1") in a
+//    caller-chosen directory, so repeated CLI runs and separate processes
+//    share results.
+//
+// There are no invalidation rules: keys are content hashes, so any change
+// to the model or the result-relevant settings produces a *different* key
+// and old entries simply stop being referenced. The schema version inside
+// kpi_cache_key guards the serialization format the same way.
+//
+// Bitwise identity: a cache hit returns the exact doubles of the original
+// computation. On disk every double is stored as a C99 hexfloat string
+// ("0x1.8p+1"), which round-trips bit-for-bit through strtod — decimal JSON
+// numbers would not. Truncated reports (RunControl stops) are refused by
+// put(): they are exact only over the prefix a stop happened to cut, which
+// is not a deterministic function of the key.
+//
+// Corrupt or unreadable disk entries are treated as misses (and counted in
+// Stats::disk_failures), never as errors: a cache must degrade to
+// recomputation, not take the analysis down.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "batch/fingerprint.hpp"
+#include "smc/kpi.hpp"
+
+namespace fmtree::batch {
+
+class ResultCache {
+public:
+  /// Memory-only cache.
+  ResultCache() = default;
+
+  /// Memory + disk tiers. The directory is created if missing; an
+  /// uncreatable directory throws IoError immediately (failing at first use
+  /// would silently disable the tier the caller asked for).
+  explicit ResultCache(std::string directory);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Looks the key up (memory first, then disk; a disk hit is promoted into
+  /// memory). Returns the stored report or nullopt.
+  std::optional<smc::KpiReport> get(const CacheKey& key);
+
+  /// Stores a report under `key` in every tier. Truncated reports are
+  /// ignored (see file comment). Disk write failures are recorded in
+  /// stats() and otherwise ignored.
+  void put(const CacheKey& key, const smc::KpiReport& report);
+
+  /// Cumulative counters since construction. hits == memory_hits + disk_hits.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t memory_hits = 0;
+    std::uint64_t disk_hits = 0;
+    std::uint64_t disk_writes = 0;
+    std::uint64_t disk_failures = 0;  ///< unreadable/corrupt reads + failed writes
+  };
+  Stats stats() const;
+
+  /// Entries currently held in the memory tier.
+  std::size_t size() const;
+
+  bool has_disk_tier() const noexcept { return !directory_.empty(); }
+  const std::string& directory() const noexcept { return directory_; }
+
+private:
+  std::string entry_path(const CacheKey& key) const;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, smc::KpiReport> memory_;
+  std::string directory_;
+  Stats stats_;
+};
+
+/// Serialization used by the disk tier ("fmtree.result/v1"), exposed so
+/// tests can assert the hexfloat round-trip is bitwise exact.
+std::string encode_report(const CacheKey& key, const smc::KpiReport& report);
+/// Throws IoError on malformed input or a key mismatch.
+smc::KpiReport decode_report(const CacheKey& key, const std::string& text);
+
+}  // namespace fmtree::batch

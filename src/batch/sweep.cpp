@@ -1,0 +1,313 @@
+#include "batch/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
+#include "sim/fmt_executor.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::batch {
+
+namespace {
+
+/// A scheduled slice of one job's trajectory index space.
+struct Task {
+  std::uint32_t job = 0;
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+};
+
+/// Mutable execution state of one pooled (non-cached, non-adaptive) job.
+struct JobExec {
+  std::uint32_t index = 0;  ///< into plan.jobs / outcome.results
+  const SweepJob* job = nullptr;
+  std::unique_ptr<sim::FmtSimulator> simulator;
+  sim::SimOptions opts;
+  smc::BatchResult batch;  ///< summaries preallocated; slots are disjoint
+  std::mutex totals_mutex;
+  std::atomic<std::uint64_t> completed{0};
+};
+
+struct SweepMetricIds {
+  obs::CounterId jobs, tasks, steals, trajectories, events, cache_hits,
+      cache_misses;
+};
+
+SweepMetricIds register_sweep_metrics(obs::MetricsRegistry& registry) {
+  SweepMetricIds ids;
+  ids.jobs = registry.counter("batch.jobs");
+  ids.tasks = registry.counter("batch.tasks");
+  ids.steals = registry.counter("batch.steals");
+  ids.trajectories = registry.counter("batch.trajectories");
+  ids.events = registry.counter("batch.events");
+  ids.cache_hits = registry.counter("batch.cache.hits");
+  ids.cache_misses = registry.counter("batch.cache.misses");
+  return ids;
+}
+
+/// One worker's task deque. Owner pushes/pops at the back, thieves take from
+/// the front, so a steal grabs the work its owner would reach last.
+struct alignas(64) WorkQueue {
+  std::mutex mutex;
+  std::deque<Task> tasks;
+};
+
+sim::SimOptions options_for(const smc::AnalysisSettings& s) {
+  // Mirrors smc::analyze's collect(): same options, so the simulator draws
+  // the exact same event sequence per trajectory stream.
+  sim::SimOptions opts;
+  static_cast<RunSettings&>(opts) = s;
+  opts.horizon = s.horizon;
+  opts.discount_rate = s.discount_rate;
+  opts.record_failure_log = false;
+  opts.failure_log_cap = s.failure_log_cap;
+  return opts;
+}
+
+void store_summary(smc::TrajectorySummary& s, const sim::TrajectoryResult& r) {
+  s.first_failure_time = r.first_failure_time;
+  s.failures = static_cast<std::uint32_t>(r.failures);
+  s.downtime = r.downtime;
+  s.cost = r.cost;
+  s.discounted_total = r.discounted_cost.total();
+  s.inspections = static_cast<std::uint32_t>(r.inspections);
+  s.repairs = static_cast<std::uint32_t>(r.repairs);
+  s.replacements = static_cast<std::uint32_t>(r.replacements);
+}
+
+}  // namespace
+
+SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
+                       const obs::Telemetry& telemetry) {
+  if (!(plan.chunk > 0)) throw DomainError("sweep chunk must be positive");
+  for (const SweepJob& job : plan.jobs) smc::validate_settings(job.settings);
+
+  auto sweep_span = obs::maybe_span(telemetry.tracer, "sweep");
+  obs::MetricsRegistry* metrics = telemetry.metrics;
+  const SweepMetricIds ids =
+      metrics != nullptr ? register_sweep_metrics(*metrics) : SweepMetricIds{};
+
+  SweepOutcome outcome;
+  outcome.results.resize(plan.jobs.size());
+
+  // Phase 1: resolve every job against the cache; split the misses into
+  // pooled jobs and analyze-fallback jobs (adaptive stopping).
+  std::vector<std::unique_ptr<JobExec>> pooled;
+  std::vector<std::uint32_t> fallback;
+  for (std::uint32_t j = 0; j < plan.jobs.size(); ++j) {
+    const SweepJob& job = plan.jobs[j];
+    JobResult& result = outcome.results[j];
+    result.label = job.label;
+    result.key = kpi_cache_key(job.model, job.settings);
+    if (metrics != nullptr) metrics->add(ids.jobs);
+    if (cache != nullptr) {
+      if (std::optional<smc::KpiReport> hit = cache->get(result.key)) {
+        result.report = *std::move(hit);
+        result.completed = true;
+        result.cache_hit = true;
+        ++outcome.cache_hits;
+        if (metrics != nullptr) metrics->add(ids.cache_hits);
+        continue;
+      }
+    }
+    ++outcome.cache_misses;
+    if (metrics != nullptr) metrics->add(ids.cache_misses);
+    if (job.settings.target_relative_error > 0) {
+      fallback.push_back(j);
+      continue;
+    }
+    auto exec = std::make_unique<JobExec>();
+    exec->index = j;
+    exec->job = &job;
+    exec->simulator = std::make_unique<sim::FmtSimulator>(job.model);
+    exec->opts = options_for(job.settings);
+    exec->batch.summaries.resize(job.settings.trajectories);
+    exec->batch.failures_per_leaf.assign(job.model.num_ebes(), 0);
+    exec->batch.repairs_per_leaf.assign(job.model.num_ebes(), 0);
+    pooled.push_back(std::move(exec));
+  }
+
+  // Phase 2: chunk the pooled jobs into tasks and run them over one
+  // work-stealing pool. Tasks are dealt round-robin so all workers start
+  // loaded; stealing (front of a victim's deque) rebalances the tail.
+  std::uint64_t total_trajectories = 0;
+  for (const auto& exec : pooled) total_trajectories += exec->batch.summaries.size();
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<smc::StopReason> stop{smc::StopReason::None};
+
+  if (total_trajectories > 0) {
+    const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned workers = static_cast<unsigned>(std::min<std::uint64_t>(
+        plan.threads != 0 ? plan.threads : hardware,
+        (total_trajectories + plan.chunk - 1) / plan.chunk));
+
+    std::vector<WorkQueue> queues(workers);
+    {
+      std::size_t next = 0;
+      for (const auto& exec : pooled) {
+        const std::uint64_t n = exec->batch.summaries.size();
+        for (std::uint64_t first = 0; first < n; first += plan.chunk) {
+          Task task{exec->index, first, std::min(plan.chunk, n - first)};
+          queues[next % workers].tasks.push_back(task);
+          ++next;
+        }
+      }
+      if (metrics != nullptr) metrics->add(ids.tasks, next);
+    }
+
+    // index of each pooled JobExec by plan-job index, for task dispatch
+    std::vector<JobExec*> exec_of(plan.jobs.size(), nullptr);
+    for (const auto& exec : pooled) exec_of[exec->index] = exec.get();
+
+    auto work = [&](unsigned w) {
+      sim::SimWorkspace ws;  // reused across all of this worker's tasks
+      obs::LocalMetrics local =
+          metrics != nullptr ? metrics->local() : obs::LocalMetrics{};
+      std::vector<std::uint64_t> leaf_failures, leaf_repairs;
+      obs::ProgressReporter* progress = telemetry.progress;
+      std::uint64_t polls = 0;
+      while (true) {
+        // Own queue first (back), then steal (front), round-robin scan.
+        Task task;
+        bool found = false;
+        {
+          std::lock_guard lock(queues[w].mutex);
+          if (!queues[w].tasks.empty()) {
+            task = queues[w].tasks.back();
+            queues[w].tasks.pop_back();
+            found = true;
+          }
+        }
+        if (!found) {
+          for (unsigned off = 1; off < workers && !found; ++off) {
+            WorkQueue& victim = queues[(w + off) % workers];
+            std::lock_guard lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+              task = victim.tasks.front();
+              victim.tasks.pop_front();
+              found = true;
+              local.add(ids.steals);
+            }
+          }
+        }
+        if (!found) break;  // no tasks anywhere; none are ever added
+        JobExec& exec = *exec_of[task.job];
+        auto task_span = obs::maybe_span(telemetry.tracer,
+                                        "job:" + exec.job->label);
+        const std::uint64_t seed = exec.job->settings.seed;
+        const std::size_t num_leaves = exec.batch.failures_per_leaf.size();
+        leaf_failures.assign(num_leaves, 0);
+        leaf_repairs.assign(num_leaves, 0);
+        std::uint64_t task_done = 0;
+        for (std::uint64_t i = 0; i < task.count; ++i) {
+          if (plan.control != nullptr) {
+            smc::StopReason r = stop.load(std::memory_order_acquire);
+            if (r == smc::StopReason::None &&
+                (r = plan.control->should_stop(
+                     done.load(std::memory_order_relaxed))) !=
+                    smc::StopReason::None) {
+              smc::StopReason expected = smc::StopReason::None;
+              stop.compare_exchange_strong(expected, r,
+                                           std::memory_order_acq_rel);
+            }
+            if (r != smc::StopReason::None) break;
+          }
+          const std::uint64_t index = task.first + i;
+          sim::TrajectoryResult r = exec.simulator->run(
+              RandomStream(seed, index), exec.opts, ws);
+          store_summary(exec.batch.summaries[index], r);
+          for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+            leaf_failures[leaf] += r.failures_per_leaf[leaf];
+            leaf_repairs[leaf] += r.repairs_per_leaf[leaf];
+          }
+          ++task_done;
+          done.fetch_add(1, std::memory_order_relaxed);
+          if (metrics != nullptr) {
+            local.add(ids.trajectories);
+            local.add(ids.events, r.events);
+          }
+          if (progress != nullptr && (++polls & 31u) == 0 && progress->due()) {
+            obs::Progress p;
+            p.phase = "sweep";
+            p.done = done.load(std::memory_order_relaxed);
+            p.total = total_trajectories;
+            progress->update(p);
+          }
+        }
+        {
+          // Integer totals commute, so fold order cannot affect the result.
+          std::lock_guard lock(exec.totals_mutex);
+          for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+            exec.batch.failures_per_leaf[leaf] += leaf_failures[leaf];
+            exec.batch.repairs_per_leaf[leaf] += leaf_repairs[leaf];
+          }
+        }
+        exec.completed.fetch_add(task_done, std::memory_order_relaxed);
+        if (stop.load(std::memory_order_acquire) != smc::StopReason::None)
+          break;  // drain: leave remaining tasks unexecuted
+      }
+      if (metrics != nullptr) metrics->merge(local);
+    };
+
+    if (workers == 1) {
+      work(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) threads.emplace_back(work, w);
+      for (std::thread& t : threads) t.join();
+    }
+  }
+
+  outcome.trajectories_simulated = done.load(std::memory_order_relaxed);
+  const smc::StopReason stopped = stop.load(std::memory_order_acquire);
+
+  // Phase 3: aggregate every fully simulated job (sequentially, in index
+  // order — the bit-reproducibility step) and feed the cache.
+  for (const auto& exec : pooled) {
+    JobResult& result = outcome.results[exec->index];
+    const std::uint64_t wanted = exec->batch.summaries.size();
+    if (exec->completed.load(std::memory_order_relaxed) != wanted) continue;
+    exec->batch.completed = wanted;
+    smc::AnalysisSettings agg = exec->job->settings;
+    agg.telemetry = telemetry;
+    result.report = smc::aggregate_kpis(exec->batch, agg);
+    result.completed = true;
+    if (cache != nullptr) cache->put(result.key, result.report);
+  }
+
+  // Phase 4: adaptive jobs go through smc::analyze — their trajectory count
+  // emerges from a sequential CI loop that chunk scheduling cannot replay.
+  for (const std::uint32_t j : fallback) {
+    if (stopped != smc::StopReason::None) break;
+    const SweepJob& job = plan.jobs[j];
+    JobResult& result = outcome.results[j];
+    auto job_span = obs::maybe_span(telemetry.tracer, "job:" + job.label);
+    smc::AnalysisSettings settings = job.settings;
+    settings.telemetry = telemetry;
+    settings.control = plan.control;
+    result.report = smc::analyze(job.model, settings);
+    result.completed = !result.report.truncated;
+    outcome.trajectories_simulated += result.report.trajectories;
+    if (result.completed && cache != nullptr)
+      cache->put(result.key, result.report);
+  }
+
+  for (const JobResult& result : outcome.results) {
+    if (!result.completed) {
+      outcome.truncated = true;
+      outcome.stop_reason = stopped;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace fmtree::batch

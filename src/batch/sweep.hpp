@@ -1,0 +1,84 @@
+// Batch execution of analysis sweeps over one shared work-stealing pool.
+//
+// A SweepPlan is a set of (model, settings) jobs — typically the same system
+// under many policy variants (the paper's cost-curve sweep). run_sweep()
+// schedules *trajectory chunks* of all jobs over one pool, so small jobs no
+// longer idle most threads the way per-job ParallelRunner calls do, and
+// consults an optional ResultCache so previously computed jobs cost one
+// model hash instead of a simulation.
+//
+// Determinism contract (the same one smc::analyze keeps): trajectory i of a
+// job draws from RandomStream(settings.seed, i) regardless of which worker
+// runs it, chunk boundaries only partition the index space, per-leaf totals
+// are integer sums (exactly commutative), and aggregation runs sequentially
+// in index order via smc::aggregate_kpis. A job's report is therefore
+// bit-identical to smc::analyze on the same model and settings, at any
+// thread count, chunk size, and cache state.
+//
+// Two job classes fall back to a plain smc::analyze call (still executed,
+// still cached, just not chunk-scheduled): adaptive-stopping jobs
+// (target_relative_error > 0), whose trajectory count is decided by a
+// sequential CI feedback loop, and — trivially — jobs on models the pooled
+// path cannot split. Job-level RunSettings::control and ::telemetry are
+// ignored: interruption and instrumentation of a sweep are plan-level
+// concerns (SweepPlan::control, run_sweep's telemetry argument).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batch/fingerprint.hpp"
+#include "batch/result_cache.hpp"
+#include "fmt/fmtree.hpp"
+#include "obs/telemetry.hpp"
+#include "smc/kpi.hpp"
+
+namespace fmtree::batch {
+
+/// One unit of a sweep: a fully-built model plus its analysis settings.
+struct SweepJob {
+  std::string label;  ///< e.g. the policy name; used in results and spans
+  fmt::FaultMaintenanceTree model;
+  smc::AnalysisSettings settings;
+};
+
+struct SweepPlan {
+  std::vector<SweepJob> jobs;
+  /// Trajectories per scheduled task. Smaller chunks balance better across
+  /// jobs of uneven size; the result is identical for any value.
+  std::uint64_t chunk = 2048;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Polled between trajectories. On a stop, jobs whose trajectories all
+  /// completed still deliver exact reports; interrupted jobs are returned
+  /// with completed == false.
+  const smc::RunControl* control = nullptr;
+};
+
+struct JobResult {
+  std::string label;
+  CacheKey key;
+  bool completed = false;  ///< report is valid (simulated or from cache)
+  bool cache_hit = false;
+  smc::KpiReport report;
+};
+
+struct SweepOutcome {
+  std::vector<JobResult> results;  ///< in SweepPlan::jobs order
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;  ///< jobs actually simulated
+  std::uint64_t trajectories_simulated = 0;
+  /// True when SweepPlan::control stopped the run before every job finished.
+  bool truncated = false;
+  smc::StopReason stop_reason = smc::StopReason::None;
+};
+
+/// Executes the plan. `cache` may be null (no caching); `telemetry` may be
+/// empty. Emits batch.* counters (jobs, tasks, steals, trajectories, cache
+/// hits/misses), per-task tracer spans named after the job labels, and
+/// "sweep"-phase progress over the total trajectory count.
+SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache = nullptr,
+                       const obs::Telemetry& telemetry = {});
+
+}  // namespace fmtree::batch

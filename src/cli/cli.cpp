@@ -9,6 +9,8 @@
 
 #include "analytic/fmt2ctmc.hpp"
 #include "analytic/solvers.hpp"
+#include "batch/result_cache.hpp"
+#include "batch/sweep.hpp"
 #include "fmt/parser.hpp"
 #include "ft/cutsets.hpp"
 #include "ft/dot.hpp"
@@ -46,7 +48,8 @@ double parse_double(const std::string& text, const std::string& what) {
 
 std::uint64_t parse_count(const std::string& text, const std::string& what) {
   const double v = parse_double(text, what);
-  if (v < 0 || v != std::floor(v)) throw DomainError(what + " must be a nonnegative integer");
+  if (v < 0 || v != std::floor(v))
+    throw DomainError(what + " must be a nonnegative integer");
   return static_cast<std::uint64_t>(v);
 }
 
@@ -63,6 +66,20 @@ std::vector<double> parse_quantiles(const std::string& text) {
   return out;
 }
 
+std::vector<double> parse_frequencies(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const double f = parse_double(item, "frequency");
+    if (!(f >= 0) || !std::isfinite(f))
+      throw DomainError("frequencies must be finite and >= 0");
+    out.push_back(f);
+  }
+  if (out.empty()) throw DomainError("empty frequency list");
+  return out;
+}
+
 }  // namespace
 
 Options parse_args(const std::vector<std::string>& args) {
@@ -75,6 +92,7 @@ Options parse_args(const std::vector<std::string>& args) {
   else if (cmd == "dot") opt.command = Command::Dot;
   else if (cmd == "cutsets") opt.command = Command::CutSets;
   else if (cmd == "compare") opt.command = Command::Compare;
+  else if (cmd == "sweep") opt.command = Command::Sweep;
   else throw DomainError("unknown command '" + cmd + "'\n" + usage());
 
   // Flags and positional model paths may interleave in any order.
@@ -103,6 +121,8 @@ Options parse_args(const std::vector<std::string>& args) {
     else if (flag == "--metrics") opt.metrics_path = value();
     else if (flag == "--trace") opt.trace_path = value();
     else if (flag == "--progress") opt.progress = true;
+    else if (flag == "--frequencies") opt.frequencies = parse_frequencies(value());
+    else if (flag == "--cache-dir") opt.cache_dir = value();
     else throw DomainError("unknown flag '" + flag + "'\n" + usage());
   }
   const std::size_t want = opt.command == Command::Compare ? 2u : 1u;
@@ -309,6 +329,81 @@ int cmd_exact(const Options& opt, const fmt::FaultMaintenanceTree& model,
   }
 }
 
+int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
+              std::ostream& out, obs::Telemetry telemetry) {
+  const bool wants_inspections = [&] {
+    for (double f : opt.frequencies)
+      if (f > 0) return true;
+    return false;
+  }();
+  if (wants_inspections && model.inspections().empty())
+    throw DomainError("model has no inspection modules to sweep");
+
+  batch::SweepPlan plan;
+  plan.threads = opt.threads;
+  smc::RunControl& control = interrupt_control();
+  control.reset();
+  if (opt.timeout > 0) control.set_timeout(opt.timeout);
+  plan.control = &control;
+  plan.jobs.reserve(opt.frequencies.size());
+  for (double f : opt.frequencies) {
+    batch::SweepJob job;
+    job.model = model;
+    if (f == 0) {
+      job.model.clear_inspections();
+      job.label = "no-inspection";
+    } else {
+      for (std::size_t i = 0; i < job.model.inspections().size(); ++i)
+        job.model.set_inspection_schedule(i, 1.0 / f);
+      std::ostringstream name;
+      name << f << "x-per-year";
+      job.label = name.str();
+    }
+    job.settings.horizon = opt.horizon;
+    job.settings.trajectories = opt.runs;
+    job.settings.seed = opt.seed;
+    job.settings.confidence = opt.confidence;
+    plan.jobs.push_back(std::move(job));
+  }
+
+  std::unique_ptr<batch::ResultCache> cache;
+  if (!opt.cache_dir.empty())
+    cache = std::make_unique<batch::ResultCache>(opt.cache_dir);
+  const batch::SweepOutcome o = batch::run_sweep(plan, cache.get(), telemetry);
+
+  out << "inspection-frequency cost curve over " << opt.horizon << " time units ("
+      << opt.runs << " runs each, " << opt.confidence * 100 << "% CIs):\n";
+  TextTable t({"policy", "cost / time unit", "failures / time unit", "source"});
+  std::size_t best = opt.frequencies.size();
+  for (std::size_t i = 0; i < o.results.size(); ++i) {
+    const batch::JobResult& r = o.results[i];
+    if (!r.completed) {
+      t.add_row({r.label, "(interrupted)", "", ""});
+      continue;
+    }
+    t.add_row({r.label, ci(r.report.cost_per_year, 2), ci(r.report.failures_per_year, 5),
+               r.cache_hit ? "cache" : "simulated"});
+    if (best == opt.frequencies.size() ||
+        r.report.cost_per_year.point < o.results[best].report.cost_per_year.point)
+      best = i;
+  }
+  t.print(out);
+  if (best < o.results.size()) {
+    out << "\ncost-optimal policy: " << o.results[best].label << " at "
+        << cell(o.results[best].report.cost_per_year.point, 2) << " / time unit\n";
+  }
+  if (cache) {
+    out << "cache: " << o.cache_hits << " hits, " << o.cache_misses << " misses ("
+        << opt.cache_dir << ")\n";
+  }
+  if (o.truncated) {
+    out << "\nNOTE: sweep truncated (" << smc::stop_reason_name(o.stop_reason)
+        << "); interrupted policies carry no results.\n";
+    return kExitTruncated;
+  }
+  return kExitOk;
+}
+
 int cmd_dot(const fmt::FaultMaintenanceTree& model, std::ostream& out) {
   out << ft::to_dot(model.structure(), model.name(model.top()));
   return 0;
@@ -352,6 +447,7 @@ int run_on_text(const Options& options, const std::string& model_text,
       case Command::Exact: return cmd_exact(options, model, out, session.handles());
       case Command::Dot: return cmd_dot(model, out);
       case Command::CutSets: return cmd_cutsets(options, model, out);
+      case Command::Sweep: return cmd_sweep(options, model, out, session.handles());
       case Command::Compare:
         throw DomainError("compare needs two models; use run_compare");
     }
@@ -470,6 +566,7 @@ std::string usage() {
       "  dot       Graphviz of the tree structure\n"
       "  cutsets   minimal cut sets and importance measures\n"
       "  compare   paired A/B comparison of two models (common random numbers)\n"
+      "  sweep     evaluate the model across inspection frequencies (cost curve)\n"
       "options:\n"
       "  --horizon <t>      analysis horizon (default 10)\n"
       "  --runs <n>         Monte-Carlo trajectories (default 10000)\n"
@@ -487,6 +584,10 @@ std::string usage() {
       "  --trace <file>     write phase spans as JSON (fmtree.trace/v1);\n"
       "                     chrome:<file> writes Chrome trace_event format\n"
       "  --progress         print throttled progress lines while running\n"
+      "  --frequencies <l>  sweep: comma-separated inspections per time unit,\n"
+      "                     0 = none (default 0,0.5,1,2,3,4,6,8,12,24)\n"
+      "  --cache-dir <dir>  sweep: content-addressed result cache directory;\n"
+      "                     repeated runs reuse bit-identical results\n"
       "exit codes: 0 ok, 1 truncated run, 2 usage/input error,\n"
       "            3 parse/validation diagnostics, 4 resource limit,\n"
       "            5 internal error\n";

@@ -7,11 +7,13 @@
 //   fmtree dot     <model.fmt>                    Graphviz of the structure
 //   fmtree cutsets <model.fmt> [options]          minimal cut sets + importance
 //   fmtree compare <a.fmt> <b.fmt> [options]      paired policy comparison
+//   fmtree sweep   <model.fmt> [options]          inspection-frequency cost curve
 //
 // Options: --horizon <years>  --runs <n>  --seed <n>  --threads <n>
 //          --confidence <p>   --quantiles <p1,p2,...>  --timeout <s>
 //          --state-cap <n>    --no-fallback  --json-errors
 //          --metrics <file>   --trace <file|chrome:file>  --progress
+//          --frequencies <f1,f2,...>  --cache-dir <dir>
 //
 // Split into a library so argument parsing and command execution are unit
 // testable; main() is a thin wrapper.
@@ -27,7 +29,7 @@
 
 namespace fmtree::cli {
 
-enum class Command { Check, Analyze, Exact, Dot, CutSets, Compare };
+enum class Command { Check, Analyze, Exact, Dot, CutSets, Compare, Sweep };
 
 /// Stable process exit codes (documented in DESIGN.md, "Failure semantics").
 enum ExitCode : int {
@@ -62,6 +64,11 @@ struct Options {
   /// Destination for --progress lines; nullptr = std::cerr. main_impl points
   /// it at its `err` stream so tests capture the output.
   std::ostream* progress_stream = nullptr;
+  /// Inspection frequencies (per time unit; 0 = no inspections) for `sweep`.
+  /// Defaults to the paper's cost-curve grid.
+  std::vector<double> frequencies = {0, 0.5, 1, 2, 3, 4, 6, 8, 12, 24};
+  /// On-disk result cache directory for `sweep`; empty = no cache.
+  std::string cache_dir;
 };
 
 /// Process-wide cooperative stop handle. Long-running commands (analyze)

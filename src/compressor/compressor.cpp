@@ -9,9 +9,9 @@ fmt::FaultMaintenanceTree build_compressor(const CompressorParameters& params,
   fmt::FaultMaintenanceTree m;
 
   // ---- Air supply: the wear parts -------------------------------------------
-  const auto cylinder =
-      m.add_ebe("cylinder_wear", fmt::DegradationModel::erlang(6, params.cylinder_mean, 4),
-                fmt::RepairSpec{"re_bore", 3500.0, 0.01});
+  const auto cylinder = m.add_ebe(
+      "cylinder_wear", fmt::DegradationModel::erlang(6, params.cylinder_mean, 4),
+      fmt::RepairSpec{"re_bore", 3500.0, 0.01});
   const auto rings =
       m.add_ebe("piston_rings", fmt::DegradationModel::erlang(4, params.rings_mean, 3),
                 fmt::RepairSpec{"replace_rings", 1800.0, 0.005});
@@ -21,12 +21,12 @@ fmt::FaultMaintenanceTree build_compressor(const CompressorParameters& params,
   const auto air_supply = m.add_or("air_supply_failure", {cylinder, rings, valve});
 
   // ---- Air treatment: the consumables ----------------------------------------
-  const auto dryer =
-      m.add_ebe("dryer_saturation", fmt::DegradationModel::erlang(3, params.dryer_mean, 2),
-                fmt::RepairSpec{"replace_desiccant", 250.0});
-  const auto separator =
-      m.add_ebe("oil_carryover", fmt::DegradationModel::erlang(3, params.separator_mean, 2),
-                fmt::RepairSpec{"replace_separator", 400.0});
+  const auto dryer = m.add_ebe(
+      "dryer_saturation", fmt::DegradationModel::erlang(3, params.dryer_mean, 2),
+      fmt::RepairSpec{"replace_desiccant", 250.0});
+  const auto separator = m.add_ebe(
+      "oil_carryover", fmt::DegradationModel::erlang(3, params.separator_mean, 2),
+      fmt::RepairSpec{"replace_separator", 400.0});
   const auto treatment = m.add_or("air_treatment_failure", {dryer, separator});
 
   // ---- Lubrication -------------------------------------------------------------

@@ -116,7 +116,8 @@ WeibullFit fit_weibull(const std::vector<double>& samples) {
 
 double weibull_log_likelihood(double shape, double scale,
                               const std::vector<double>& samples) {
-  if (!(shape > 0) || !(scale > 0)) throw DomainError("weibull parameters must be positive");
+  if (!(shape > 0) || !(scale > 0))
+    throw DomainError("weibull parameters must be positive");
   double ll = 0;
   for (double x : samples) {
     if (!(x > 0)) throw DomainError("weibull likelihood requires positive samples");
@@ -129,8 +130,8 @@ double weibull_log_likelihood(double shape, double scale,
 double erlang_log_likelihood(int shape, double rate, const std::vector<double>& samples) {
   if (shape < 1 || !(rate > 0)) throw DomainError("erlang parameters invalid");
   double ll = 0;
-  const double log_norm =
-      static_cast<double>(shape) * std::log(rate) - std::lgamma(static_cast<double>(shape));
+  const double log_norm = static_cast<double>(shape) * std::log(rate) -
+                          std::lgamma(static_cast<double>(shape));
   for (double x : samples) {
     if (!(x > 0)) throw DomainError("erlang likelihood requires positive samples");
     ll += log_norm + (shape - 1) * std::log(x) - rate * x;

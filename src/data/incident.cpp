@@ -34,7 +34,8 @@ void IncidentDatabase::save_csv(std::ostream& os) const {
   CsvWriter writer(os);
   writer.write_row({"asset_id", "time", "failure_mode"});
   for (const IncidentRecord& r : records_)
-    writer.write_row({std::to_string(r.asset_id), std::to_string(r.time), r.failure_mode});
+    writer.write_row(
+        {std::to_string(r.asset_id), std::to_string(r.time), r.failure_mode});
 }
 
 IncidentDatabase IncidentDatabase::load_csv(std::istream& is, std::uint32_t num_assets,

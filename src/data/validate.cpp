@@ -90,8 +90,8 @@ ValidationReport validate_impl(const fmt::FaultMaintenanceTree& model,
   for (std::size_t leaf = 0; leaf < model.num_ebes(); ++leaf) {
     const std::string& mode = model.ebes()[leaf].name;
     const double mean_failures = kpis.failures_per_leaf[leaf];
-    const auto simulated_events =
-        static_cast<std::uint64_t>(mean_failures * static_cast<double>(kpis.trajectories) + 0.5);
+    const auto simulated_events = static_cast<std::uint64_t>(
+        mean_failures * static_cast<double>(kpis.trajectories) + 0.5);
     const RateEstimate predicted =
         estimate_rate(simulated_events, sim_exposure, settings.confidence);
     const auto it = observed_by_mode.find(mode);
@@ -99,7 +99,8 @@ ValidationReport validate_impl(const fmt::FaultMaintenanceTree& model,
 
     ValidationRow row;
     row.label = mode;
-    row.observed = estimate_rate(observed_events, holdout.exposure(), settings.confidence);
+    row.observed =
+        estimate_rate(observed_events, holdout.exposure(), settings.confidence);
     row.predicted = {predicted.rate, predicted.lo, predicted.hi, predicted.confidence};
     row.intervals_overlap = overlap(row.observed, row.predicted);
     report.modes.push_back(std::move(row));

@@ -1,5 +1,8 @@
 #include "eijoint/scenarios.hpp"
 
+#include <utility>
+
+#include "eijoint/model.hpp"
 #include "maintenance/optimizer.hpp"
 
 namespace fmtree::eijoint {
@@ -65,6 +68,24 @@ std::vector<maintenance::MaintenancePolicy> paper_strategies() {
 
 std::vector<double> cost_curve_frequencies() {
   return {0, 0.5, 1, 2, 3, 4, 6, 8, 12, 24};
+}
+
+batch::SweepPlan cost_curve_plan(const EiJointParameters& params,
+                                 const smc::AnalysisSettings& settings) {
+  const maintenance::ModelFactory factory = ei_joint_factory(params);
+  batch::SweepPlan plan;
+  for (const maintenance::MaintenancePolicy& policy :
+       maintenance::inspection_frequency_candidates(current_policy(),
+                                                    cost_curve_frequencies())) {
+    batch::SweepJob job;
+    job.label = policy.name;
+    job.model = factory(policy);
+    job.settings = settings;
+    job.settings.control = nullptr;  // plan-level concerns; see batch/sweep.hpp
+    job.settings.telemetry = {};
+    plan.jobs.push_back(std::move(job));
+  }
+  return plan;
 }
 
 }  // namespace fmtree::eijoint

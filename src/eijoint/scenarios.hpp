@@ -5,6 +5,8 @@
 
 #include <vector>
 
+#include "batch/sweep.hpp"
+#include "eijoint/params.hpp"
 #include "maintenance/policy.hpp"
 
 namespace fmtree::eijoint {
@@ -33,5 +35,12 @@ std::vector<maintenance::MaintenancePolicy> paper_strategies();
 
 /// Inspection frequencies (per year) swept for the cost curve.
 std::vector<double> cost_curve_frequencies();
+
+/// The paper's cost-curve sweep as a batch plan: one job per frequency in
+/// cost_curve_frequencies() (labels follow the optimizer's naming), all under
+/// the same settings so the curve is seed-comparable. Run it with
+/// batch::run_sweep or fmtree::Analysis::sweep.
+batch::SweepPlan cost_curve_plan(const EiJointParameters& params,
+                                 const smc::AnalysisSettings& settings);
 
 }  // namespace fmtree::eijoint

@@ -1,0 +1,144 @@
+#include "fmt/canonical.hpp"
+
+#include <variant>
+
+#include "fmt/fmtree.hpp"
+
+namespace fmtree::fmt {
+
+namespace {
+
+void hash_distribution(StreamHasher& h, const Distribution& d) {
+  // Variant index + exact parameter bits. The index is part of the wire
+  // format: new alternatives must be appended, never inserted.
+  h.u64(d.as_variant().index());
+  std::visit(
+      [&h](const auto& alt) {
+        using T = std::decay_t<decltype(alt)>;
+        if constexpr (std::is_same_v<T, Exponential>) {
+          h.f64(alt.rate);
+        } else if constexpr (std::is_same_v<T, Erlang>) {
+          h.i64(alt.shape);
+          h.f64(alt.rate);
+        } else if constexpr (std::is_same_v<T, Weibull>) {
+          h.f64(alt.shape);
+          h.f64(alt.scale);
+        } else if constexpr (std::is_same_v<T, Lognormal>) {
+          h.f64(alt.mu);
+          h.f64(alt.sigma);
+        } else if constexpr (std::is_same_v<T, UniformDist>) {
+          h.f64(alt.lo);
+          h.f64(alt.hi);
+        } else {
+          static_assert(std::is_same_v<T, Deterministic>);
+          h.f64(alt.value);
+        }
+      },
+      d.as_variant());
+}
+
+void hash_node_ref(StreamHasher& h, const FaultMaintenanceTree& m, ft::NodeId id) {
+  h.str(m.name(id));
+}
+
+void hash_targets(StreamHasher& h, const FaultMaintenanceTree& m,
+                  std::span<const ft::NodeId> targets) {
+  h.u64(targets.size());
+  for (const ft::NodeId t : targets) hash_node_ref(h, m, t);
+}
+
+}  // namespace
+
+Fingerprint canonical_hash(const FaultMaintenanceTree& m) {
+  StreamHasher h;
+  h.tag("fmtree.model/v1");
+  const ft::FaultTree& t = m.structure();
+
+  h.tag("leaves");
+  h.u64(m.num_ebes());
+  for (const ExtendedBasicEvent& e : m.ebes()) {
+    h.str(e.name);
+    h.i64(e.degradation.phases());
+    h.i64(e.degradation.threshold_phase());
+    for (const Distribution& d : e.degradation.sojourns()) hash_distribution(h, d);
+    h.str(e.repair.action);
+    h.f64(e.repair.cost);
+    h.f64(e.repair.duration);
+  }
+
+  h.tag("gates");
+  h.u64(t.gates().size());
+  for (const ft::NodeId id : t.gates()) {
+    const ft::Gate& g = t.gate(id);
+    h.str(g.name);
+    h.u32(static_cast<std::uint32_t>(g.type));
+    h.i64(g.k);
+    h.u64(g.children.size());
+    for (const ft::NodeId c : g.children) hash_node_ref(h, m, c);
+  }
+
+  h.tag("top");
+  if (t.has_top())
+    hash_node_ref(h, m, t.top());
+  else
+    h.boolean(false);
+
+  h.tag("rdeps");
+  h.u64(m.rdeps().size());
+  for (const RateDependency& r : m.rdeps()) {
+    h.str(r.name);
+    hash_node_ref(h, m, r.trigger);
+    hash_targets(h, m, r.dependents);
+    h.f64(r.factor);
+    h.i64(r.trigger_phase);
+  }
+
+  h.tag("fdeps");
+  h.u64(m.fdeps().size());
+  for (const FunctionalDependency& f : m.fdeps()) {
+    h.str(f.name);
+    hash_node_ref(h, m, f.trigger);
+    hash_targets(h, m, f.dependents);
+  }
+
+  h.tag("spares");
+  h.u64(m.spares().size());
+  for (const SpareSpec& s : m.spares()) {
+    h.str(s.name);
+    hash_node_ref(h, m, s.gate);
+    hash_targets(h, m, s.children);
+    h.f64(s.dormancy);
+  }
+
+  h.tag("inspections");
+  h.u64(m.inspections().size());
+  for (const InspectionModule& i : m.inspections()) {
+    h.str(i.name);
+    h.f64(i.period);
+    h.f64(i.first_at);
+    h.f64(i.cost);
+    h.f64(i.detection_probability);
+    hash_targets(h, m, i.targets);
+  }
+
+  h.tag("replacements");
+  h.u64(m.replacements().size());
+  for (const ReplacementModule& r : m.replacements()) {
+    h.str(r.name);
+    h.f64(r.period);
+    h.f64(r.first_at);
+    h.f64(r.cost);
+    hash_targets(h, m, r.targets);
+  }
+
+  h.tag("corrective");
+  const CorrectivePolicy& c = m.corrective();
+  h.boolean(c.enabled);
+  h.f64(c.delay);
+  h.f64(c.cost);
+  h.f64(c.downtime_cost_rate);
+
+  return h.digest();
+}
+
+}  // namespace fmtree::fmt

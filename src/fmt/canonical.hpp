@@ -1,0 +1,29 @@
+// Canonical content hash of a fault maintenance tree.
+//
+// canonical_hash() walks the in-memory model — not its textual form — so two
+// models that parse/build to the same semantics produce the same
+// fingerprint regardless of formatting, comments, or attribute order in the
+// source text. Conversely it covers *every* semantically meaningful field
+// (structure, distribution parameters bit-for-bit, thresholds, maintenance
+// module schedules and costs, dependency factors, corrective policy): any
+// change that could alter an analysis result changes the hash.
+//
+// Node references are hashed by name, and leaves/gates in their stored
+// (insertion) order. Leaf order is deliberately part of the identity: KPI
+// reports carry per-leaf vectors indexed by leaf position, so models that
+// differ only in leaf ordering are *not* interchangeable cache-wise.
+//
+// The walk is versioned by an embedded schema tag ("fmtree.model/v1");
+// extending the model with new constructs must bump it so stale disk-cache
+// entries can never alias a model the old walk could not see.
+#pragma once
+
+#include "util/fingerprint.hpp"
+
+namespace fmtree::fmt {
+
+class FaultMaintenanceTree;
+
+Fingerprint canonical_hash(const FaultMaintenanceTree& model);
+
+}  // namespace fmtree::fmt

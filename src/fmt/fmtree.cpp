@@ -154,6 +154,17 @@ void FaultMaintenanceTree::remove_inspection_target(std::size_t module_index,
                        static_cast<std::ptrdiff_t>(module_index));
 }
 
+void FaultMaintenanceTree::set_inspection_schedule(std::size_t module_index,
+                                                   double period, double first_at) {
+  if (module_index >= inspections_.size())
+    throw ModelError("inspection module index out of range");
+  InspectionModule& module = inspections_[module_index];
+  if (!(period > 0))
+    throw ModelError("inspection '" + module.name + "' needs period > 0");
+  module.period = period;
+  module.first_at = first_at < 0 ? period : first_at;
+}
+
 void FaultMaintenanceTree::set_corrective(CorrectivePolicy policy) {
   if (policy.enabled && policy.delay < 0)
     throw ModelError("corrective delay must be >= 0");

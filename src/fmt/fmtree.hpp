@@ -88,6 +88,17 @@ public:
   /// happens?"). Removing the last target of a module deletes the module.
   void remove_inspection_target(std::size_t module_index, NodeId leaf);
 
+  /// Reschedules an existing inspection module: period > 0, and a negative
+  /// `first_at` means "align the first round with the period" (the same
+  /// convention as InspectionModule::first_at). Used by frequency sweeps,
+  /// which re-derive one model per candidate inspection interval.
+  void set_inspection_schedule(std::size_t module_index, double period,
+                               double first_at = -1.0);
+
+  /// Drops every inspection module — the "no planned maintenance" variant
+  /// at frequency 0 of a sweep. Corrective maintenance is untouched.
+  void clear_inspections() noexcept { inspections_.clear(); }
+
   /// Validates the whole model (structure + maintenance references).
   /// Throws ModelError on violations.
   void validate() const;
@@ -111,14 +122,18 @@ public:
   std::size_t num_ebes() const noexcept { return ebes_.size(); }
 
   std::span<const InspectionModule> inspections() const noexcept { return inspections_; }
-  std::span<const ReplacementModule> replacements() const noexcept { return replacements_; }
+  std::span<const ReplacementModule> replacements() const noexcept {
+    return replacements_;
+  }
   std::span<const RateDependency> rdeps() const noexcept { return rdeps_; }
   std::span<const FunctionalDependency> fdeps() const noexcept { return fdeps_; }
   std::span<const SpareSpec> spares() const noexcept { return spares_; }
   const CorrectivePolicy& corrective() const noexcept { return corrective_; }
 
   NodeId top() const { return structure_.top(); }
-  std::optional<NodeId> find(const std::string& name) const { return structure_.find(name); }
+  std::optional<NodeId> find(const std::string& name) const {
+    return structure_.find(name);
+  }
   const std::string& name(NodeId id) const { return structure_.name(id); }
 
   /// All leaf node ids in leaf-index order.

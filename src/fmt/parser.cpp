@@ -11,6 +11,7 @@
 #include "ft/lexer.hpp"
 #include "ft/parser.hpp"
 #include "util/error.hpp"
+#include "util/format.hpp"
 
 namespace fmtree::fmt {
 
@@ -75,13 +76,15 @@ struct Declarations {
   std::string top;
 };
 
-void ensure_unique_name(const Declarations& d, const std::string& name, std::size_t line) {
+void ensure_unique_name(const Declarations& d, const std::string& name,
+                        std::size_t line) {
   if (d.gates.contains(name) || d.leaves.contains(name))
     throw ParseError(line, "duplicate definition of '" + name + "'");
 }
 
 LeafDecl parse_ebe_body(TokenCursor& cur, std::size_t line) {
-  double phases = -1, mean = -1, threshold = -1, repair_cost = 0, repair_time = 0;
+  double phases = -1, mean = -1, rate = -1, threshold = -1;
+  double repair_cost = 0, repair_time = 0;
   std::string repair_action = "repair";
   while (cur.peek().type == TokenType::Identifier) {
     const std::string key = cur.next().text;
@@ -93,6 +96,7 @@ LeafDecl parse_ebe_body(TokenCursor& cur, std::size_t line) {
     const double value = cur.expect_number("value for '" + key + "'");
     if (key == "phases") phases = value;
     else if (key == "mean") mean = value;
+    else if (key == "rate") rate = value;
     else if (key == "threshold") threshold = value;
     else if (key == "repair_cost") repair_cost = value;
     else if (key == "repair_time") repair_time = value;
@@ -103,14 +107,25 @@ LeafDecl parse_ebe_body(TokenCursor& cur, std::size_t line) {
   if (!std::isfinite(phases) || phases < 1 || phases != std::floor(phases) ||
       phases > 1e9)
     throw ParseError(line, "ebe needs integer phases >= 1");
-  if (!(mean > 0) || !std::isfinite(mean)) throw ParseError(line, "ebe needs mean > 0");
+  if (rate < 0 && (!(mean > 0) || !std::isfinite(mean)))
+    throw ParseError(line, "ebe needs mean > 0 or rate > 0");
+  if (rate >= 0 && (!(rate > 0) || !std::isfinite(rate)))
+    throw ParseError(line, "ebe needs rate > 0");
   if (threshold < 0) threshold = phases + 1;  // default: undetectable
   if (!std::isfinite(threshold) || threshold != std::floor(threshold) ||
       threshold > 2e9)
     throw ParseError(line, "ebe threshold must be an integer");
   if (repair_time < 0) throw ParseError(line, "repair_time must be >= 0");
-  LeafDecl leaf{DegradationModel::erlang(static_cast<int>(phases), mean,
-                                         static_cast<int>(threshold)),
+  // rate wins over mean (see parser.hpp): the per-phase rate is the stored
+  // quantity, so taking it verbatim keeps reparsing exact.
+  DegradationModel degradation =
+      rate > 0 ? DegradationModel(std::vector<Distribution>(
+                                      static_cast<std::size_t>(phases),
+                                      Distribution::exponential(rate)),
+                                  static_cast<int>(threshold))
+               : DegradationModel::erlang(static_cast<int>(phases), mean,
+                                          static_cast<int>(threshold));
+  LeafDecl leaf{std::move(degradation),
                 RepairSpec{repair_action, repair_cost, repair_time}, line};
   return leaf;
 }
@@ -413,7 +428,8 @@ FaultMaintenanceTree build_model(const Declarations& decls) {
     if (auto it = built.find(name); it != built.end()) return it->second;
     if (building.contains(name)) throw ModelError("cycle involving node '" + name + "'");
     if (auto leaf = decls.leaves.find(name); leaf != decls.leaves.end()) {
-      const NodeId id = model.add_ebe(name, leaf->second.degradation, leaf->second.repair);
+      const NodeId id =
+          model.add_ebe(name, leaf->second.degradation, leaf->second.repair);
       built.emplace(name, id);
       return id;
     }
@@ -538,6 +554,50 @@ std::string quoted(const std::string& name) {
   return name;
 }
 
+/// Shortest exact decimal form (see util/format.hpp); the emitter prints
+/// every double through this so reparsing reproduces the same bits.
+std::string num(double v) { return format_double(v); }
+
+std::string dist_to_text(const Distribution& d) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, Exponential>) {
+          os << "exp(" << num(x.rate) << ")";
+        } else if constexpr (std::is_same_v<T, Erlang>) {
+          os << "erlang(" << x.shape << ", " << num(x.rate) << ")";
+        } else if constexpr (std::is_same_v<T, Weibull>) {
+          os << "weibull(" << num(x.shape) << ", " << num(x.scale) << ")";
+        } else if constexpr (std::is_same_v<T, Lognormal>) {
+          os << "lognormal(" << num(x.mu) << ", " << num(x.sigma) << ")";
+        } else if constexpr (std::is_same_v<T, UniformDist>) {
+          os << "uniform(" << num(x.lo) << ", " << num(x.hi) << ")";
+        } else {
+          static_assert(std::is_same_v<T, Deterministic>);
+          if (std::isinf(x.value))
+            os << "never";
+          else
+            os << "det(" << num(x.value) << ")";
+        }
+      },
+      d.as_variant());
+  return os.str();
+}
+
+/// The per-phase rate when all phases are Exponential with one common rate
+/// (the `ebe rate=` form); unset otherwise.
+std::optional<double> common_phase_rate(const DegradationModel& deg) {
+  std::optional<double> rate;
+  for (const Distribution& d : deg.sojourns()) {
+    const auto* e = std::get_if<Exponential>(&d.as_variant());
+    if (e == nullptr) return std::nullopt;
+    if (rate && *rate != e->rate) return std::nullopt;
+    rate = e->rate;
+  }
+  return rate;
+}
+
 }  // namespace
 
 std::string to_text(const FaultMaintenanceTree& model) {
@@ -546,12 +606,13 @@ std::string to_text(const FaultMaintenanceTree& model) {
   std::ostringstream os;
   os << "toplevel " << quoted(structure.name(structure.top())) << ";\n";
   std::unordered_map<std::uint32_t, const SpareSpec*> spare_gates;
-  for (const SpareSpec& spec : model.spares()) spare_gates.emplace(spec.gate.value, &spec);
+  for (const SpareSpec& spec : model.spares())
+    spare_gates.emplace(spec.gate.value, &spec);
   for (NodeId id : structure.gates()) {
     const ft::Gate& g = structure.gate(id);
     os << quoted(g.name) << ' ';
     if (const auto it = spare_gates.find(id.value); it != spare_gates.end()) {
-      os << "spare dormancy=" << it->second->dormancy;
+      os << "spare dormancy=" << num(it->second->dormancy);
     } else {
       switch (g.type) {
         case GateType::And: os << "and"; break;
@@ -565,16 +626,28 @@ std::string to_text(const FaultMaintenanceTree& model) {
   for (NodeId id : model.leaves()) {
     const ExtendedBasicEvent& e = model.ebe(id);
     const DegradationModel& deg = e.degradation;
-    os << quoted(e.name) << " ebe phases=" << deg.phases()
-       << " mean=" << deg.mean_time_to_failure()
-       << " threshold=" << deg.threshold_phase();
-    if (e.repair.cost != 0) os << " repair_cost=" << e.repair.cost;
-    if (e.repair.duration != 0) os << " repair_time=" << e.repair.duration;
+    const bool default_repair =
+        e.repair.action == "repair" && e.repair.cost == 0 && e.repair.duration == 0;
+    // A plain basic event round-trips as `be <dist>`, keeping its lifetime
+    // distribution exact (the ebe form could only approximate e.g. a
+    // Weibull by an exponential with the same mean).
+    if (deg.phases() == 1 && !deg.inspectable() && default_repair) {
+      os << quoted(e.name) << " be " << dist_to_text(deg.sojourn(1)) << ";\n";
+      continue;
+    }
+    os << quoted(e.name) << " ebe phases=" << deg.phases();
+    if (const std::optional<double> rate = common_phase_rate(deg))
+      os << " rate=" << num(*rate);
+    else
+      os << " mean=" << num(deg.mean_time_to_failure());
+    os << " threshold=" << deg.threshold_phase();
+    if (e.repair.cost != 0) os << " repair_cost=" << num(e.repair.cost);
+    if (e.repair.duration != 0) os << " repair_time=" << num(e.repair.duration);
     if (e.repair.action != "repair") os << " repair=" << quoted(e.repair.action);
     os << ";\n";
   }
   for (const RateDependency& r : model.rdeps()) {
-    os << "rdep " << quoted(r.name) << " factor=" << r.factor << " trigger="
+    os << "rdep " << quoted(r.name) << " factor=" << num(r.factor) << " trigger="
        << quoted(structure.name(r.trigger));
     if (r.trigger_phase != 0) os << " trigger_phase=" << r.trigger_phase;
     os << " targets";
@@ -588,23 +661,24 @@ std::string to_text(const FaultMaintenanceTree& model) {
     os << ";\n";
   }
   for (const InspectionModule& m : model.inspections()) {
-    os << "inspection " << quoted(m.name) << " period=" << m.period
-       << " offset=" << m.first_at << " cost=" << m.cost;
-    if (m.detection_probability < 1.0) os << " detect=" << m.detection_probability;
+    os << "inspection " << quoted(m.name) << " period=" << num(m.period)
+       << " offset=" << num(m.first_at) << " cost=" << num(m.cost);
+    if (m.detection_probability < 1.0)
+      os << " detect=" << num(m.detection_probability);
     os << " targets";
     for (NodeId t : m.targets) os << ' ' << quoted(structure.name(t));
     os << ";\n";
   }
   for (const ReplacementModule& m : model.replacements()) {
-    os << "replacement " << quoted(m.name) << " period=" << m.period
-       << " offset=" << m.first_at << " cost=" << m.cost << " targets";
+    os << "replacement " << quoted(m.name) << " period=" << num(m.period)
+       << " offset=" << num(m.first_at) << " cost=" << num(m.cost) << " targets";
     for (NodeId t : m.targets) os << ' ' << quoted(structure.name(t));
     os << ";\n";
   }
   const CorrectivePolicy& c = model.corrective();
   if (c.enabled) {
-    os << "corrective cost=" << c.cost << " delay=" << c.delay
-       << " downtime_rate=" << c.downtime_cost_rate << ";\n";
+    os << "corrective cost=" << num(c.cost) << " delay=" << num(c.delay)
+       << " downtime_rate=" << num(c.downtime_cost_rate) << ";\n";
   }
   return os.str();
 }

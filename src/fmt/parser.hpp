@@ -5,7 +5,7 @@
 //   <name> and|or <child>...;            # gates, as in the ft format
 //   <name> vot <k> <child>...;
 //   <name> be <dist>;                    # classic leaf (1 phase, undetectable)
-//   <name> ebe phases=<N> mean=<M> threshold=<K>
+//   <name> ebe phases=<N> mean=<M>|rate=<r> threshold=<K>
 //          [repair_cost=<c>] [repair=<action-name>];
 //   rdep <name> factor=<g> trigger=<node> targets <leaf>...;
 //   inspection <name> period=<p> [offset=<o>] [cost=<c>] targets <leaf>...|all;
@@ -14,6 +14,13 @@
 //
 // For `inspection ... targets all`, "all" expands to every inspectable leaf;
 // for `replacement ... targets all`, to every leaf.
+//
+// An ebe takes its per-phase rate either as `rate=<r>` (used directly) or as
+// `mean=<M>` (the Erlang mean time to failure; rate = phases/mean). When
+// both are present, `rate` wins: it is what to_text() emits, because the
+// rate is the stored quantity and printing it verbatim makes
+// parse→print→reparse an exact fixpoint (canonical_hash()-stable), which
+// the mean→rate division is not.
 #pragma once
 
 #include <optional>
@@ -41,8 +48,11 @@ struct FmtParseResult {
 /// over the whole declaration set, so one pass reports every problem.
 FmtParseResult parse_fmt_collect(const std::string& text);
 
-/// Serializes back to the text format (round-trips with parse_fmt for models
-/// expressible in it, i.e. Erlang-phased EBEs).
+/// Serializes back to the text format. Numbers are printed in shortest
+/// exact form and iid-exponential phase models as `rate=`, so for models
+/// expressible in the grammar (iid-exponential EBEs and `be` leaves)
+/// parse(to_text(m)) reproduces `m` bit-for-bit — the result-cache keying
+/// tests rely on this fixpoint.
 std::string to_text(const FaultMaintenanceTree& model);
 
 }  // namespace fmtree::fmt

@@ -84,6 +84,16 @@ Analysis& Analysis::on_progress(obs::ProgressFn fn, double min_interval_seconds)
   return *this;
 }
 
+Analysis& Analysis::enable_cache() {
+  if (!cache_) cache_ = std::make_unique<batch::ResultCache>();
+  return *this;
+}
+
+Analysis& Analysis::cache_dir(const std::string& path) {
+  cache_ = std::make_unique<batch::ResultCache>(path);
+  return *this;
+}
+
 obs::MetricsRegistry& Analysis::metrics() {
   enable_metrics();
   return *metrics_;
@@ -106,7 +116,14 @@ std::string Analysis::chrome_trace() const {
   return tracer_ ? tracer_->to_chrome_trace() : std::string();
 }
 
-smc::KpiReport Analysis::kpis() { return smc::analyze(model_, settings_); }
+smc::KpiReport Analysis::kpis() {
+  if (!cache_) return smc::analyze(model_, settings_);
+  const batch::CacheKey key = batch::kpi_cache_key(model_, settings_);
+  if (std::optional<smc::KpiReport> hit = cache_->get(key)) return *std::move(hit);
+  smc::KpiReport report = smc::analyze(model_, settings_);
+  cache_->put(key, report);  // refuses truncated reports itself
+  return report;
+}
 
 std::vector<smc::CurvePoint> Analysis::reliability_curve(std::size_t points) {
   return reliability_curve(smc::linspace_grid(settings_.horizon, points));
@@ -135,7 +152,7 @@ double Analysis::exact_mttf(std::size_t max_states) {
 maintenance::SweepResult Analysis::optimize_policy(
     const maintenance::ModelFactory& factory,
     const std::vector<maintenance::MaintenancePolicy>& candidates) {
-  return maintenance::sweep_policies(factory, candidates, settings_);
+  return maintenance::sweep_policies(factory, candidates, settings_, cache_.get());
 }
 
 maintenance::RefinedOptimum Analysis::optimize_inspection_frequency(
@@ -143,7 +160,30 @@ maintenance::RefinedOptimum Analysis::optimize_inspection_frequency(
     const maintenance::MaintenancePolicy& base, double lo, double hi,
     int iterations) {
   return maintenance::refine_inspection_frequency(factory, base, lo, hi, settings_,
-                                                  iterations);
+                                                  iterations, cache_.get());
+}
+
+batch::SweepOutcome Analysis::sweep(batch::SweepPlan plan) {
+  if (plan.threads == 0) plan.threads = settings_.threads;
+  if (plan.control == nullptr) plan.control = settings_.control;
+  return batch::run_sweep(plan, cache_.get(), settings_.telemetry);
+}
+
+batch::SweepOutcome Analysis::sweep(
+    const maintenance::ModelFactory& factory,
+    const std::vector<maintenance::MaintenancePolicy>& candidates) {
+  batch::SweepPlan plan;
+  plan.jobs.reserve(candidates.size());
+  for (const maintenance::MaintenancePolicy& policy : candidates) {
+    batch::SweepJob job;
+    job.label = policy.name;
+    job.model = factory(policy);
+    job.settings = settings_;
+    job.settings.control = nullptr;
+    job.settings.telemetry = {};
+    plan.jobs.push_back(std::move(job));
+  }
+  return sweep(std::move(plan));
 }
 
 }  // namespace fmtree

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "analytic/solvers.hpp"
+#include "batch/result_cache.hpp"
+#include "batch/sweep.hpp"
 #include "fmt/fmtree.hpp"
 #include "maintenance/optimizer.hpp"
 #include "obs/metrics.hpp"
@@ -88,6 +90,20 @@ public:
   /// trend, solver residuals). Implies nothing about metrics/tracing.
   Analysis& on_progress(obs::ProgressFn fn, double min_interval_seconds = 0.25);
 
+  // ---- Result cache -------------------------------------------------------
+
+  /// Attaches a memory-only result cache: kpis(), sweep() and the optimizer
+  /// entry points first consult it, keyed on the canonical model hash and a
+  /// settings fingerprint, and store fresh results back. A hit returns the
+  /// bit-exact original report. No-op if a cache is already attached.
+  Analysis& enable_cache();
+  /// Attaches a cache with a disk tier in `path` (created if missing; throws
+  /// IoError if uncreatable), replacing any previously attached cache — so
+  /// results persist across sessions and processes.
+  Analysis& cache_dir(const std::string& path);
+  /// The attached cache, or nullptr (hit/miss counters live in its stats()).
+  batch::ResultCache* result_cache() noexcept { return cache_.get(); }
+
   /// The sinks themselves; enable on first access if not already enabled.
   obs::MetricsRegistry& metrics();
   obs::Tracer& tracer();
@@ -130,12 +146,25 @@ public:
       const maintenance::MaintenancePolicy& base, double lo, double hi,
       int iterations = 16);
 
+  /// Runs an explicit batch plan through the shared work-stealing pool with
+  /// this session's cache and telemetry. The plan's threads (when 0) and
+  /// control (when null) default to this session's settings; its jobs carry
+  /// their own models and settings, so they need not match the session's.
+  batch::SweepOutcome sweep(batch::SweepPlan plan);
+
+  /// Convenience: builds one job per candidate policy under the session
+  /// settings (labels = policy names) and runs it as above.
+  batch::SweepOutcome sweep(
+      const maintenance::ModelFactory& factory,
+      const std::vector<maintenance::MaintenancePolicy>& candidates);
+
 private:
   fmt::FaultMaintenanceTree model_;
   smc::AnalysisSettings settings_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::ProgressReporter> progress_;
+  std::unique_ptr<batch::ResultCache> cache_;
 };
 
 }  // namespace fmtree

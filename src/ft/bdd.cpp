@@ -80,8 +80,12 @@ std::uint32_t BddManager::apply_or(std::uint32_t a, std::uint32_t b) {
   return r;
 }
 
-BddRef BddManager::bdd_and(BddRef a, BddRef b) { return BddRef{apply_and(a.index, b.index)}; }
-BddRef BddManager::bdd_or(BddRef a, BddRef b) { return BddRef{apply_or(a.index, b.index)}; }
+BddRef BddManager::bdd_and(BddRef a, BddRef b) {
+  return BddRef{apply_and(a.index, b.index)};
+}
+BddRef BddManager::bdd_or(BddRef a, BddRef b) {
+  return BddRef{apply_or(a.index, b.index)};
+}
 
 BddRef BddManager::bdd_not(BddRef a) {
   if (a.index == 0) return one();

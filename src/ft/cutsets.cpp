@@ -72,7 +72,8 @@ CutList voting_cuts(const std::vector<CutList>& children, int k, std::size_t lim
   for (const CutList& child : children) {
     // Update from high j to low so each child is used at most once per set.
     for (int j = k; j >= 1; --j) {
-      CutList with_child = cross_product(atleast[static_cast<std::size_t>(j) - 1], child, limit);
+      CutList with_child =
+          cross_product(atleast[static_cast<std::size_t>(j) - 1], child, limit);
       atleast[static_cast<std::size_t>(j)] =
           union_lists(std::move(atleast[static_cast<std::size_t>(j)]), with_child, limit);
     }

@@ -8,6 +8,7 @@
 #include <variant>
 
 #include "util/error.hpp"
+#include "util/format.hpp"
 
 namespace fmtree::ft {
 
@@ -34,7 +35,8 @@ Distribution parse_distribution(TokenCursor& cur) {
   // represent (casting a non-finite or out-of-range double is UB).
   auto int_shape = [&](double k, const char* which) {
     if (!std::isfinite(k) || k != std::floor(k) || k < 1 || k > 1e9)
-      throw ParseError(line, std::string(which) + " shape must be an integer in [1, 1e9]");
+      throw ParseError(line,
+                       std::string(which) + " shape must be an integer in [1, 1e9]");
     return static_cast<int>(k);
   };
   try {
@@ -324,21 +326,23 @@ std::string dist_to_text(const Distribution& d) {
       [&os](const auto& x) {
         using T = std::decay_t<decltype(x)>;
         if constexpr (std::is_same_v<T, Exponential>) {
-          os << "exp(" << x.rate << ")";
+          os << "exp(" << format_double(x.rate) << ")";
         } else if constexpr (std::is_same_v<T, Erlang>) {
-          os << "erlang(" << x.shape << ", " << x.rate << ")";
+          os << "erlang(" << x.shape << ", " << format_double(x.rate) << ")";
         } else if constexpr (std::is_same_v<T, Weibull>) {
-          os << "weibull(" << x.shape << ", " << x.scale << ")";
+          os << "weibull(" << format_double(x.shape) << ", " << format_double(x.scale)
+             << ")";
         } else if constexpr (std::is_same_v<T, Lognormal>) {
-          os << "lognormal(" << x.mu << ", " << x.sigma << ")";
+          os << "lognormal(" << format_double(x.mu) << ", " << format_double(x.sigma)
+             << ")";
         } else if constexpr (std::is_same_v<T, UniformDist>) {
-          os << "uniform(" << x.lo << ", " << x.hi << ")";
+          os << "uniform(" << format_double(x.lo) << ", " << format_double(x.hi) << ")";
         } else {
           static_assert(std::is_same_v<T, Deterministic>);
           if (std::isinf(x.value))
             os << "never";
           else
-            os << "det(" << x.value << ")";
+            os << "det(" << format_double(x.value) << ")";
         }
       },
       d.as_variant());

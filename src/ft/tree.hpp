@@ -102,7 +102,9 @@ public:
   /// Evaluates the structure function: given failed[i] for the i-th basic
   /// event (order of basic_events()), has the node's event occurred?
   bool evaluate(NodeId node, const std::vector<bool>& failed) const;
-  bool evaluate_top(const std::vector<bool>& failed) const { return evaluate(top(), failed); }
+  bool evaluate_top(const std::vector<bool>& failed) const {
+    return evaluate(top(), failed);
+  }
 
   /// Failure probability of each basic event at mission time t, in
   /// basic_events() order: p_i = F_i(t).

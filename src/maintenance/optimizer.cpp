@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
+#include "batch/sweep.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/tracer.hpp"
@@ -21,26 +23,41 @@ void count_evaluation(const smc::AnalysisSettings& settings) {
 
 SweepResult sweep_policies(const ModelFactory& factory,
                            const std::vector<MaintenancePolicy>& candidates,
-                           const smc::AnalysisSettings& settings) {
+                           const smc::AnalysisSettings& settings,
+                           batch::ResultCache* cache) {
   if (candidates.empty()) throw DomainError("policy sweep needs candidates");
-  auto sweep_span = obs::maybe_span(settings.telemetry.tracer, "sweep");
+  batch::SweepPlan plan;
+  plan.threads = settings.threads;
+  plan.control = settings.control;
+  plan.jobs.reserve(candidates.size());
+  for (const MaintenancePolicy& policy : candidates) {
+    batch::SweepJob job;
+    job.label = policy.name;
+    job.model = factory(policy);
+    job.settings = settings;
+    job.settings.control = nullptr;    // interruption is plan-level
+    job.settings.telemetry = {};       // instrumentation too
+    plan.jobs.push_back(std::move(job));
+  }
+  batch::SweepOutcome outcome = batch::run_sweep(plan, cache, settings.telemetry);
+
   SweepResult result;
   result.curve.reserve(candidates.size());
-  for (const MaintenancePolicy& policy : candidates) {
-    const fmt::FaultMaintenanceTree model = factory(policy);
-    result.curve.push_back(PolicyEvaluation{policy, smc::analyze(model, settings)});
-    count_evaluation(settings);
-    if (obs::ProgressReporter* progress = settings.telemetry.progress) {
-      obs::Progress p;
-      p.phase = "sweep";
-      p.done = result.curve.size();
-      p.total = candidates.size();
-      progress->update(p);
+  bool have_best = false;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    batch::JobResult& job = outcome.results[i];
+    if (!job.completed) {
+      job.report.truncated = true;
+      job.report.stop_reason = outcome.stop_reason;
     }
-  }
-  for (std::size_t i = 1; i < result.curve.size(); ++i) {
-    if (result.curve[i].cost_per_year() < result.curve[result.best_index].cost_per_year())
+    result.curve.push_back(PolicyEvaluation{candidates[i], std::move(job.report)});
+    count_evaluation(settings);
+    if (job.completed &&
+        (!have_best || result.curve[i].cost_per_year() <
+                           result.curve[result.best_index].cost_per_year())) {
       result.best_index = i;
+      have_best = true;
+    }
   }
   return result;
 }
@@ -73,7 +90,7 @@ RefinedOptimum refine_inspection_frequency(const ModelFactory& factory,
                                            const MaintenancePolicy& base, double lo,
                                            double hi,
                                            const smc::AnalysisSettings& settings,
-                                           int iterations) {
+                                           int iterations, batch::ResultCache* cache) {
   if (!(lo > 0) || !(hi > lo)) throw DomainError("need 0 < lo < hi");
   if (iterations < 1) throw DomainError("need at least one iteration");
   auto refine_span = obs::maybe_span(settings.telemetry.tracer, "refine");
@@ -85,7 +102,20 @@ RefinedOptimum refine_inspection_frequency(const ModelFactory& factory,
     MaintenancePolicy p = base;
     p.inspection_period = 1.0 / freq;
     ++evaluations;
-    const double cost = smc::analyze(factory(p), settings).cost_per_year.point;
+    const fmt::FaultMaintenanceTree model = factory(p);
+    double cost = 0.0;
+    if (cache != nullptr) {
+      const batch::CacheKey key = batch::kpi_cache_key(model, settings);
+      if (std::optional<smc::KpiReport> hit = cache->get(key)) {
+        cost = hit->cost_per_year.point;
+      } else {
+        const smc::KpiReport report = smc::analyze(model, settings);
+        cache->put(key, report);  // refuses truncated reports itself
+        cost = report.cost_per_year.point;
+      }
+    } else {
+      cost = smc::analyze(model, settings).cost_per_year.point;
+    }
     count_evaluation(settings);
     if (obs::ProgressReporter* progress = settings.telemetry.progress) {
       obs::Progress p2;

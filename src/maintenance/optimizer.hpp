@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "batch/result_cache.hpp"
 #include "maintenance/policy.hpp"
 #include "smc/kpi.hpp"
 
@@ -28,9 +29,21 @@ struct SweepResult {
 /// Evaluates every candidate policy with the same settings (same seed, so
 /// curves are comparable) and returns the cost curve plus the cost-optimal
 /// candidate. Candidates must be non-empty.
+///
+/// All candidates are simulated over one shared work-stealing pool
+/// (batch::run_sweep), so the wall-clock cost is that of the total
+/// trajectory count, not of the slowest candidate times the candidate
+/// count. Results are bit-identical to evaluating each candidate with
+/// smc::analyze. When `cache` is non-null, previously computed candidates
+/// are served from it and fresh evaluations are stored back.
+///
+/// If settings.control stops the run, candidates that did not finish carry
+/// kpis.truncated == true with default (zero) KPI values and are excluded
+/// from the best-candidate selection.
 SweepResult sweep_policies(const ModelFactory& factory,
                            const std::vector<MaintenancePolicy>& candidates,
-                           const smc::AnalysisSettings& settings);
+                           const smc::AnalysisSettings& settings,
+                           batch::ResultCache* cache = nullptr);
 
 /// Convenience: candidates that differ from `base` only in inspection
 /// frequency (inspections per year, 0 = none). Names are derived.
@@ -50,10 +63,13 @@ struct RefinedOptimum {
 /// ~CI-half-width remains — treat the result as a refinement of a grid
 /// optimum, not a certificate. The cost curve must be unimodal over the
 /// bracket for the search to be meaningful (true for the case studies).
+/// `cache` (optional) is consulted per probe — a refinement that revisits a
+/// bracket already swept on the grid reuses those evaluations for free.
 RefinedOptimum refine_inspection_frequency(const ModelFactory& factory,
                                            const MaintenancePolicy& base, double lo,
                                            double hi,
                                            const smc::AnalysisSettings& settings,
-                                           int iterations = 16);
+                                           int iterations = 16,
+                                           batch::ResultCache* cache = nullptr);
 
 }  // namespace fmtree::maintenance

@@ -38,15 +38,21 @@ namespace fmtree::obs {
 /// ignored by LocalMetrics.
 struct CounterId {
   std::uint32_t index = std::numeric_limits<std::uint32_t>::max();
-  bool valid() const noexcept { return index != std::numeric_limits<std::uint32_t>::max(); }
+  bool valid() const noexcept {
+    return index != std::numeric_limits<std::uint32_t>::max();
+  }
 };
 struct GaugeId {
   std::uint32_t index = std::numeric_limits<std::uint32_t>::max();
-  bool valid() const noexcept { return index != std::numeric_limits<std::uint32_t>::max(); }
+  bool valid() const noexcept {
+    return index != std::numeric_limits<std::uint32_t>::max();
+  }
 };
 struct HistogramId {
   std::uint32_t index = std::numeric_limits<std::uint32_t>::max();
-  bool valid() const noexcept { return index != std::numeric_limits<std::uint32_t>::max(); }
+  bool valid() const noexcept {
+    return index != std::numeric_limits<std::uint32_t>::max();
+  }
 };
 
 class MetricsRegistry;

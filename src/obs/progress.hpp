@@ -26,7 +26,7 @@ namespace fmtree::obs {
 /// and zero totals mean "not applicable / unknown".
 struct Progress {
   std::string_view phase;        ///< "simulate", "solve", "sweep", "refine", ...
-  std::uint64_t done = 0;        ///< units completed (trajectories, iterations, candidates)
+  std::uint64_t done = 0;        ///< units completed (trajectories, candidates)
   std::uint64_t total = 0;       ///< scheduled units; 0 = unknown / open-ended
   double rate = 0.0;             ///< units per second; filled in by the reporter
   double eta_seconds = -1.0;     ///< estimated seconds to completion; <0 unknown

@@ -109,9 +109,9 @@ private:
     // Grow with slack: pop marks every fired sequence, so an exact-fit
     // resize here would run once per event.
     if (cancelled_.size() <= seq) {
-      cancelled_.resize(
-          std::max<std::size_t>(static_cast<std::size_t>(seq) + 64, cancelled_.size() * 2),
-          false);
+      cancelled_.resize(std::max<std::size_t>(static_cast<std::size_t>(seq) + 64,
+                                              cancelled_.size() * 2),
+                        false);
     }
   }
 

@@ -391,7 +391,8 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts,
         corrective_pending.reset();
         for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) renew_leaf(leaf, now);
         if (trace)
-          trace->record(now, TraceKind::CorrectiveCompleted, structure.name(model_.top()));
+          trace->record(now, TraceKind::CorrectiveCompleted,
+                        structure.name(model_.top()));
         settle(now, std::nullopt);
         break;
       }

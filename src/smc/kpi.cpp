@@ -10,14 +10,14 @@
 
 namespace fmtree::smc {
 
-namespace {
-
-void check_settings(const AnalysisSettings& s) {
+void validate_settings(const AnalysisSettings& s) {
   if (!(s.horizon > 0)) throw DomainError("analysis horizon must be positive");
   if (s.trajectories == 0) throw DomainError("need at least one trajectory");
   if (!(s.confidence > 0 && s.confidence < 1))
     throw DomainError("confidence must lie in (0,1)");
 }
+
+namespace {
 
 /// Runs trajectories (optionally in sequential batches until the relative
 /// error target on E[#failures] is met) and returns index-ordered summaries
@@ -108,10 +108,7 @@ std::vector<double> linspace_grid(double horizon, std::size_t n) {
   return grid;
 }
 
-KpiReport analyze(const fmt::FaultMaintenanceTree& model,
-                  const AnalysisSettings& settings) {
-  check_settings(settings);
-  const BatchResult batch = collect(model, settings, settings.horizon);
+KpiReport aggregate_kpis(const BatchResult& batch, const AnalysisSettings& settings) {
   if (batch.summaries.empty())
     throw ResourceLimitError(
         "run stopped (" + std::string(stop_reason_name(batch.stop_reason)) +
@@ -164,10 +161,17 @@ KpiReport analyze(const fmt::FaultMaintenanceTree& model,
   return report;
 }
 
+KpiReport analyze(const fmt::FaultMaintenanceTree& model,
+                  const AnalysisSettings& settings) {
+  validate_settings(settings);
+  const BatchResult batch = collect(model, settings, settings.horizon);
+  return aggregate_kpis(batch, settings);
+}
+
 std::vector<CurvePoint> reliability_curve(const fmt::FaultMaintenanceTree& model,
                                           const std::vector<double>& grid,
                                           const AnalysisSettings& settings) {
-  check_settings(settings);
+  validate_settings(settings);
   if (grid.empty()) throw DomainError("empty grid");
   AnalysisSettings s = settings;
   s.horizon = *std::max_element(grid.begin(), grid.end());
@@ -198,7 +202,7 @@ std::vector<CurvePoint> reliability_curve(const fmt::FaultMaintenanceTree& model
 std::vector<CurvePoint> expected_failures_curve(const fmt::FaultMaintenanceTree& model,
                                                 const std::vector<double>& grid,
                                                 const AnalysisSettings& settings) {
-  check_settings(settings);
+  validate_settings(settings);
   if (grid.empty()) throw DomainError("empty grid");
   const double horizon = *std::max_element(grid.begin(), grid.end());
   if (!(horizon > 0)) throw DomainError("grid needs a positive maximum");
@@ -241,7 +245,7 @@ std::vector<CurvePoint> expected_failures_curve(const fmt::FaultMaintenanceTree&
 
 MttfEstimate mean_time_to_failure(const fmt::FaultMaintenanceTree& model,
                                   const AnalysisSettings& settings) {
-  check_settings(settings);
+  validate_settings(settings);
   const BatchResult batch = collect(model, settings, settings.horizon);
   RunningStats ttf;
   std::uint64_t censored = 0;

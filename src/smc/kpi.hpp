@@ -54,7 +54,7 @@ struct KpiReport {
   ConfidenceInterval availability;      ///< E[uptime fraction]
   ConfidenceInterval total_cost;        ///< E[total cost over horizon]
   ConfidenceInterval cost_per_year;     ///< total_cost / horizon
-  ConfidenceInterval npv_cost;          ///< E[discounted total cost] (== total_cost at rate 0)
+  ConfidenceInterval npv_cost;          ///< E[discounted cost] (== total_cost at rate 0)
 
   fmt::CostBreakdown mean_cost;         ///< expectation of each component
   double mean_inspections = 0.0;        ///< rounds per trajectory
@@ -67,8 +67,23 @@ struct KpiReport {
   std::vector<double> repairs_per_leaf;
 };
 
-/// Runs the Monte-Carlo analysis and aggregates all KPIs.
-KpiReport analyze(const fmt::FaultMaintenanceTree& model, const AnalysisSettings& settings);
+/// Runs the Monte-Carlo analysis and aggregates all KPIs. Equivalent to
+/// validate_settings + collecting trajectories + aggregate_kpis.
+KpiReport analyze(const fmt::FaultMaintenanceTree& model,
+                  const AnalysisSettings& settings);
+
+/// Rejects nonsensical settings (non-positive horizon, zero trajectories,
+/// confidence outside (0,1)) with DomainError. analyze() calls this; other
+/// executors (the batch sweep engine) share the same contract.
+void validate_settings(const AnalysisSettings& settings);
+
+/// Aggregates index-ordered trajectory summaries into the full KPI report.
+/// The loop visits summaries strictly in trajectory-index order, so the
+/// report depends only on the summaries themselves — never on how many
+/// threads produced them or how the work was chunked. Alternative executors
+/// (batch sweeps) reuse this to stay bit-identical with analyze(). Throws
+/// ResourceLimitError when `batch` holds no completed trajectory.
+KpiReport aggregate_kpis(const BatchResult& batch, const AnalysisSettings& settings);
 
 /// One point of an estimated curve.
 struct CurvePoint {

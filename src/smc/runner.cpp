@@ -67,8 +67,8 @@ BatchResult ParallelRunner::run(std::uint64_t seed, std::uint64_t first,
   out.repairs_per_leaf.assign(num_leaves, 0);
   if (opts.record_failure_log) out.failure_logs.resize(count);
 
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::uint64_t>(threads_, std::max<std::uint64_t>(count, 1)));
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads_, std::max<std::uint64_t>(count, 1)));
 
   // Per-worker integer accumulators; merged below (integers commute). Used
   // only on the uncontrolled path, where every trajectory survives.

@@ -1,0 +1,20 @@
+// Number formatting helpers for fmtree's text emitters.
+#pragma once
+
+#include <charconv>
+#include <string>
+
+namespace fmtree {
+
+/// Shortest decimal form of `v` that parses back (strtod / from_chars) to
+/// exactly the same double — "0.25" stays "0.25", never "0.2500000...01".
+/// Text emitters use this so printed models and cache artifacts are lossless
+/// round-trips of the in-memory values.
+inline std::string format_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // 32 bytes always suffice for the shortest double form
+  return std::string(buf, end);
+}
+
+}  // namespace fmtree

@@ -90,7 +90,8 @@ ConfidenceInterval hoeffding_interval(double point, std::uint64_t trials,
   if (!(confidence > 0 && confidence < 1))
     throw DomainError("confidence must lie in (0,1)");
   const double alpha = 1.0 - confidence;
-  const double eps = std::sqrt(std::log(2.0 / alpha) / (2.0 * static_cast<double>(trials)));
+  const double eps =
+      std::sqrt(std::log(2.0 / alpha) / (2.0 * static_cast<double>(trials)));
   return {point, std::max(0.0, point - eps), std::min(1.0, point + eps), confidence};
 }
 

@@ -1,0 +1,52 @@
+// Bitwise comparison of KpiReports for the cache/sweep identity tests: the
+// batch layer promises cached and fresh results are *bit*-equal, so these
+// helpers compare IEEE-754 bit patterns, not values (EXPECT_DOUBLE_EQ would
+// conflate -0.0 with +0.0 and distinct NaNs).
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "smc/kpi.hpp"
+
+namespace fmtree::batch_test {
+
+inline bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+inline bool same_bits(const ConfidenceInterval& a, const ConfidenceInterval& b) {
+  return same_bits(a.point, b.point) && same_bits(a.lo, b.lo) &&
+         same_bits(a.hi, b.hi) && same_bits(a.confidence, b.confidence);
+}
+
+inline bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!same_bits(a[i], b[i])) return false;
+  return true;
+}
+
+inline bool same_bits(const smc::KpiReport& a, const smc::KpiReport& b) {
+  return same_bits(a.horizon, b.horizon) && a.trajectories == b.trajectories &&
+         a.truncated == b.truncated && a.stop_reason == b.stop_reason &&
+         same_bits(a.reliability, b.reliability) &&
+         same_bits(a.expected_failures, b.expected_failures) &&
+         same_bits(a.failures_per_year, b.failures_per_year) &&
+         same_bits(a.availability, b.availability) &&
+         same_bits(a.total_cost, b.total_cost) &&
+         same_bits(a.cost_per_year, b.cost_per_year) &&
+         same_bits(a.npv_cost, b.npv_cost) &&
+         same_bits(a.mean_cost.inspection, b.mean_cost.inspection) &&
+         same_bits(a.mean_cost.repair, b.mean_cost.repair) &&
+         same_bits(a.mean_cost.replacement, b.mean_cost.replacement) &&
+         same_bits(a.mean_cost.corrective, b.mean_cost.corrective) &&
+         same_bits(a.mean_cost.downtime, b.mean_cost.downtime) &&
+         same_bits(a.mean_inspections, b.mean_inspections) &&
+         same_bits(a.mean_repairs, b.mean_repairs) &&
+         same_bits(a.mean_replacements, b.mean_replacements) &&
+         same_bits(a.failures_per_leaf, b.failures_per_leaf) &&
+         same_bits(a.repairs_per_leaf, b.repairs_per_leaf);
+}
+
+}  // namespace fmtree::batch_test

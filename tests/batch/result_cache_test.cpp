@@ -1,0 +1,135 @@
+#include "batch/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "batch/fingerprint.hpp"
+#include "fmt/parser.hpp"
+#include "report_bits.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::batch {
+namespace {
+
+using batch_test::same_bits;
+
+CacheKey test_key(std::uint64_t salt = 0) {
+  return CacheKey{Fingerprint{0x1234, salt}, Fingerprint{0x5678, 0x9abc}};
+}
+
+/// A report stuffed with doubles a decimal serialization would mangle:
+/// non-terminating binaries, subnormals, extremes of the exponent range,
+/// and a negative zero.
+smc::KpiReport nasty_report() {
+  smc::KpiReport r;
+  r.horizon = 0.1 + 0.2;  // != 0.3
+  r.trajectories = 12345;
+  r.reliability = {1.0 / 3.0, std::nextafter(1.0 / 3.0, 0.0), 2.0 / 3.0, 0.95};
+  r.expected_failures = {5e-324, 1e308, -0.0, 0.99};  // subnormal, huge, -0.0
+  r.failures_per_year = {3.141592653589793, -3.141592653589793, 1e-300, 0.95};
+  r.availability = {std::numeric_limits<double>::epsilon(), 0.0, 1.0, 0.95};
+  r.total_cost = {1234.5678, 1000.0, 1500.0, 0.95};
+  r.cost_per_year = {61.728, 50.0, 75.0, 0.95};
+  r.npv_cost = {1111.1, 1000.1, 1222.1, 0.95};
+  r.mean_cost = {0.1, 0.2, 0.3, 0.4, 0.7};
+  r.mean_inspections = 39.999999999999996;
+  r.mean_repairs = 2.0000000000000004;
+  r.mean_replacements = 0.0;
+  r.failures_per_leaf = {0.1, 1.0 / 7.0, 5e-324};
+  r.repairs_per_leaf = {0.0, -0.0, 123.456};
+  return r;
+}
+
+TEST(ResultCacheCodec, HexfloatRoundTripIsBitwiseExact) {
+  const CacheKey key = test_key();
+  const smc::KpiReport original = nasty_report();
+  const smc::KpiReport decoded = decode_report(key, encode_report(key, original));
+  EXPECT_TRUE(same_bits(original, decoded));
+}
+
+TEST(ResultCacheCodec, RejectsKeyMismatchAndGarbage) {
+  const CacheKey key = test_key();
+  const std::string text = encode_report(key, nasty_report());
+  EXPECT_THROW(decode_report(test_key(/*salt=*/1), text), IoError);
+  EXPECT_THROW(decode_report(key, "not json"), IoError);
+  EXPECT_THROW(decode_report(key, "{\"schema\": \"fmtree.result/v99\"}"), IoError);
+}
+
+TEST(ResultCache, MemoryTierHitsBitwise) {
+  ResultCache cache;
+  EXPECT_FALSE(cache.has_disk_tier());
+  const CacheKey key = test_key();
+  EXPECT_FALSE(cache.get(key).has_value());
+  cache.put(key, nasty_report());
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(same_bits(*hit, nasty_report()));
+  EXPECT_EQ(cache.size(), 1u);
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.memory_hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.disk_writes, 0u);
+}
+
+TEST(ResultCache, RefusesTruncatedReports) {
+  ResultCache cache;
+  smc::KpiReport truncated = nasty_report();
+  truncated.truncated = true;
+  truncated.stop_reason = smc::StopReason::Interrupted;
+  cache.put(test_key(), truncated);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(test_key()).has_value());
+}
+
+TEST(ResultCache, DiskTierSurvivesProcessBoundary) {
+  const std::string dir = testing::TempDir() + "fmtree_cache_disk_test";
+  std::filesystem::remove_all(dir);  // idempotence across ctest runs
+  const CacheKey key = test_key();
+  {
+    ResultCache writer(dir);
+    EXPECT_TRUE(writer.has_disk_tier());
+    writer.put(key, nasty_report());
+    EXPECT_EQ(writer.stats().disk_writes, 1u);
+  }
+  // A fresh cache instance (≈ a new process) finds the entry on disk.
+  ResultCache reader(dir);
+  const auto hit = reader.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(same_bits(*hit, nasty_report()));
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  // The promoted copy now serves from memory.
+  (void)reader.get(key);
+  EXPECT_EQ(reader.stats().memory_hits, 1u);
+}
+
+TEST(ResultCache, CorruptDiskEntryIsAMissNotAnError) {
+  const std::string dir = testing::TempDir() + "fmtree_cache_corrupt_test";
+  std::filesystem::remove_all(dir);  // idempotence across ctest runs
+  const CacheKey key = test_key(/*salt=*/7);
+  ResultCache cache(dir);
+  {
+    std::ofstream out(dir + "/" + key.id() + ".json");
+    out << "{ \"schema\": \"fmtree.result/v1\", truncated garbage";
+  }
+  EXPECT_FALSE(cache.get(key).has_value());
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.disk_failures, 1u);
+  // And the slot is writable again.
+  cache.put(key, nasty_report());
+  ResultCache fresh(dir);
+  EXPECT_TRUE(fresh.get(key).has_value());
+}
+
+TEST(ResultCache, UncreatableDirectoryThrows) {
+  EXPECT_THROW(ResultCache(""), IoError);
+  EXPECT_THROW(ResultCache("/dev/null/not-a-dir"), IoError);
+}
+
+}  // namespace
+}  // namespace fmtree::batch

@@ -109,7 +109,8 @@ TEST(FmtParser, RejectsMalformedStatements) {
   EXPECT_THROW(parse_fmt(
                    "toplevel T; T or A; A be exp(1); rdep R factor=2 targets A;"),
                ParseError);  // no trigger
-  EXPECT_THROW(parse_fmt("toplevel T; T or A; A be exp(1); corrective off; corrective off;"),
+  EXPECT_THROW(parse_fmt(
+                   "toplevel T; T or A; A be exp(1); corrective off; corrective off;"),
                ParseError);  // duplicate corrective
 }
 

@@ -84,7 +84,8 @@ TEST(FtParser, RejectsMalformedInput) {
   EXPECT_THROW(parse_fault_tree("T or A; A be exp(1);"), ParseError);  // no toplevel
   EXPECT_THROW(parse_fault_tree("toplevel T; T or; "), ParseError);    // no children
   EXPECT_THROW(parse_fault_tree("toplevel T; T unknown A; A be exp(1);"), ParseError);
-  EXPECT_THROW(parse_fault_tree("toplevel T; T or A; A be exp(1)"), ParseError);  // missing ;
+  // missing trailing ;
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or A; A be exp(1)"), ParseError);
   EXPECT_THROW(parse_fault_tree("toplevel T; T or A; A be zeta(1);"), ParseError);
   EXPECT_THROW(parse_fault_tree("toplevel T; T vot 0 A B; A be exp(1); B be exp(1);"),
                ParseError);

@@ -122,8 +122,10 @@ TEST(Normalize, ProbabilityPreservedOnRandomTrees) {
                                         Distribution::exponential(rng.uniform(0.1, 1))));
     int gate_id = 0;
     while (nodes.size() > 1) {
-      const std::size_t take = 2 + rng.below(std::min<std::uint64_t>(2, nodes.size() - 1));
-      std::vector<NodeId> kids(nodes.end() - static_cast<std::ptrdiff_t>(take), nodes.end());
+      const std::size_t take =
+          2 + rng.below(std::min<std::uint64_t>(2, nodes.size() - 1));
+      std::vector<NodeId> kids(nodes.end() - static_cast<std::ptrdiff_t>(take),
+                               nodes.end());
       nodes.resize(nodes.size() - take);
       const std::string name = "g" + std::to_string(gate_id++);
       nodes.push_back(rng.bernoulli(0.5) ? t.add_or(name, kids) : t.add_and(name, kids));

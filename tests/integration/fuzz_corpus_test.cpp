@@ -120,7 +120,8 @@ std::string mutate(const std::string& text, RandomStream& rng) {
       case 2:  // duplicate a span
         {
           const std::size_t pos = rng.below(out.size());
-          const std::size_t len = std::min<std::size_t>(1 + rng.below(12), out.size() - pos);
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng.below(12), out.size() - pos);
           out.insert(pos, out.substr(pos, len));
         }
         break;

@@ -117,8 +117,8 @@ TEST_P(TrajectoryInvariants, Hold) {
     std::uint64_t expected_inspections = 0;
     for (const fmt::InspectionModule& m : model.inspections()) {
       if (m.first_at <= horizon)
-        expected_inspections +=
-            1 + static_cast<std::uint64_t>(std::floor((horizon - m.first_at) / m.period + 1e-9));
+        expected_inspections += 1 + static_cast<std::uint64_t>(std::floor(
+                                        (horizon - m.first_at) / m.period + 1e-9));
     }
     ASSERT_EQ(r.inspections, expected_inspections);
   }

@@ -78,10 +78,10 @@ TEST(Properties, LaterThresholdMeansMoreFailures) {
   early.contamination.threshold = 1;  // visible immediately
   EiJointParameters late = EiJointParameters::defaults();
   late.contamination.threshold = 3;  // visible only in the last phase
-  const smc::KpiReport k_early =
-      smc::analyze(eijoint::build_ei_joint(early, eijoint::current_policy()), settings(8000));
-  const smc::KpiReport k_late =
-      smc::analyze(eijoint::build_ei_joint(late, eijoint::current_policy()), settings(8000));
+  const smc::KpiReport k_early = smc::analyze(
+      eijoint::build_ei_joint(early, eijoint::current_policy()), settings(8000));
+  const smc::KpiReport k_late = smc::analyze(
+      eijoint::build_ei_joint(late, eijoint::current_policy()), settings(8000));
   EXPECT_GT(k_late.expected_failures.point, k_early.expected_failures.point);
 }
 

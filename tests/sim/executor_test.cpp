@@ -239,7 +239,8 @@ TEST(Executor, SameStreamSameResult) {
   FaultMaintenanceTree m;
   const NodeId a = m.add_ebe("a", DegradationModel::erlang(4, 8, 3),
                              RepairSpec{"fix", 100});
-  const NodeId b = m.add_ebe("b", DegradationModel::basic(Distribution::weibull(1.5, 20)));
+  const NodeId b =
+      m.add_ebe("b", DegradationModel::basic(Distribution::weibull(1.5, 20)));
   m.set_top(m.add_or("top", {a, b}));
   m.add_inspection(InspectionModule{"insp", 0.5, -1, 10, {a}});
   m.set_corrective(CorrectivePolicy{true, 0.1, 1000, 100});

@@ -82,7 +82,8 @@ TEST(GateEval, RandomFlipSequencesMatchFullReevaluation) {
     for (int step = 0; step < 400; ++step) {
       // A mix of flips (fail <-> repair) and redundant writes (no-ops).
       const auto leaf = static_cast<std::uint32_t>(pick(rng, 0, num_leaves - 1));
-      const bool fail = pick(rng, 0, 3) != 0 ? leaf_vals[leaf] == 0 : leaf_vals[leaf] != 0;
+      const bool fail =
+          pick(rng, 0, 3) != 0 ? leaf_vals[leaf] == 0 : leaf_vals[leaf] != 0;
       leaf_vals[leaf] = fail ? 1 : 0;
       eval.set_leaf(incremental, leaf, fail);
 
@@ -149,9 +150,10 @@ FaultMaintenanceTree random_fmt(std::mt19937& rng) {
     const int phases = pick(rng, 1, 4);
     const double mean = 0.5 + 0.25 * pick(rng, 0, 10);
     RepairSpec repair{"fix", 10.0, pick(rng, 0, 2) == 0 ? 0.25 : 0.0};
-    leaves.push_back(m.add_ebe("e" + std::to_string(i),
-                               DegradationModel::erlang(phases, mean, pick(rng, 1, phases)),
-                               repair));
+    leaves.push_back(
+        m.add_ebe("e" + std::to_string(i),
+                  DegradationModel::erlang(phases, mean, pick(rng, 1, phases)),
+                  repair));
   }
 
   // Two dedicated leaves form a warm spare pool.

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the Monte-Carlo engine benchmark.
+
+Compares one or more candidate BENCH_engine.json runs (produced by
+bench/run_perf.sh --out run.json) against the checked-in baseline and fails
+when the best candidate throughput drops more than --tolerance below the
+baseline figure. Several candidate files act as best-of-N: only the fastest
+run has to clear the bar, which absorbs most CI-runner noise.
+
+Exit status: 0 = within tolerance, 1 = regression or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metric(path: str, model: str, metric: str) -> float:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: cannot read benchmark file {path}: {err}")
+    for entry in doc.get("models", []):
+        if entry.get("model") == model:
+            value = entry.get(metric)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise SystemExit(
+                    f"error: {path}: model '{model}' has no positive '{metric}'")
+            return float(value)
+    raise SystemExit(f"error: {path}: model '{model}' not found")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_engine.json to compare against")
+    parser.add_argument("--model", default="ei_joint",
+                        help="model entry to compare (default: ei_joint)")
+    parser.add_argument("--metric", default="single_thread_traj_per_sec",
+                        help="throughput field (default: single_thread_traj_per_sec)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop below baseline (default: 0.20)")
+    parser.add_argument("candidates", nargs="+",
+                        help="candidate run JSON files; best of them is used")
+    args = parser.parse_args()
+    if not 0 <= args.tolerance < 1:
+        raise SystemExit("error: --tolerance must lie in [0, 1)")
+
+    baseline = load_metric(args.baseline, args.model, args.metric)
+    runs = [(path, load_metric(path, args.model, args.metric))
+            for path in args.candidates]
+    best_path, best = max(runs, key=lambda item: item[1])
+    floor = baseline * (1.0 - args.tolerance)
+
+    print(f"baseline {args.model}.{args.metric}: {baseline:.0f} traj/s "
+          f"(floor at -{args.tolerance:.0%}: {floor:.0f})")
+    for path, value in runs:
+        marker = " <-- best" if path == best_path else ""
+        print(f"  {path}: {value:.0f} traj/s ({value / baseline - 1.0:+.1%}){marker}")
+
+    if best < floor:
+        print(f"FAIL: best run {best:.0f} traj/s is more than "
+              f"{args.tolerance:.0%} below the baseline", file=sys.stderr)
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
