@@ -3,13 +3,19 @@
 // BENCH_engine.json so successive PRs are measured against a tracked
 // baseline (run via bench/run_perf.sh).
 //
-// Three configurations per model, all at a fixed seed:
+// Configurations per model, all at a fixed seed:
 //  * baseline  — the pre-PR engine preserved verbatim in bench/seed_engine.hpp
 //                (std::priority_queue, full gate re-evaluation per event,
 //                fresh allocations per trajectory);
-//  * single    — the production engine, one thread, reused SimWorkspace;
+//  * single    — the production scalar engine, one thread, reused
+//                SimWorkspace;
+//  * batch     — the SoA lane-batch engine (sim::BatchExecutor, Philox
+//                counter streams), one thread, at its default lane width;
 //  * parallel  — the production engine through ParallelRunner at hardware
-//                concurrency;
+//                concurrency (FMTREE_BENCH_THREADS overrides). On a
+//                single-core host the run is recorded but flagged
+//                parallel_measured=false: a 1-thread run is not a parallel
+//                measurement and must not be compared as one;
 //  * telemetry — the parallel configuration re-run with all three obs sinks
 //                attached (metrics + tracer + throttled progress), to measure
 //                the observability overhead and re-check that telemetry
@@ -18,12 +24,18 @@
 //
 // Before timing, the first trajectories of the seed engine, the production
 // engine, and its reference-evaluation mode are compared bit-for-bit: the
-// speedup must come from doing the same work faster, not different work.
+// speedup must come from doing the same work faster, not different work. The
+// batch engine uses a different RNG family, so it is checked differently:
+// its per-trajectory results must be bit-identical across lane widths and
+// chunk splits (batch_lane_invariant) — statistical agreement with the
+// scalar oracle is enforced by tests/smc/engine_equivalence_test.cpp.
 //
 // Trajectory counts scale with FMTREE_BENCH_TRAJECTORIES; --smoke runs a
 // tiny count (the ctest perf smoke target) so the harness cannot bit-rot.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,6 +48,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/tracer.hpp"
+#include "sim/batch_executor.hpp"
 #include "sim/fmt_executor.hpp"
 #include "smc/runner.hpp"
 #include "util/error.hpp"
@@ -69,15 +82,23 @@ struct ModelReport {
   double horizon = 0.0;
   double baseline_traj_per_sec = 0.0;
   double single_traj_per_sec = 0.0;
+  double batch_traj_per_sec = 0.0;
+  unsigned batch_lane_width = 0;
+  double batch_events_per_trajectory = 0.0;
+  double batch_ns_per_event = 0.0;
   double parallel_traj_per_sec = 0.0;
   unsigned parallel_threads = 0;
+  bool parallel_measured = false;  ///< false = 1 worker, not a parallel figure
   double telemetry_traj_per_sec = 0.0;
   double telemetry_overhead_pct = 0.0;  ///< parallel slowdown with sinks attached
   double events_per_trajectory = 0.0;
   double ns_per_event = 0.0;
   double speedup_single = 0.0;
+  double speedup_batch = 0.0;      ///< batch engine vs seed baseline
+  double batch_vs_scalar = 0.0;    ///< batch engine vs production scalar engine
   double speedup_parallel = 0.0;
   bool equivalent = false;            ///< baseline and single agree bit-for-bit
+  bool batch_lane_invariant = false;  ///< batch bits stable across widths/chunks
   bool telemetry_equivalent = false;  ///< telemetry run reproduces every summary bit
 };
 
@@ -160,9 +181,59 @@ ModelReport bench_model(const std::string& name, double horizon, std::uint64_t n
     rep.ns_per_event = events > 0 ? sec * 1e9 / static_cast<double>(events) : 0.0;
   }
 
-  // Production engine through the deterministic parallel runner.
-  const smc::ParallelRunner runner(simulator, 0);
+  // Batch engine, one thread, default lane width — the same direct-call
+  // shape as the scalar single-thread loop above, so the two figures are
+  // comparable kernel-to-kernel.
+  const sim::BatchExecutor batch(model);
+  rep.batch_lane_width = sim::BatchExecutor::kDefaultLaneWidth;
+  {
+    sim::BatchWorkspace ws;
+    const std::uint32_t width = sim::BatchExecutor::kDefaultLaneWidth;
+    std::uint64_t events = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t first = 0; first < n; first += width) {
+      const auto lanes =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(width, n - first));
+      batch.run(kSeed, first, lanes, fast, ws);
+      for (std::uint32_t lane = 0; lane < lanes; ++lane)
+        events += ws.results[lane].events;
+    }
+    const double sec = seconds_since(t0);
+    rep.batch_traj_per_sec = static_cast<double>(n) / sec;
+    rep.batch_events_per_trajectory =
+        static_cast<double>(events) / static_cast<double>(n);
+    rep.batch_ns_per_event = events > 0 ? sec * 1e9 / static_cast<double>(events) : 0.0;
+  }
+
+  // Counter-stream determinism: trajectory i's bits may depend only on
+  // (seed, i), never on lane width or how the range was chunked.
+  {
+    const auto n_check = static_cast<std::uint32_t>(std::min<std::uint64_t>(n, 2048));
+    sim::BatchWorkspace whole_ws, split_ws;
+    batch.run(kSeed, 0, n_check, fast, whole_ws);
+    std::vector<sim::TrajectoryResult> whole = whole_ws.results;
+    rep.batch_lane_invariant = true;
+    for (std::uint32_t first = 0; first < n_check; first += 5) {  // odd chunking
+      const std::uint32_t lanes = std::min<std::uint32_t>(5, n_check - first);
+      batch.run(kSeed, first, lanes, fast, split_ws);
+      for (std::uint32_t lane = 0; lane < lanes; ++lane)
+        if (!bitwise_equal(whole[first + lane], split_ws.results[lane]))
+          rep.batch_lane_invariant = false;
+    }
+  }
+
+  // Production engine through the deterministic parallel runner, at hardware
+  // concurrency (or FMTREE_BENCH_THREADS). threads() is what actually ran:
+  // a 1-worker run is recorded but flagged as not a parallel measurement.
+  unsigned requested_threads = 0;
+  if (const char* env = std::getenv("FMTREE_BENCH_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v > 0) requested_threads = static_cast<unsigned>(v);
+  }
+  const smc::ParallelRunner runner(simulator, requested_threads);
   rep.parallel_threads = runner.threads();
+  rep.parallel_measured = runner.threads() > 1;
   smc::BatchResult plain;
   {
     const auto t0 = std::chrono::steady_clock::now();
@@ -189,6 +260,8 @@ ModelReport bench_model(const std::string& name, double horizon, std::uint64_t n
   }
 
   rep.speedup_single = rep.single_traj_per_sec / rep.baseline_traj_per_sec;
+  rep.speedup_batch = rep.batch_traj_per_sec / rep.baseline_traj_per_sec;
+  rep.batch_vs_scalar = rep.batch_traj_per_sec / rep.single_traj_per_sec;
   rep.speedup_parallel = rep.parallel_traj_per_sec / rep.baseline_traj_per_sec;
   return rep;
 }
@@ -204,15 +277,26 @@ void write_json(std::ostream& os, const std::vector<ModelReport>& reports) {
        << "      \"horizon\": " << r.horizon << ",\n"
        << "      \"baseline_traj_per_sec\": " << r.baseline_traj_per_sec << ",\n"
        << "      \"single_thread_traj_per_sec\": " << r.single_traj_per_sec << ",\n"
+       << "      \"batch_traj_per_sec\": " << r.batch_traj_per_sec << ",\n"
+       << "      \"batch_lane_width\": " << r.batch_lane_width << ",\n"
+       << "      \"batch_events_per_trajectory\": " << r.batch_events_per_trajectory
+       << ",\n"
+       << "      \"batch_ns_per_event\": " << r.batch_ns_per_event << ",\n"
        << "      \"parallel_traj_per_sec\": " << r.parallel_traj_per_sec << ",\n"
        << "      \"parallel_threads\": " << r.parallel_threads << ",\n"
+       << "      \"parallel_measured\": " << (r.parallel_measured ? "true" : "false")
+       << ",\n"
        << "      \"telemetry_traj_per_sec\": " << r.telemetry_traj_per_sec << ",\n"
        << "      \"telemetry_overhead_pct\": " << r.telemetry_overhead_pct << ",\n"
        << "      \"events_per_trajectory\": " << r.events_per_trajectory << ",\n"
        << "      \"ns_per_event\": " << r.ns_per_event << ",\n"
        << "      \"speedup_single_thread\": " << r.speedup_single << ",\n"
+       << "      \"speedup_batch\": " << r.speedup_batch << ",\n"
+       << "      \"batch_vs_scalar\": " << r.batch_vs_scalar << ",\n"
        << "      \"speedup_parallel\": " << r.speedup_parallel << ",\n"
        << "      \"bitwise_equivalent\": " << (r.equivalent ? "true" : "false") << ",\n"
+       << "      \"batch_lane_invariant\": "
+       << (r.batch_lane_invariant ? "true" : "false") << ",\n"
        << "      \"telemetry_bitwise_equivalent\": "
        << (r.telemetry_equivalent ? "true" : "false") << "\n"
        << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
@@ -250,17 +334,25 @@ int main(int argc, char** argv) {
     std::cout << r.name << ": baseline "
               << static_cast<std::uint64_t>(r.baseline_traj_per_sec)
               << " traj/s, single " << static_cast<std::uint64_t>(r.single_traj_per_sec)
-              << " traj/s (x" << r.speedup_single << "), parallel "
+              << " traj/s (x" << r.speedup_single << ", " << r.ns_per_event
+              << " ns/ev), batch " << static_cast<std::uint64_t>(r.batch_traj_per_sec)
+              << " traj/s (x" << r.speedup_batch << ", x" << r.batch_vs_scalar
+              << " vs scalar, W=" << r.batch_lane_width << ", " << r.batch_ns_per_event
+              << " ns/ev), parallel "
               << static_cast<std::uint64_t>(r.parallel_traj_per_sec) << " traj/s (x"
-              << r.speedup_parallel << ", " << r.parallel_threads
-              << " threads), telemetry "
+              << r.speedup_parallel << ", " << r.parallel_threads << " threads"
+              << (r.parallel_measured ? "" : "; 1 worker — NOT a parallel figure")
+              << "), telemetry "
               << static_cast<std::uint64_t>(r.telemetry_traj_per_sec) << " traj/s ("
               << r.telemetry_overhead_pct << "% overhead), " << r.events_per_trajectory
-              << " ev/traj, " << r.ns_per_event << " ns/ev, "
+              << " ev/traj, "
               << (r.equivalent && r.telemetry_equivalent ? "bitwise-equivalent"
                                                          : "RESULTS DIVERGED")
+              << ", "
+              << (r.batch_lane_invariant ? "batch lane/chunk-invariant"
+                                         : "BATCH BITS DEPEND ON LANE LAYOUT")
               << "\n";
-    ok = ok && r.equivalent && r.telemetry_equivalent;
+    ok = ok && r.equivalent && r.telemetry_equivalent && r.batch_lane_invariant;
   }
 
   std::ofstream out(out_path);
@@ -270,7 +362,9 @@ int main(int argc, char** argv) {
   }
   write_json(out, reports);
   std::cout << "\nwrote " << out_path << "\n";
-  std::cout << (ok ? "PASS" : "FAIL") << ": engine results "
-            << (ok ? "bit-identical across engines" : "diverged between engines") << "\n";
+  std::cout << (ok ? "PASS" : "FAIL") << ": "
+            << (ok ? "scalar results bit-identical, batch results lane/chunk-invariant"
+                   : "an equivalence or invariance check failed")
+            << "\n";
   return ok ? 0 : 1;
 }

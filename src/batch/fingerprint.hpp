@@ -13,6 +13,13 @@
 //   * control  — truncated runs are never cached (see ResultCache::put), and
 //     an untruncated run is identical with or without a RunControl watching;
 //   * failure_log_cap — KPI reports never include failure logs.
+//   * lane_width — the batch engine is bit-reproducible at any lane width
+//     (counter-based streams), exactly like `threads`.
+//
+// The *engine* is NOT execution-only: scalar and batch kernels consume
+// different RNG families, so `engine` (plus the RNG family name) is hashed
+// whenever the resolved engine is Batch — scalar fingerprints predate the
+// field and stay byte-stable by hashing nothing in that case.
 //
 // Settings fields are fed through the order-insensitive KeyedHasher, so the
 // fingerprint is a function of the field *values*, not of the order any

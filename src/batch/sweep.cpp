@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/tracer.hpp"
+#include "sim/batch_executor.hpp"
 #include "sim/fmt_executor.hpp"
 #include "util/error.hpp"
 
@@ -29,6 +30,9 @@ struct JobExec {
   std::uint32_t index = 0;  ///< into plan.jobs / outcome.results
   const SweepJob* job = nullptr;
   std::unique_ptr<sim::FmtSimulator> simulator;
+  /// Non-null when the job's resolved engine is Engine::Batch; tasks then
+  /// run lane batches through it instead of the scalar simulator.
+  std::unique_ptr<sim::BatchExecutor> batch_executor;
   sim::SimOptions opts;
   smc::BatchResult batch;  ///< summaries preallocated; slots are disjoint
   std::mutex totals_mutex;
@@ -127,6 +131,8 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
     exec->index = j;
     exec->job = &job;
     exec->simulator = std::make_unique<sim::FmtSimulator>(job.model);
+    if (resolve_engine(job.settings.engine) == Engine::Batch)
+      exec->batch_executor = std::make_unique<sim::BatchExecutor>(job.model);
     exec->opts = options_for(job.settings);
     exec->batch.summaries.resize(job.settings.trajectories);
     exec->batch.failures_per_leaf.assign(job.model.num_ebes(), 0);
@@ -168,6 +174,7 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
 
     auto work = [&](unsigned w) {
       sim::SimWorkspace ws;  // reused across all of this worker's tasks
+      sim::BatchWorkspace bws;  // ditto, for batch-engine jobs
       obs::LocalMetrics local =
           metrics != nullptr ? metrics->local() : obs::LocalMetrics{};
       std::vector<std::uint64_t> leaf_failures, leaf_repairs;
@@ -205,40 +212,77 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
         const std::size_t num_leaves = exec.batch.failures_per_leaf.size();
         leaf_failures.assign(num_leaves, 0);
         leaf_repairs.assign(num_leaves, 0);
-        std::uint64_t task_done = 0;
-        for (std::uint64_t i = 0; i < task.count; ++i) {
-          if (plan.control != nullptr) {
-            smc::StopReason r = stop.load(std::memory_order_acquire);
-            if (r == smc::StopReason::None &&
-                (r = plan.control->should_stop(
-                     done.load(std::memory_order_relaxed))) !=
-                    smc::StopReason::None) {
-              smc::StopReason expected = smc::StopReason::None;
-              stop.compare_exchange_strong(expected, r,
-                                           std::memory_order_acq_rel);
-            }
-            if (r != smc::StopReason::None) break;
+        // Polls the shared control; returns true when the sweep must stop.
+        const auto should_stop = [&]() {
+          if (plan.control == nullptr) return false;
+          smc::StopReason r = stop.load(std::memory_order_acquire);
+          if (r == smc::StopReason::None &&
+              (r = plan.control->should_stop(
+                   done.load(std::memory_order_relaxed))) !=
+                  smc::StopReason::None) {
+            smc::StopReason expected = smc::StopReason::None;
+            stop.compare_exchange_strong(expected, r,
+                                         std::memory_order_acq_rel);
           }
-          const std::uint64_t index = task.first + i;
-          sim::TrajectoryResult r = exec.simulator->run(
-              RandomStream(seed, index), exec.opts, ws);
-          store_summary(exec.batch.summaries[index], r);
-          for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
-            leaf_failures[leaf] += r.failures_per_leaf[leaf];
-            leaf_repairs[leaf] += r.repairs_per_leaf[leaf];
-          }
-          ++task_done;
-          done.fetch_add(1, std::memory_order_relaxed);
-          if (metrics != nullptr) {
-            local.add(ids.trajectories);
-            local.add(ids.events, r.events);
-          }
+          return r != smc::StopReason::None;
+        };
+        const auto report_progress = [&]() {
           if (progress != nullptr && (++polls & 31u) == 0 && progress->due()) {
             obs::Progress p;
             p.phase = "sweep";
             p.done = done.load(std::memory_order_relaxed);
             p.total = total_trajectories;
             progress->update(p);
+          }
+        };
+        std::uint64_t task_done = 0;
+        if (exec.batch_executor != nullptr) {
+          // Batch engine: slice the task into lane batches. Trajectory
+          // identity lives in the counter-based streams, so the slicing
+          // (like the chunking above it) cannot affect any result bit.
+          const std::uint64_t width =
+              exec.opts.lane_width != 0 ? exec.opts.lane_width
+                                        : sim::BatchExecutor::kDefaultLaneWidth;
+          for (std::uint64_t off = 0; off < task.count;) {
+            if (should_stop()) break;
+            const auto n = static_cast<std::uint32_t>(
+                std::min(width, task.count - off));
+            exec.batch_executor->run(seed, task.first + off, n, exec.opts, bws);
+            for (std::uint32_t lane = 0; lane < n; ++lane) {
+              const sim::TrajectoryResult& r = bws.results[lane];
+              store_summary(exec.batch.summaries[task.first + off + lane], r);
+              for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+                leaf_failures[leaf] += r.failures_per_leaf[leaf];
+                leaf_repairs[leaf] += r.repairs_per_leaf[leaf];
+              }
+              if (metrics != nullptr) {
+                local.add(ids.trajectories);
+                local.add(ids.events, r.events);
+              }
+            }
+            task_done += n;
+            done.fetch_add(n, std::memory_order_relaxed);
+            off += n;
+            report_progress();
+          }
+        } else {
+          for (std::uint64_t i = 0; i < task.count; ++i) {
+            if (should_stop()) break;
+            const std::uint64_t index = task.first + i;
+            sim::TrajectoryResult r = exec.simulator->run(
+                RandomStream(seed, index), exec.opts, ws);
+            store_summary(exec.batch.summaries[index], r);
+            for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+              leaf_failures[leaf] += r.failures_per_leaf[leaf];
+              leaf_repairs[leaf] += r.repairs_per_leaf[leaf];
+            }
+            ++task_done;
+            done.fetch_add(1, std::memory_order_relaxed);
+            if (metrics != nullptr) {
+              local.add(ids.trajectories);
+              local.add(ids.events, r.events);
+            }
+            report_progress();
           }
         }
         {

@@ -112,6 +112,12 @@ Options parse_args(const std::vector<std::string>& args) {
     else if (flag == "--seed") opt.seed = parse_count(value(), "seed");
     else if (flag == "--threads")
       opt.threads = static_cast<unsigned>(parse_count(value(), "threads"));
+    else if (flag == "--engine") {
+      const std::string& name = value();
+      if (name == "scalar") opt.engine = Engine::Scalar;
+      else if (name == "batch") opt.engine = Engine::Batch;
+      else throw DomainError("--engine must be 'scalar' or 'batch'");
+    }
     else if (flag == "--confidence") opt.confidence = parse_double(value(), "confidence");
     else if (flag == "--quantiles") opt.quantiles = parse_quantiles(value());
     else if (flag == "--timeout") opt.timeout = parse_double(value(), "timeout");
@@ -241,6 +247,7 @@ int cmd_analyze(const Options& opt, const fmt::FaultMaintenanceTree& model,
   s.trajectories = opt.runs;
   s.seed = opt.seed;
   s.threads = opt.threads;
+  s.engine = opt.engine;
   s.confidence = opt.confidence;
   s.telemetry = telemetry;
   // The process-wide handle lets a SIGINT (wired up in main()) or --timeout
@@ -362,6 +369,7 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
     job.settings.horizon = opt.horizon;
     job.settings.trajectories = opt.runs;
     job.settings.seed = opt.seed;
+    job.settings.engine = opt.engine;
     job.settings.confidence = opt.confidence;
     plan.jobs.push_back(std::move(job));
   }
@@ -470,6 +478,7 @@ int run_compare(const Options& options, const std::string& model_a_text,
   s.trajectories = options.runs;
   s.seed = options.seed;
   s.threads = options.threads;
+  s.engine = options.engine;
   s.confidence = options.confidence;
   s.telemetry = session.handles();
   const smc::PairedComparison cmp = smc::compare_models(a, b, s);
@@ -572,6 +581,8 @@ std::string usage() {
       "  --runs <n>         Monte-Carlo trajectories (default 10000)\n"
       "  --seed <n>         RNG seed (default 1)\n"
       "  --threads <n>      worker threads (default: all cores)\n"
+      "  --engine <name>    trajectory kernel: scalar | batch (default:\n"
+      "                     FMTREE_ENGINE env var, else scalar)\n"
       "  --confidence <p>   CI level (default 0.95)\n"
       "  --quantiles <l>    comma-separated TTF quantiles, e.g. 0.1,0.5,0.9\n"
       "  --timeout <s>      wall-clock budget in seconds; on expiry analyze\n"

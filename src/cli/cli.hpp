@@ -10,7 +10,8 @@
 //   fmtree sweep   <model.fmt> [options]          inspection-frequency cost curve
 //
 // Options: --horizon <years>  --runs <n>  --seed <n>  --threads <n>
-//          --confidence <p>   --quantiles <p1,p2,...>  --timeout <s>
+//          --engine <scalar|batch>  --confidence <p>
+//          --quantiles <p1,p2,...>  --timeout <s>
 //          --state-cap <n>    --no-fallback  --json-errors
 //          --metrics <file>   --trace <file|chrome:file>  --progress
 //          --frequencies <f1,f2,...>  --cache-dir <dir>
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "fmtree/run_settings.hpp"
 #include "smc/run_control.hpp"
 
 namespace fmtree::cli {
@@ -49,6 +51,9 @@ struct Options {
   std::uint64_t runs = 10000;
   std::uint64_t seed = 1;
   unsigned threads = 0;
+  /// Trajectory kernel (--engine scalar|batch); Default defers to the
+  /// FMTREE_ENGINE environment variable.
+  Engine engine = Engine::Default;
   double confidence = 0.95;
   std::vector<double> quantiles;  ///< empty = skip quantile report
   bool json_errors = false;       ///< report failures as JSON diagnostics on stderr

@@ -72,6 +72,12 @@ public:
   /// Adaptive stopping: simulate until the CI half-width of E[#failures]
   /// is <= rel * mean (trajectories() then caps the budget).
   Analysis& target_relative_error(double rel);
+  /// Trajectory kernel: Engine::Scalar (reference), Engine::Batch (SoA lane
+  /// kernel), or Engine::Default (FMTREE_ENGINE-resolved, the default).
+  Analysis& engine(Engine e);
+  /// Batch-engine lanes per worker batch; 0 = kernel default. Execution-only
+  /// (results are bit-identical at any width).
+  Analysis& lane_width(unsigned lanes);
   /// Cooperative cancellation/budgets for every subsequent call.
   Analysis& control(const smc::RunControl* ctl);
 

@@ -26,6 +26,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <string_view>
 
 #include "obs/telemetry.hpp"
 
@@ -35,14 +37,59 @@ class RunControl;
 
 namespace fmtree {
 
+/// Which Monte-Carlo trajectory kernel executes the simulation.
+///
+/// The two engines implement the same FMT semantics but draw from different
+/// RNG families (scalar: stateful xoshiro streams; batch: counter-based
+/// Philox streams), so their trajectory-level results differ bit-wise while
+/// agreeing statistically. Each engine is individually deterministic: the
+/// scalar engine at any thread count, the batch engine additionally at any
+/// lane width and chunk size. Because the draw sequences differ, the engine
+/// identity is part of every result-cache fingerprint (batch/fingerprint.hpp).
+enum class Engine : std::uint8_t {
+  Default = 0,  ///< resolve via FMTREE_ENGINE env var; Scalar when unset
+  Scalar = 1,   ///< one trajectory at a time (sim::FmtSimulator + xoshiro)
+  Batch = 2,    ///< lane-batch SoA kernel (sim::BatchExecutor + Philox)
+};
+
+/// Stable engine identifier ("scalar" / "batch"); Default resolves first.
+constexpr const char* engine_name(Engine e) noexcept {
+  return e == Engine::Batch ? "batch" : "scalar";
+}
+
+/// The process-wide default engine: FMTREE_ENGINE=batch selects the batch
+/// kernel for every run that left Engine::Default in its settings; any other
+/// value (or none) selects the scalar engine. Read once and cached, so the
+/// choice is stable for the lifetime of the process.
+inline Engine default_engine() noexcept {
+  static const Engine resolved = [] {
+    const char* v = std::getenv("FMTREE_ENGINE");
+    return (v != nullptr && std::string_view(v) == "batch") ? Engine::Batch
+                                                            : Engine::Scalar;
+  }();
+  return resolved;
+}
+
+/// Default -> the process default; Scalar/Batch pass through.
+inline Engine resolve_engine(Engine e) noexcept {
+  return e == Engine::Default ? default_engine() : e;
+}
+
 /// Shared execution settings, embedded by every per-backend options struct.
 struct RunSettings {
   /// Analysis time horizon in the model's time unit (the study: years).
   double horizon = 10.0;
-  /// Base RNG seed; trajectory i draws from RandomStream(seed, i).
+  /// Base RNG seed; trajectory i draws from RandomStream(seed, i) on the
+  /// scalar engine and CounterStream(seed, i) on the batch engine.
   std::uint64_t seed = 1;
   /// Worker threads; 0 = hardware concurrency.
   unsigned threads = 0;
+  /// Trajectory kernel; Default defers to FMTREE_ENGINE (see resolve_engine).
+  Engine engine = Engine::Default;
+  /// Batch-engine lanes simulated together per worker; 0 = the kernel's
+  /// default width. Execution-only: reports are bit-identical at any width,
+  /// so the value is excluded from cache fingerprints (like `threads`).
+  unsigned lane_width = 0;
   /// Optional cooperative stop handle (SIGINT, deadlines, budgets);
   /// nullptr = run to completion. See smc/run_control.hpp.
   const smc::RunControl* control = nullptr;

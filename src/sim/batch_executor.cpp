@@ -1,0 +1,558 @@
+#include "sim/batch_executor.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fmtree::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Right edge of the ziggurat's base layer for Exp(1); samples beyond it
+/// come from the analytic tail r + Exp(1).
+constexpr double kZigguratR = 7.69711747013104972;
+
+}  // namespace
+
+// Table construction follows Marsaglia & Tsang's published setup: 256
+// layers of equal area ve, x_255 = r, x_{i-1} = -log(exp(-x_i) + ve/x_i).
+BatchExecutor::ExpZiggurat::ExpZiggurat() noexcept {
+  constexpr double m = 4294967296.0;  // 2^32: draws are 32-bit integers
+  constexpr double ve = 3.9496598225815571993e-3;
+  double de = kZigguratR, te = kZigguratR;
+  const double q = ve / std::exp(-de);
+  ke_[0] = static_cast<std::uint32_t>((de / q) * m);
+  ke_[1] = 0;
+  we_[0] = q / m;
+  we_[255] = de / m;
+  fe_[0] = 1.0;
+  fe_[255] = std::exp(-de);
+  for (int i = 254; i >= 1; --i) {
+    de = -std::log(ve / de + std::exp(-de));
+    ke_[i + 1] = static_cast<std::uint32_t>((de / te) * m);
+    te = de;
+    fe_[i] = std::exp(-de);
+    we_[i] = de / m;
+  }
+}
+
+double BatchExecutor::ExpZiggurat::sample(CounterStream& rng) const noexcept {
+  for (;;) {
+    const auto j = static_cast<std::uint32_t>(rng() >> 32);
+    const unsigned i = j & 255u;
+    const double x = j * we_[i];
+    if (j < ke_[i]) return x;  // inside the layer rectangle: ~98% of draws
+    if (i == 0) return kZigguratR - std::log(rng.uniform01_open_left());
+    if (fe_[i] + rng.uniform01() * (fe_[i - 1] - fe_[i]) < std::exp(-x)) return x;
+  }
+}
+
+BatchExecutor::BatchExecutor(const fmt::FaultMaintenanceTree& model)
+    : model_(model), eval_(model.structure()) {
+  model.validate();
+  top_node_ = model.top().value;
+  num_leaves_ = static_cast<std::uint32_t>(model.num_ebes());
+
+  const auto leaf_of = [&](fmt::NodeId id) {
+    return static_cast<std::uint32_t>(model.ebe_index(id));
+  };
+
+  // ---- Sojourn samplers: Distribution variants flattened to tagged rows ----
+  sampler_begin_.reserve(num_leaves_);
+  num_phases_.reserve(num_leaves_);
+  threshold_.reserve(num_leaves_);
+  for (const fmt::ExtendedBasicEvent& ebe : model.ebes()) {
+    const fmt::DegradationModel& deg = ebe.degradation;
+    sampler_begin_.push_back(static_cast<std::uint32_t>(samplers_.size()));
+    num_phases_.push_back(deg.phases());
+    threshold_.push_back(deg.threshold_phase());
+    repair_cost_.push_back(ebe.repair.cost);
+    repair_duration_.push_back(ebe.repair.duration);
+    for (int p = 1; p <= deg.phases(); ++p) {
+      Sampler s;
+      std::visit(
+          [&s](const auto& d) {
+            using T = std::decay_t<decltype(d)>;
+            if constexpr (std::is_same_v<T, Exponential>) {
+              s = {Sampler::Kind::Exponential, 1.0 / d.rate, 0.0};
+            } else if constexpr (std::is_same_v<T, Erlang>) {
+              s = {Sampler::Kind::Erlang, 1.0 / d.rate,
+                   static_cast<double>(d.shape)};
+            } else if constexpr (std::is_same_v<T, Weibull>) {
+              s = {Sampler::Kind::Weibull, d.shape, d.scale};
+            } else if constexpr (std::is_same_v<T, Lognormal>) {
+              s = {Sampler::Kind::Lognormal, d.mu, d.sigma};
+            } else if constexpr (std::is_same_v<T, UniformDist>) {
+              s = {Sampler::Kind::Uniform, d.lo, d.hi};
+            } else {
+              static_assert(std::is_same_v<T, Deterministic>);
+              s = {Sampler::Kind::Deterministic, d.value, 0.0};
+            }
+          },
+          deg.sojourn(p).as_variant());
+      samplers_.push_back(s);
+    }
+  }
+
+  // ---- Maintenance modules with CSR target lists ---------------------------
+  for (const fmt::InspectionModule& mod : model.inspections()) {
+    InspectionInfo info;
+    info.period = mod.period;
+    info.first_at = mod.first_at;
+    info.cost = mod.cost;
+    info.detection_probability = mod.detection_probability;
+    info.targets_begin = static_cast<std::uint32_t>(insp_targets_.size());
+    for (fmt::NodeId t : mod.targets) insp_targets_.push_back(leaf_of(t));
+    info.targets_end = static_cast<std::uint32_t>(insp_targets_.size());
+    inspections_.push_back(info);
+  }
+  for (const fmt::ReplacementModule& mod : model.replacements()) {
+    ReplacementInfo info;
+    info.period = mod.period;
+    info.first_at = mod.first_at;
+    info.cost = mod.cost;
+    info.targets_begin = static_cast<std::uint32_t>(repl_targets_.size());
+    for (fmt::NodeId t : mod.targets) repl_targets_.push_back(leaf_of(t));
+    info.targets_end = static_cast<std::uint32_t>(repl_targets_.size());
+    replacements_.push_back(info);
+  }
+
+  // ---- Rate dependencies (CSR by dependent leaf) ---------------------------
+  std::vector<std::vector<std::uint32_t>> rdeps_by_leaf(num_leaves_);
+  for (std::size_t r = 0; r < model.rdeps().size(); ++r) {
+    const fmt::RateDependency& dep = model.rdeps()[r];
+    for (fmt::NodeId d : dep.dependents)
+      rdeps_by_leaf[leaf_of(d)].push_back(static_cast<std::uint32_t>(r));
+    RdepInfo info;
+    info.trigger_node = dep.trigger.value;
+    info.trigger_phase = dep.trigger_phase;
+    info.factor = dep.factor;
+    if (dep.trigger_phase >= 1) info.trigger_leaf = leaf_of(dep.trigger);
+    rdep_info_.push_back(info);
+  }
+  rdep_begin_.reserve(num_leaves_ + 1);
+  rdep_begin_.push_back(0);
+  for (std::uint32_t leaf = 0; leaf < num_leaves_; ++leaf) {
+    for (std::uint32_t r : rdeps_by_leaf[leaf]) rdep_edges_.push_back(r);
+    rdep_begin_.push_back(static_cast<std::uint32_t>(rdep_edges_.size()));
+  }
+
+  // ---- Spare pools ---------------------------------------------------------
+  spare_of_leaf_.assign(num_leaves_, -1);
+  spare_begin_.push_back(0);
+  for (std::size_t sp = 0; sp < model.spares().size(); ++sp) {
+    for (fmt::NodeId child : model.spares()[sp].children) {
+      spare_of_leaf_[leaf_of(child)] = static_cast<std::int32_t>(sp);
+      spare_children_.push_back(leaf_of(child));
+    }
+    spare_begin_.push_back(static_cast<std::uint32_t>(spare_children_.size()));
+    spare_dormancy_.push_back(model.spares()[sp].dormancy);
+  }
+
+  for (std::uint32_t leaf = 0; leaf < num_leaves_; ++leaf) {
+    if (rdep_begin_[leaf + 1] != rdep_begin_[leaf] || spare_of_leaf_[leaf] >= 0)
+      rate_leaves_.push_back(leaf);
+  }
+
+  // ---- Functional dependencies ---------------------------------------------
+  fdep_begin_.push_back(0);
+  for (const fmt::FunctionalDependency& dep : model.fdeps()) {
+    fdep_trigger_node_.push_back(dep.trigger.value);
+    for (fmt::NodeId d : dep.dependents) fdep_dependents_.push_back(leaf_of(d));
+    fdep_begin_.push_back(static_cast<std::uint32_t>(fdep_dependents_.size()));
+  }
+
+  const fmt::CorrectivePolicy& corrective = model.corrective();
+  corrective_enabled_ = corrective.enabled;
+  corrective_delay_ = corrective.delay;
+  corrective_cost_ = corrective.cost;
+  downtime_cost_rate_ = corrective.downtime_cost_rate;
+}
+
+double BatchExecutor::sample_sojourn(std::uint32_t leaf, std::int32_t phase,
+                                     CounterStream& rng) const {
+  const Sampler& s = samplers_[sampler_begin_[leaf] + static_cast<std::uint32_t>(
+                                                          phase - 1)];
+  switch (s.kind) {
+    case Sampler::Kind::Exponential:
+      return zig_.sample(rng) * s.a;
+    case Sampler::Kind::Erlang: {
+      double sum = zig_.sample(rng);
+      for (std::int32_t i = 1; i < static_cast<std::int32_t>(s.b); ++i)
+        sum += zig_.sample(rng);
+      return sum * s.a;
+    }
+    case Sampler::Kind::Weibull:
+      return s.b * std::pow(-std::log(rng.uniform01_open_left()), 1.0 / s.a);
+    case Sampler::Kind::Lognormal: {
+      // Box–Muller, one variate per call — mirrors Distribution::sample.
+      const double u1 = rng.uniform01_open_left();
+      const double u2 = rng.uniform01();
+      const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+      return std::exp(s.a + s.b * z);
+    }
+    case Sampler::Kind::Uniform:
+      return rng.uniform(s.a, s.b);
+    case Sampler::Kind::Deterministic:
+      return s.a;
+  }
+  return kInf;  // unreachable
+}
+
+/// Mutable view of one lane's rows inside the workspace. Plain pointers so
+/// the event loop indexes flat memory with no bounds rechecking. The four
+/// clock pointers are offsets into one contiguous candidate row (leaf_time
+/// is its base) — see BatchWorkspace::clock.
+struct BatchExecutor::LaneContext {
+  std::int32_t* phase = nullptr;
+  double* accel = nullptr;
+  double* frozen = nullptr;
+  double* leaf_time = nullptr;
+  std::uint8_t* failed = nullptr;
+  std::uint8_t* under_repair = nullptr;
+  double* inspect_time = nullptr;
+  double* replace_time = nullptr;
+  double* corrective_time = nullptr;
+  std::uint8_t* system_down = nullptr;
+  double* down_since = nullptr;
+  GateEvaluator::State* gates = nullptr;
+  CounterStream* rng = nullptr;
+  TrajectoryResult* result = nullptr;
+};
+
+void BatchExecutor::simulate_lane(LaneContext& lane, const SimOptions& opts) const {
+  const std::uint32_t num_leaves = num_leaves_;
+  const auto num_insp = static_cast<std::uint32_t>(inspections_.size());
+  const auto num_repl = static_cast<std::uint32_t>(replacements_.size());
+  const double horizon = opts.horizon;
+  const double discount_rate = opts.discount_rate;
+  GateEvaluator::State& gates = *lane.gates;
+  CounterStream& rng = *lane.rng;
+  TrajectoryResult& result = *lane.result;
+
+  const auto discount = [&](double now) {
+    return discount_rate > 0 ? std::exp(-discount_rate * now) : 1.0;
+  };
+  const auto discounted_downtime = [&](double a, double b) {
+    if (discount_rate <= 0) return downtime_cost_rate_ * (b - a);
+    return downtime_cost_rate_ *
+           (std::exp(-discount_rate * a) - std::exp(-discount_rate * b)) /
+           discount_rate;
+  };
+
+  const auto schedule_phase = [&](std::uint32_t leaf, double now) {
+    const double raw = sample_sojourn(leaf, lane.phase[leaf], rng);
+    if (lane.accel[leaf] > 0) {
+      lane.leaf_time[leaf] = now + raw / lane.accel[leaf];
+    } else {
+      // Frozen (cold spare): hold the sampled sojourn until reactivated.
+      lane.frozen[leaf] = raw;
+      lane.leaf_time[leaf] = kInf;
+    }
+  };
+
+  const auto fail_leaf = [&](std::uint32_t leaf) {
+    lane.under_repair[leaf] = 0;
+    lane.leaf_time[leaf] = kInf;
+    lane.failed[leaf] = 1;
+    eval_.set_leaf(gates, leaf, true);
+  };
+
+  // The leaf currently active in a spare pool: its lowest-index non-failed
+  // child (all-failed pools have no active member; the value is unused then).
+  const auto spare_factor = [&](std::uint32_t leaf) {
+    const std::int32_t sp = spare_of_leaf_[leaf];
+    if (sp < 0) return 1.0;
+    const auto spi = static_cast<std::size_t>(sp);
+    for (std::uint32_t k = spare_begin_[spi]; k < spare_begin_[spi + 1]; ++k) {
+      const std::uint32_t c = spare_children_[k];
+      if (!lane.failed[c]) return c == leaf ? 1.0 : spare_dormancy_[spi];
+    }
+    return 1.0;
+  };
+
+  const auto update_rates = [&](double now) {
+    for (std::uint32_t leaf : rate_leaves_) {
+      double desired = spare_factor(leaf);
+      for (std::uint32_t k = rdep_begin_[leaf]; k < rdep_begin_[leaf + 1]; ++k) {
+        const RdepInfo& dep = rdep_info_[rdep_edges_[k]];
+        const bool active = dep.trigger_phase == 0
+                                ? gates.node_true[dep.trigger_node] != 0
+                                : lane.phase[dep.trigger_leaf] >= dep.trigger_phase;
+        if (active) desired *= dep.factor;
+      }
+      if (desired == lane.accel[leaf]) continue;
+      if (!lane.failed[leaf] && !lane.under_repair[leaf]) {
+        // Rescale the remaining sojourn; a factor of zero freezes it at its
+        // natural-rate remainder so reactivation resumes where it stopped.
+        const double natural = lane.accel[leaf] > 0
+                                   ? (lane.leaf_time[leaf] - now) * lane.accel[leaf]
+                                   : lane.frozen[leaf];
+        if (desired > 0) {
+          lane.leaf_time[leaf] = now + natural / desired;
+        } else {
+          lane.frozen[leaf] = natural;
+          lane.leaf_time[leaf] = kInf;
+        }
+      }
+      lane.accel[leaf] = desired;
+    }
+  };
+
+  const auto renew_leaf = [&](std::uint32_t leaf, double now) {
+    // Renewal preempts an ongoing repair and any pending transition; both
+    // cancellations are plain stores here (schedule_phase overwrites the
+    // clock, or parks it at +infinity while frozen).
+    lane.under_repair[leaf] = 0;
+    lane.phase[leaf] = 1;
+    if (lane.failed[leaf]) {
+      lane.failed[leaf] = 0;
+      eval_.set_leaf(gates, leaf, false);
+    }
+    schedule_phase(leaf, now);
+  };
+
+  const auto end_downtime = [&](double now) {
+    result.downtime += now - *lane.down_since;
+    result.cost.downtime += downtime_cost_rate_ * (now - *lane.down_since);
+    result.discounted_cost.downtime += discounted_downtime(*lane.down_since, now);
+    *lane.system_down = 0;
+    *lane.corrective_time = kInf;  // cancel a pending corrective renewal
+  };
+
+  // FDEP cascade: failed triggers force their dependents to fail, possibly
+  // enabling further triggers — iterate to the (monotone) fixpoint.
+  const auto apply_fdeps = [&]() {
+    if (fdep_trigger_node_.empty()) return;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t f = 0; f < fdep_trigger_node_.size(); ++f) {
+        if (!gates.node_true[fdep_trigger_node_[f]]) continue;
+        for (std::uint32_t k = fdep_begin_[f]; k < fdep_begin_[f + 1]; ++k) {
+          const std::uint32_t leaf = fdep_dependents_[k];
+          if (lane.failed[leaf]) continue;
+          lane.phase[leaf] = num_phases_[leaf] + 1;
+          fail_leaf(leaf);
+          changed = true;
+        }
+      }
+    }
+  };
+
+  // Processes a potential top-event edge after leaf-state changes;
+  // `cause` identifies the leaf responsible for a rising edge.
+  const auto settle = [&](double now, std::uint32_t cause) {
+    apply_fdeps();
+    update_rates(now);
+    const bool top_now = gates.node_true[top_node_] != 0;
+    if (top_now && !*lane.system_down) {
+      ++result.failures;
+      result.first_failure_time = std::min(result.first_failure_time, now);
+      ++result.failures_per_leaf[cause];
+      if (opts.record_failure_log)
+        result.failure_log.push_back(FailureRecord{now, cause});
+      result.cost.corrective += corrective_enabled_ ? corrective_cost_ : 0.0;
+      result.discounted_cost.corrective +=
+          corrective_enabled_ ? corrective_cost_ * discount(now) : 0.0;
+      *lane.system_down = 1;
+      *lane.down_since = now;
+      if (corrective_enabled_) *lane.corrective_time = now + corrective_delay_;
+    } else if (!top_now && *lane.system_down) {
+      end_downtime(now);
+    }
+  };
+
+  // Apply initial spare dormancy (and any rate dependency active at t = 0):
+  // run() samples every leaf at acceleration 1, exactly like the scalar
+  // engine, and this rescales the affected sojourns before the first event.
+  update_rates(0.0);
+
+  // ---- Main loop: branch-free min-scan over the lane's candidate clocks ----
+  // Candidate index space (= the merged clock row): [0, L) leaf events (phase
+  // transition, or repair completion while under_repair), [L, L+Mi)
+  // inspections, [L+Mi, L+Mi+Mr) replacements, L+Mi+Mr the pending
+  // corrective renewal. Ties break toward the lowest index.
+  const std::uint32_t insp_base = num_leaves;
+  const std::uint32_t repl_base = insp_base + num_insp;
+  const std::uint32_t corrective_idx = repl_base + num_repl;
+  const double* clock = lane.leaf_time;  // base of the contiguous row
+
+  while (true) {
+    double best = clock[0];
+    std::uint32_t best_idx = 0;
+    for (std::uint32_t i = 1; i <= corrective_idx; ++i) {
+      const double t = clock[i];
+      const bool lt = t < best;
+      best = lt ? t : best;
+      best_idx = lt ? i : best_idx;
+    }
+    if (!(best <= horizon)) break;
+    const double now = best;
+    ++result.events;
+
+    // Only failure-state changes can flip gates, and only gate flips can
+    // fire FDEP triggers or the top event. Events that provably leave every
+    // failure flag unchanged (phase advances, repair completions,
+    // inspections — which never touch failed leaves) therefore settle with
+    // update_rates alone; the full settle() runs only where a leaf fails or
+    // a renewal may resurrect one.
+    if (best_idx < num_leaves) {
+      const std::uint32_t leaf = best_idx;
+      if (lane.under_repair[leaf]) {
+        // Repair completed: the component returns as new.
+        lane.under_repair[leaf] = 0;
+        lane.phase[leaf] = 1;
+        schedule_phase(leaf, now);
+        update_rates(now);  // phase reset may deactivate RDEPs
+      } else {
+        ++lane.phase[leaf];
+        if (lane.phase[leaf] > num_phases_[leaf]) {
+          fail_leaf(leaf);
+          settle(now, leaf);
+        } else {
+          schedule_phase(leaf, now);
+          // Cannot flip a gate, but can activate a phase-triggered RDEP.
+          update_rates(now);
+        }
+      }
+    } else if (best_idx < repl_base) {
+      const std::uint32_t m = best_idx - insp_base;
+      const InspectionInfo& mod = inspections_[m];
+      ++result.inspections;
+      result.cost.inspection += mod.cost;
+      result.discounted_cost.inspection += mod.cost * discount(now);
+      for (std::uint32_t k = mod.targets_begin; k < mod.targets_end; ++k) {
+        const std::uint32_t leaf = insp_targets_[k];
+        if (lane.failed[leaf]) continue;       // inspections cannot fix failures
+        if (lane.under_repair[leaf]) continue;  // a crew is already on it
+        if (lane.phase[leaf] < threshold_[leaf]) continue;
+        // Imperfect inspections miss degradation with prob. 1 - p.
+        if (mod.detection_probability < 1.0 &&
+            !rng.bernoulli(mod.detection_probability)) {
+          continue;
+        }
+        ++result.repairs;
+        ++result.repairs_per_leaf[leaf];
+        result.cost.repair += repair_cost_[leaf];
+        result.discounted_cost.repair += repair_cost_[leaf] * discount(now);
+        if (repair_duration_[leaf] > 0) {
+          // Timed repair: pause degradation until the crew finishes.
+          lane.under_repair[leaf] = 1;
+          lane.leaf_time[leaf] = now + repair_duration_[leaf];
+        } else {
+          renew_leaf(leaf, now);
+        }
+      }
+      // Repairs reset phases, which can deactivate phase-triggered rate
+      // dependencies (failure states are untouched, so no gate can flip).
+      update_rates(now);
+      lane.inspect_time[m] = now + mod.period;
+    } else if (best_idx < corrective_idx) {
+      const std::uint32_t m = best_idx - repl_base;
+      const ReplacementInfo& mod = replacements_[m];
+      ++result.replacements;
+      result.cost.replacement += mod.cost;
+      result.discounted_cost.replacement += mod.cost * discount(now);
+      for (std::uint32_t k = mod.targets_begin; k < mod.targets_end; ++k)
+        renew_leaf(repl_targets_[k], now);
+      settle(now, 0);  // may restore a failed system
+      lane.replace_time[m] = now + mod.period;
+    } else {
+      // Corrective renewal: the whole system returns as new.
+      *lane.corrective_time = kInf;
+      for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf)
+        renew_leaf(leaf, now);
+      settle(now, 0);
+    }
+  }
+
+  if (*lane.system_down) {
+    result.downtime += horizon - *lane.down_since;
+    result.cost.downtime += downtime_cost_rate_ * (horizon - *lane.down_since);
+    result.discounted_cost.downtime +=
+        discounted_downtime(*lane.down_since, horizon);
+  }
+}
+
+void BatchExecutor::run(std::uint64_t seed, std::uint64_t first, std::uint32_t n,
+                        const SimOptions& opts, BatchWorkspace& ws) const {
+  if (!(opts.horizon > 0)) throw DomainError("simulation horizon must be positive");
+  if (opts.discount_rate < 0) throw DomainError("discount rate must be >= 0");
+  if (opts.trace != nullptr)
+    throw DomainError("traces are per-trajectory; run the scalar simulator");
+  const std::uint32_t num_leaves = num_leaves_;
+  const auto num_insp = static_cast<std::uint32_t>(inspections_.size());
+  const auto num_repl = static_cast<std::uint32_t>(replacements_.size());
+
+  // ---- Reset the SoA state (no reallocation when sizes are unchanged) ------
+  const std::size_t cells = static_cast<std::size_t>(n) * num_leaves;
+  const std::uint32_t num_clocks = num_leaves + num_insp + num_repl + 1;
+  ws.phase.assign(cells, 1);
+  ws.accel.assign(cells, 1.0);
+  ws.frozen_remaining.assign(cells, 0.0);
+  ws.leaf_failed.assign(cells, 0);
+  ws.under_repair.assign(cells, 0);
+  ws.clock.assign(static_cast<std::size_t>(n) * num_clocks, kInf);
+  ws.system_down.assign(n, 0);
+  ws.down_since.assign(n, 0.0);
+  ws.gates.resize(n);
+  ws.results.resize(n);
+  ws.rng.clear();
+  ws.rng.reserve(n);
+  for (std::uint32_t lane = 0; lane < n; ++lane)
+    ws.rng.emplace_back(seed, first + lane);
+
+  for (std::uint32_t lane = 0; lane < n; ++lane) {
+    eval_.reset(ws.gates[lane]);
+    TrajectoryResult& r = ws.results[lane];
+    r = TrajectoryResult{};
+    r.horizon = opts.horizon;
+    r.repairs_per_leaf.assign(num_leaves, 0);
+    r.failures_per_leaf.assign(num_leaves, 0);
+    double* row = ws.clock.data() + static_cast<std::size_t>(lane) * num_clocks;
+    for (std::uint32_t m = 0; m < num_insp; ++m)
+      row[num_leaves + m] = inspections_[m].first_at;
+    for (std::uint32_t m = 0; m < num_repl; ++m)
+      row[num_leaves + num_insp + m] = replacements_[m].first_at;
+    // The corrective slot (last) stays +infinity: no renewal pending.
+  }
+
+  // ---- Initial firing times: all leaves x lanes sampled in one pass --------
+  // Every lane starts with phase 1 and acceleration 1, so this is exactly
+  // what schedule_phase would draw leaf-by-leaf — hoisted out of the event
+  // loop into a contiguous sweep over the SoA block.
+  for (std::uint32_t lane = 0; lane < n; ++lane) {
+    CounterStream& rng = ws.rng[lane];
+    double* row = ws.clock.data() + static_cast<std::size_t>(lane) * num_clocks;
+    for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf)
+      row[leaf] = sample_sojourn(leaf, 1, rng);
+  }
+
+  // ---- Per-lane event loops -------------------------------------------------
+  for (std::uint32_t lane = 0; lane < n; ++lane) {
+    const std::size_t row = static_cast<std::size_t>(lane) * num_leaves;
+    double* clock = ws.clock.data() + static_cast<std::size_t>(lane) * num_clocks;
+    LaneContext ctx;
+    ctx.phase = ws.phase.data() + row;
+    ctx.accel = ws.accel.data() + row;
+    ctx.frozen = ws.frozen_remaining.data() + row;
+    ctx.leaf_time = clock;
+    ctx.failed = ws.leaf_failed.data() + row;
+    ctx.under_repair = ws.under_repair.data() + row;
+    ctx.inspect_time = clock + num_leaves;
+    ctx.replace_time = clock + num_leaves + num_insp;
+    ctx.corrective_time = clock + num_leaves + num_insp + num_repl;
+    ctx.system_down = &ws.system_down[lane];
+    ctx.down_since = &ws.down_since[lane];
+    ctx.gates = &ws.gates[lane];
+    ctx.rng = &ws.rng[lane];
+    ctx.result = &ws.results[lane];
+    simulate_lane(ctx, opts);
+  }
+}
+
+}  // namespace fmtree::sim

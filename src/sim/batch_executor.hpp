@@ -1,0 +1,207 @@
+// Structure-of-arrays lane-batch execution of the FMT semantics — the raw
+// throughput engine behind fmtree::Engine::Batch.
+//
+// Where FmtSimulator advances one trajectory through a binary-heap event
+// queue, BatchExecutor advances a *lane batch* of W independent trajectories
+// whose mutable state lives in structure-of-arrays form: one flat array per
+// field (phase, acceleration, next-event clock, ...), each holding W
+// contiguous per-lane rows. The per-event hot path is restructured around
+// that layout:
+//
+//  * event selection is a branch-free min-scan over the lane's candidate
+//    clocks (per-leaf next transition/repair, per-module next inspection/
+//    replacement, pending corrective renewal) — cancellation is a plain
+//    store, where the heap needed handle bookkeeping and lazy deletion;
+//  * sojourn sampling runs over flat per-(leaf, phase) sampler tables
+//    (kind tag + parameters) instead of std::visit on Distribution — and
+//    the initial firing times of all leaves x lanes are sampled in one
+//    pass when a batch starts;
+//  * gate re-evaluation reuses the incremental GateEvaluator tables
+//    (shared, immutable) with one GateEvaluator::State per lane, so a leaf
+//    flip costs O(changed region) exactly as in the scalar engine.
+//
+// Randomness is counter-based (CounterStream, Philox-4x32-10): draw i of
+// trajectory t under seed s is the pure function philox(s, (t, i)), so a
+// trajectory's stream depends only on its own event sequence — never on
+// which lane, chunk, or thread ran it, nor on how many trajectories shared
+// the batch. Reports are therefore bit-identical at any lane width, chunk
+// size, and thread count by construction.
+//
+// The two engines implement the same semantics over the same distributions
+// but different RNG families, so their outputs agree statistically, not
+// bit-wise; FmtSimulator remains the reference oracle (equivalence is
+// enforced by tests/smc/engine_equivalence_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fmt/fmtree.hpp"
+#include "sim/fmt_executor.hpp"
+#include "sim/gate_eval.hpp"
+#include "util/rng.hpp"
+
+namespace fmtree::sim {
+
+/// All mutable state of one BatchExecutor::run call, reusable across batches
+/// (one per worker thread): SoA field arrays sized lanes x leaves, per-lane
+/// gate states and counter streams, and the per-lane results. Like
+/// SimWorkspace, a workspace carries nothing between runs and may be handed
+/// to executors of different models — run() resizes everything to fit.
+struct BatchWorkspace {
+  // Lane-major SoA rows: field[lane * num_leaves + leaf].
+  std::vector<std::int32_t> phase;
+  std::vector<double> accel;
+  std::vector<double> frozen_remaining;  // natural-rate time left while accel == 0
+  std::vector<std::uint8_t> leaf_failed;
+  std::vector<std::uint8_t> under_repair;
+  /// Lane-major candidate-clock rows of length L + Mi + Mr + 1: next event
+  /// time per leaf ([0, L): phase transition, or repair completion while
+  /// under_repair; +infinity when failed or frozen), per inspection module
+  /// ([L, L+Mi)), per replacement module ([L+Mi, L+Mi+Mr)), and the pending
+  /// corrective renewal (last slot; +infinity = none). One contiguous row
+  /// means event selection is a single min-scan.
+  std::vector<double> clock;
+  // Per-lane scalars.
+  std::vector<std::uint8_t> system_down;
+  std::vector<double> down_since;
+  std::vector<GateEvaluator::State> gates;
+  std::vector<CounterStream> rng;
+  /// Per-lane trajectory results, valid for lanes [0, n) after run().
+  std::vector<TrajectoryResult> results;
+};
+
+/// Executes lane batches of trajectories of one FMT. Immutable after
+/// construction; run() is const and re-entrant, so one instance is shared
+/// across threads (each thread owning its BatchWorkspace).
+class BatchExecutor {
+public:
+  /// Lanes per batch when RunSettings::lane_width is 0. Wide enough to
+  /// amortize batch setup and keep the initial sampling pass long, small
+  /// enough that a batch's SoA state stays cache-resident.
+  static constexpr unsigned kDefaultLaneWidth = 16;
+
+  /// Validates the model and compiles it into flat tables. The model must
+  /// outlive the executor.
+  explicit BatchExecutor(const fmt::FaultMaintenanceTree& model);
+
+  /// Simulates trajectories [first, first + n) — lane L running stream
+  /// CounterStream(seed, first + L) — and leaves per-trajectory results in
+  /// ws.results[0..n). Honors horizon / discount_rate / record_failure_log
+  /// from `opts`; reference_engine is meaningless here and ignored; traces
+  /// are unsupported (throws DomainError when opts.trace is set).
+  void run(std::uint64_t seed, std::uint64_t first, std::uint32_t n,
+           const SimOptions& opts, BatchWorkspace& ws) const;
+
+  const fmt::FaultMaintenanceTree& model() const noexcept { return model_; }
+
+private:
+  /// One (leaf, phase) sojourn sampler: Distribution flattened to a kind tag
+  /// plus two parameters, so the hot loop switches instead of std::visit-ing.
+  struct Sampler {
+    enum class Kind : std::uint8_t {
+      Exponential,    ///< a = rate
+      Erlang,         ///< a = rate, b = shape
+      Weibull,        ///< a = shape, b = scale
+      Lognormal,      ///< a = mu, b = sigma
+      Uniform,        ///< a = lo, b = hi
+      Deterministic,  ///< a = value (+infinity = never)
+    };
+    Kind kind = Kind::Deterministic;
+    double a = 0.0;
+    double b = 0.0;
+  };
+
+  /// Hot-loop form of one rate dependency (mirrors FmtSimulator::RdepInfo).
+  struct RdepInfo {
+    std::uint32_t trigger_node = 0;
+    std::uint32_t trigger_leaf = 0;  ///< valid iff trigger_phase >= 1
+    std::int32_t trigger_phase = 0;
+    double factor = 1.0;
+  };
+
+  struct InspectionInfo {
+    double period = 1.0;
+    double first_at = 1.0;
+    double cost = 0.0;
+    double detection_probability = 1.0;
+    std::uint32_t targets_begin = 0, targets_end = 0;  ///< into insp_targets_
+  };
+
+  struct ReplacementInfo {
+    double period = 1.0;
+    double first_at = 1.0;
+    double cost = 0.0;
+    std::uint32_t targets_begin = 0, targets_end = 0;  ///< into repl_targets_
+  };
+
+  /// Ziggurat sampler for Exp(1) (Marsaglia & Tsang 2000, 256 layers): one
+  /// 32-bit draw, a table compare and a multiply produce ~98% of samples
+  /// without ever calling log() — the scalar engine's inversion method
+  /// (-log(u)/rate) spends most of its sampling time in exactly that log.
+  /// An exact method, not an approximation: the accepted values follow
+  /// Exp(1) precisely, rejections fall through to the wedge/tail tests.
+  class ExpZiggurat {
+  public:
+    ExpZiggurat() noexcept;
+    double sample(CounterStream& rng) const noexcept;
+
+  private:
+    std::array<std::uint32_t, 256> ke_;  ///< acceptance thresholds
+    std::array<double, 256> we_;         ///< layer widths (x scale / 2^32)
+    std::array<double, 256> fe_;         ///< f(x_i) = exp(-x_i)
+  };
+
+  struct LaneContext;  // per-lane view over the workspace rows (in .cpp)
+
+  double sample_sojourn(std::uint32_t leaf, std::int32_t phase,
+                        CounterStream& rng) const;
+  void simulate_lane(LaneContext& lane, const SimOptions& opts) const;
+
+  const fmt::FaultMaintenanceTree& model_;
+  GateEvaluator eval_;
+  ExpZiggurat zig_;
+  std::uint32_t top_node_ = 0;
+  std::uint32_t num_leaves_ = 0;
+
+  // Per (leaf, phase) samplers: phase p of leaf l at
+  // samplers_[sampler_begin_[l] + p - 1].
+  std::vector<Sampler> samplers_;
+  std::vector<std::uint32_t> sampler_begin_;
+  std::vector<std::int32_t> num_phases_;  // per leaf
+  std::vector<std::int32_t> threshold_;   // per leaf: inspection threshold phase
+  std::vector<double> repair_cost_;       // per leaf
+  std::vector<double> repair_duration_;   // per leaf
+
+  std::vector<InspectionInfo> inspections_;
+  std::vector<std::uint32_t> insp_targets_;
+  std::vector<ReplacementInfo> replacements_;
+  std::vector<std::uint32_t> repl_targets_;
+
+  // CSR: rdep indices watching each leaf.
+  std::vector<std::uint32_t> rdep_begin_;
+  std::vector<std::uint32_t> rdep_edges_;
+  std::vector<RdepInfo> rdep_info_;
+
+  std::vector<std::int32_t> spare_of_leaf_;  // spare-spec index, -1 = none
+  std::vector<std::uint32_t> spare_begin_;   // CSR over spare_children_
+  std::vector<std::uint32_t> spare_children_;
+  std::vector<double> spare_dormancy_;
+
+  /// Leaves whose acceleration factor can ever differ from 1 — the only
+  /// ones update_rates visits (RDEP targets and spare-pool members).
+  std::vector<std::uint32_t> rate_leaves_;
+
+  std::vector<std::uint32_t> fdep_trigger_node_;
+  std::vector<std::uint32_t> fdep_begin_;  // CSR over fdep_dependents_
+  std::vector<std::uint32_t> fdep_dependents_;
+
+  // Corrective policy, denormalized.
+  bool corrective_enabled_ = false;
+  double corrective_delay_ = 0.0;
+  double corrective_cost_ = 0.0;
+  double downtime_cost_rate_ = 0.0;
+};
+
+}  // namespace fmtree::sim

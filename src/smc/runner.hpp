@@ -71,6 +71,13 @@ public:
   /// events-per-trajectory histogram accumulate per worker and merge at the
   /// end of the batch; a ProgressReporter is polled between trajectories.
   /// Telemetry reads counters only — enabling it changes no result bit.
+  ///
+  /// The trajectory kernel is selected by `opts.engine` (resolved through
+  /// FMTREE_ENGINE when Default). The scalar engine runs trajectory i on
+  /// RandomStream(seed, first + i); the batch engine runs lane batches of
+  /// sim::BatchExecutor on CounterStream(seed, first + i). Either way the
+  /// result is bit-identical at any thread count; the batch engine is
+  /// additionally invariant to lane width (opts.lane_width) and chunking.
   BatchResult run(std::uint64_t seed, std::uint64_t first, std::uint64_t count,
                   const sim::SimOptions& opts,
                   const RunControl* control = nullptr) const;
@@ -78,6 +85,10 @@ public:
   unsigned threads() const noexcept { return threads_; }
 
 private:
+  BatchResult run_batch(std::uint64_t seed, std::uint64_t first,
+                        std::uint64_t count, const sim::SimOptions& opts,
+                        const RunControl* control) const;
+
   const sim::FmtSimulator& simulator_;
   unsigned threads_;
 };

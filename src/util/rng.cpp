@@ -2,21 +2,35 @@
 
 namespace fmtree {
 
-std::uint64_t RandomStream::below(std::uint64_t n) noexcept {
+namespace {
+
+/// Lemire's nearly-divisionless bounded generation, shared by both stream
+/// families (identical rejection behavior, so tests can reason about one).
+template <typename Engine>
+std::uint64_t lemire_below(Engine& next, std::uint64_t n) noexcept {
   if (n == 0) return 0;  // degenerate; callers should not ask, but stay total
-  // Lemire's nearly-divisionless bounded generation.
-  std::uint64_t x = engine_();
+  std::uint64_t x = next();
   __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
   auto lo = static_cast<std::uint64_t>(m);
   if (lo < n) {
     const std::uint64_t threshold = (0 - n) % n;
     while (lo < threshold) {
-      x = engine_();
+      x = next();
       m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
       lo = static_cast<std::uint64_t>(m);
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace
+
+std::uint64_t RandomStream::below(std::uint64_t n) noexcept {
+  return lemire_below(*this, n);
+}
+
+std::uint64_t CounterStream::below(std::uint64_t n) noexcept {
+  return lemire_below(*this, n);
 }
 
 }  // namespace fmtree

@@ -21,6 +21,11 @@ smc::AnalysisSettings golden_settings() {
   s.trajectories = 4000;
   s.seed = 777;
   s.threads = 2;  // thread count must not matter; pinned anyway
+  // The constants below are the scalar engine's draw sequence; the batch
+  // engine is a different RNG family (statistically equivalent, checked in
+  // tests/smc/engine_equivalence_test.cpp), so pin the kernel regardless of
+  // the process-wide FMTREE_ENGINE default.
+  s.engine = Engine::Scalar;
   return s;
 }
 

@@ -1,0 +1,170 @@
+// Scalar-vs-batch engine contract: the two trajectory kernels draw from
+// different RNG families (xoshiro streams vs Philox counter streams), so
+// their outputs are never compared bit-for-bit — the contract is
+//
+//  * statistical equivalence: on the case-study models every KPI estimated
+//    by one engine falls inside (overlaps) the other engine's confidence
+//    interval, because both implement the same FMT semantics;
+//  * per-engine determinism: the batch engine's report is bit-identical at
+//    any thread count, lane width, and chunk split (counter streams make
+//    trajectory i a pure function of (seed, i)); the scalar engine ignores
+//    the batch-only knobs entirely, so enabling them can never disturb the
+//    scalar goldens pinned in tests/integration/regression_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../batch/report_bits.hpp"
+#include "fmt/parser.hpp"
+#include "sim/batch_executor.hpp"
+#include "sim/fmt_executor.hpp"
+#include "smc/kpi.hpp"
+#include "smc/runner.hpp"
+
+namespace fmtree::smc {
+namespace {
+
+fmt::FaultMaintenanceTree load_model(const std::string& name) {
+  std::ifstream file(std::string(FMTREE_SOURCE_DIR) + "/models/" + name + ".fmt");
+  std::ostringstream text;
+  text << file.rdbuf();
+  return fmt::parse_fmt(text.str());
+}
+
+bool overlaps(const ConfidenceInterval& a, const ConfidenceInterval& b) {
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+AnalysisSettings base_settings(Engine engine) {
+  AnalysisSettings s;
+  s.horizon = 10.0;
+  s.trajectories = 20000;
+  s.seed = 20160628;
+  s.threads = 1;
+  s.engine = engine;
+  return s;
+}
+
+void expect_statistical_agreement(const std::string& model_name) {
+  const fmt::FaultMaintenanceTree model = load_model(model_name);
+  const KpiReport scalar = analyze(model, base_settings(Engine::Scalar));
+  const KpiReport batch = analyze(model, base_settings(Engine::Batch));
+  EXPECT_TRUE(overlaps(scalar.reliability, batch.reliability))
+      << scalar.reliability.point << " vs " << batch.reliability.point;
+  EXPECT_TRUE(overlaps(scalar.expected_failures, batch.expected_failures))
+      << scalar.expected_failures.point << " vs " << batch.expected_failures.point;
+  EXPECT_TRUE(overlaps(scalar.availability, batch.availability))
+      << scalar.availability.point << " vs " << batch.availability.point;
+  EXPECT_TRUE(overlaps(scalar.total_cost, batch.total_cost))
+      << scalar.total_cost.point << " vs " << batch.total_cost.point;
+}
+
+TEST(EngineEquivalence, EiJointKpisAgreeStatistically) {
+  expect_statistical_agreement("ei_joint");
+}
+
+TEST(EngineEquivalence, CompressorKpisAgreeStatistically) {
+  expect_statistical_agreement("compressor");
+}
+
+// ---- Batch-engine determinism ----------------------------------------------
+
+bool bitwise_equal(const TrajectorySummary& a, const TrajectorySummary& b) {
+  using batch_test::same_bits;
+  return same_bits(a.first_failure_time, b.first_failure_time) &&
+         a.failures == b.failures && same_bits(a.downtime, b.downtime) &&
+         same_bits(a.cost.inspection, b.cost.inspection) &&
+         same_bits(a.cost.repair, b.cost.repair) &&
+         same_bits(a.cost.replacement, b.cost.replacement) &&
+         same_bits(a.cost.corrective, b.cost.corrective) &&
+         same_bits(a.cost.downtime, b.cost.downtime) &&
+         same_bits(a.discounted_total, b.discounted_total) &&
+         a.inspections == b.inspections && a.repairs == b.repairs &&
+         a.replacements == b.replacements;
+}
+
+bool bitwise_equal(const BatchResult& a, const BatchResult& b) {
+  if (a.summaries.size() != b.summaries.size()) return false;
+  for (std::size_t i = 0; i < a.summaries.size(); ++i)
+    if (!bitwise_equal(a.summaries[i], b.summaries[i])) return false;
+  return a.failures_per_leaf == b.failures_per_leaf &&
+         a.repairs_per_leaf == b.repairs_per_leaf && a.completed == b.completed;
+}
+
+TEST(BatchDeterminism, ReportBitsInvariantToThreadCount) {
+  const fmt::FaultMaintenanceTree model = load_model("ei_joint");
+  const sim::FmtSimulator simulator(model);
+  sim::SimOptions opts;
+  opts.horizon = 10.0;
+  opts.engine = Engine::Batch;
+  const BatchResult one = ParallelRunner(simulator, 1).run(99, 0, 2000, opts);
+  const BatchResult three = ParallelRunner(simulator, 3).run(99, 0, 2000, opts);
+  const BatchResult seven = ParallelRunner(simulator, 7).run(99, 0, 2000, opts);
+  EXPECT_TRUE(bitwise_equal(one, three));
+  EXPECT_TRUE(bitwise_equal(one, seven));
+}
+
+TEST(BatchDeterminism, ReportBitsInvariantToLaneWidth) {
+  const fmt::FaultMaintenanceTree model = load_model("ei_joint");
+  const sim::FmtSimulator simulator(model);
+  const ParallelRunner runner(simulator, 2);
+  sim::SimOptions opts;
+  opts.horizon = 10.0;
+  opts.engine = Engine::Batch;
+  const BatchResult dflt = runner.run(7, 0, 2000, opts);
+  for (unsigned width : {1u, 3u, 16u, 64u}) {
+    sim::SimOptions w = opts;
+    w.lane_width = width;
+    EXPECT_TRUE(bitwise_equal(dflt, runner.run(7, 0, 2000, w)))
+        << "lane width " << width;
+  }
+}
+
+TEST(BatchDeterminism, ChunkSplitsReproduceEveryTrajectoryBit) {
+  // Lane L of any chunk [first, first+n) runs CounterStream(seed, first+L):
+  // re-running an arbitrary sub-range must reproduce the same trajectories
+  // bit-for-bit, independent of how the full range was originally split.
+  const fmt::FaultMaintenanceTree model = load_model("compressor");
+  const sim::BatchExecutor executor(model);
+  sim::SimOptions opts;
+  opts.horizon = 10.0;
+  sim::BatchWorkspace whole, split;
+  executor.run(5, 0, 512, opts, whole);
+  const std::vector<sim::TrajectoryResult> reference = whole.results;
+  for (std::uint32_t first = 0; first < 512; first += 7) {
+    const std::uint32_t n = std::min<std::uint32_t>(7, 512 - first);
+    executor.run(5, first, n, opts, split);
+    for (std::uint32_t lane = 0; lane < n; ++lane) {
+      const sim::TrajectoryResult& a = reference[first + lane];
+      const sim::TrajectoryResult& b = split.results[lane];
+      ASSERT_EQ(a.events, b.events) << "trajectory " << first + lane;
+      ASSERT_TRUE(batch_test::same_bits(a.first_failure_time, b.first_failure_time));
+      ASSERT_TRUE(batch_test::same_bits(a.downtime, b.downtime));
+      ASSERT_TRUE(batch_test::same_bits(a.cost.total(), b.cost.total()));
+      ASSERT_TRUE(
+          batch_test::same_bits(a.discounted_cost.total(), b.discounted_cost.total()));
+      ASSERT_EQ(a.failures, b.failures);
+      ASSERT_EQ(a.repairs_per_leaf, b.repairs_per_leaf);
+      ASSERT_EQ(a.failures_per_leaf, b.failures_per_leaf);
+    }
+  }
+}
+
+// ---- Scalar engine must ignore batch-only knobs -----------------------------
+
+TEST(ScalarEngine, IgnoresLaneWidthAndStaysBitStable) {
+  const fmt::FaultMaintenanceTree model = load_model("ei_joint");
+  AnalysisSettings plain = base_settings(Engine::Scalar);
+  plain.trajectories = 2000;
+  AnalysisSettings knobs = plain;
+  knobs.lane_width = 64;
+  knobs.threads = 3;
+  EXPECT_TRUE(batch_test::same_bits(analyze(model, plain), analyze(model, knobs)));
+}
+
+}  // namespace
+}  // namespace fmtree::smc

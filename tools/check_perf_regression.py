@@ -7,6 +7,19 @@ when the best candidate throughput drops more than --tolerance below the
 baseline figure. Several candidate files act as best-of-N: only the fastest
 run has to clear the bar, which absorbs most CI-runner noise.
 
+Beyond the throughput floor the gate also:
+
+ * validates every candidate entry structurally — the batch-engine fields
+   must be present, positive, and lane/chunk-invariant, the scalar engine
+   must report bitwise equivalence, and a run with parallel_threads <= 1
+   must carry parallel_measured=false (a 1-worker run is not a parallel
+   measurement and is refused as a parallel comparison metric);
+ * prints ns/event and speedup deltas of the best candidate against the
+   baseline, so a gate failure comes with per-event attribution;
+ * optionally enforces a cross-metric ratio with --min-ratio /
+   --baseline-metric (e.g. batch_traj_per_sec >= 2.0 x the baseline's
+   single_thread_traj_per_sec — the batch-engine acceptance bar).
+
 Exit status: 0 = within tolerance, 1 = regression or malformed input.
 """
 
@@ -16,21 +29,76 @@ import argparse
 import json
 import sys
 
+# Per-model fields every candidate run must carry, with sanity predicates.
+REQUIRED_FIELDS = {
+    "single_thread_traj_per_sec": lambda v, e: isinstance(v, (int, float)) and v > 0,
+    "batch_traj_per_sec": lambda v, e: isinstance(v, (int, float)) and v > 0,
+    "batch_lane_width": lambda v, e: isinstance(v, int) and v > 0,
+    "batch_ns_per_event": lambda v, e: isinstance(v, (int, float)) and v > 0,
+    "ns_per_event": lambda v, e: isinstance(v, (int, float)) and v > 0,
+    "bitwise_equivalent": lambda v, e: v is True,
+    "batch_lane_invariant": lambda v, e: v is True,
+    "parallel_threads": lambda v, e: isinstance(v, int) and v >= 1,
+    # Honest parallel labeling: one worker must never be presented as a
+    # parallel measurement.
+    "parallel_measured": lambda v, e: v is (e.get("parallel_threads", 0) > 1),
+}
 
-def load_metric(path: str, model: str, metric: str) -> float:
+# Fields worth a delta line when comparing best candidate vs baseline.
+DELTA_FIELDS = [
+    ("single_thread_traj_per_sec", "traj/s", "higher"),
+    ("batch_traj_per_sec", "traj/s", "higher"),
+    ("ns_per_event", "ns/ev", "lower"),
+    ("batch_ns_per_event", "ns/ev", "lower"),
+    ("speedup_single_thread", "x", "higher"),
+    ("speedup_batch", "x", "higher"),
+    ("batch_vs_scalar", "x", "higher"),
+]
+
+
+def load_doc(path: str) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
+            return json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
         raise SystemExit(f"error: cannot read benchmark file {path}: {err}")
+
+
+def model_entry(doc: dict, path: str, model: str) -> dict:
     for entry in doc.get("models", []):
         if entry.get("model") == model:
-            value = entry.get(metric)
-            if not isinstance(value, (int, float)) or value <= 0:
-                raise SystemExit(
-                    f"error: {path}: model '{model}' has no positive '{metric}'")
-            return float(value)
+            return entry
     raise SystemExit(f"error: {path}: model '{model}' not found")
+
+
+def metric_value(entry: dict, path: str, model: str, metric: str) -> float:
+    value = entry.get(metric)
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise SystemExit(
+            f"error: {path}: model '{model}' has no positive '{metric}'")
+    return float(value)
+
+
+def validate_entry(entry: dict, path: str, model: str) -> list[str]:
+    problems = []
+    for field, ok in REQUIRED_FIELDS.items():
+        if field not in entry:
+            problems.append(f"{path}: {model}: missing field '{field}'")
+        elif not ok(entry[field], entry):
+            problems.append(
+                f"{path}: {model}: field '{field}' = {entry[field]!r} fails validation")
+    return problems
+
+
+def print_deltas(baseline: dict, candidate: dict) -> None:
+    for field, unit, better in DELTA_FIELDS:
+        b, c = baseline.get(field), candidate.get(field)
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)) or b <= 0:
+            continue
+        rel = c / b - 1.0
+        improved = rel >= 0 if better == "higher" else rel <= 0
+        print(f"  {field}: {b:.6g} -> {c:.6g} {unit} "
+              f"({rel:+.1%}, {'better' if improved else 'worse'})")
 
 
 def main() -> int:
@@ -41,29 +109,76 @@ def main() -> int:
                         help="model entry to compare (default: ei_joint)")
     parser.add_argument("--metric", default="single_thread_traj_per_sec",
                         help="throughput field (default: single_thread_traj_per_sec)")
+    parser.add_argument("--baseline-metric", default=None,
+                        help="baseline field to compare against "
+                             "(default: same as --metric)")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional drop below baseline (default: 0.20)")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="require best candidate >= RATIO x baseline metric "
+                             "instead of the tolerance floor")
+    parser.add_argument("--min-value", type=float, default=None,
+                        help="require best candidate >= VALUE outright (machine-"
+                             "independent bar, e.g. batch_vs_scalar >= 2.0)")
+    parser.add_argument("--no-validate", action="store_true",
+                        help="skip structural validation of candidate files "
+                             "(for gating runs produced by older harnesses)")
     parser.add_argument("candidates", nargs="+",
                         help="candidate run JSON files; best of them is used")
     args = parser.parse_args()
     if not 0 <= args.tolerance < 1:
         raise SystemExit("error: --tolerance must lie in [0, 1)")
+    if args.min_ratio is not None and args.min_ratio <= 0:
+        raise SystemExit("error: --min-ratio must be positive")
+    baseline_metric = args.baseline_metric or args.metric
 
-    baseline = load_metric(args.baseline, args.model, args.metric)
-    runs = [(path, load_metric(path, args.model, args.metric))
-            for path in args.candidates]
-    best_path, best = max(runs, key=lambda item: item[1])
-    floor = baseline * (1.0 - args.tolerance)
+    baseline_doc = load_doc(args.baseline)
+    baseline_entry = model_entry(baseline_doc, args.baseline, args.model)
+    baseline = metric_value(baseline_entry, args.baseline, args.model,
+                            baseline_metric)
 
-    print(f"baseline {args.model}.{args.metric}: {baseline:.0f} traj/s "
-          f"(floor at -{args.tolerance:.0%}: {floor:.0f})")
-    for path, value in runs:
+    runs = []
+    problems = []
+    for path in args.candidates:
+        entry = model_entry(load_doc(path), path, args.model)
+        if not args.no_validate:
+            problems += validate_entry(entry, path, args.model)
+            if args.metric.startswith("parallel") and not entry.get("parallel_measured"):
+                problems.append(
+                    f"{path}: {args.model}: refusing '{args.metric}' as a gate "
+                    f"metric — run used {entry.get('parallel_threads')} worker(s), "
+                    f"which is not a parallel measurement")
+        runs.append((path, entry,
+                     metric_value(entry, path, args.model, args.metric)))
+
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+
+    best_path, best_entry, best = max(runs, key=lambda item: item[2])
+    if args.min_value is not None:
+        floor = args.min_value
+        bar = f">= {args.min_value:g} outright"
+    elif args.min_ratio is not None:
+        floor = baseline * args.min_ratio
+        bar = f"{args.min_ratio:g}x {baseline_metric}"
+    else:
+        floor = baseline * (1.0 - args.tolerance)
+        bar = f"-{args.tolerance:.0%}"
+
+    print(f"baseline {args.model}.{baseline_metric}: {baseline:.0f} "
+          f"(floor at {bar}: {floor:.0f})")
+    for path, _, value in runs:
         marker = " <-- best" if path == best_path else ""
-        print(f"  {path}: {value:.0f} traj/s ({value / baseline - 1.0:+.1%}){marker}")
+        print(f"  {path}: {args.metric} = {value:.0f} "
+              f"({value / baseline - 1.0:+.1%} vs baseline){marker}")
+    print(f"deltas ({best_path} vs {args.baseline}):")
+    print_deltas(baseline_entry, best_entry)
 
     if best < floor:
-        print(f"FAIL: best run {best:.0f} traj/s is more than "
-              f"{args.tolerance:.0%} below the baseline", file=sys.stderr)
+        print(f"FAIL: best run {best:.0f} is below the bar of {floor:.0f} "
+              f"({bar} of baseline {baseline:.0f})", file=sys.stderr)
         return 1
     print("OK: within tolerance")
     return 0
