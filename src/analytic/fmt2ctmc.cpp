@@ -5,6 +5,7 @@
 #include <variant>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace fmtree::analytic {
 
@@ -65,6 +66,9 @@ double phase_rate(const fmt::DegradationModel& deg, int phase) {
 
 MarkovFmt fmt_to_ctmc(const fmt::FaultMaintenanceTree& model, FailureTreatment treatment,
                       std::size_t max_states) {
+  // Fault site for the allocation-heavy CTMC construction: error mode stands
+  // in for a bad_alloc/state-explosion mid-build.
+  (void)fault::fault_point("solver.build");
   model.validate();
   require_markovian_structure(model);
   const ft::FaultTree& structure = model.structure();

@@ -5,9 +5,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/json.hpp"
 
 namespace fmtree::batch {
@@ -66,18 +69,69 @@ std::vector<double> decode_doubles(const json::Value& report, const char* name) 
 
 double decode_double(const json::Value& report, const char* name) {
   const json::Value* v = report.find(name);
-  if (v == nullptr) throw IoError("cache entry: missing field '" + std::string(name) + "'");
+  if (v == nullptr)
+    throw IoError("cache entry: missing field '" + std::string(name) + "'");
   return parse_hexfloat(*v);
+}
+
+/// Per-process random token for temp-file names: two crashed or concurrent
+/// processes writing the same entry never collide on a temp path.
+const std::string& process_tag() {
+  static const std::string tag = [] {
+    std::random_device rd;
+    std::uint64_t token = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(token));
+    return std::string(buf);
+  }();
+  return tag;
+}
+
+/// Deterministic single-byte mutation for the cache.read/cache.write corrupt
+/// fault modes: flips one bit in the middle of the payload, which either
+/// breaks the JSON or changes a value the content hash then rejects.
+void corrupt_payload(std::string& payload) {
+  if (payload.empty()) return;
+  payload[payload.size() / 2] ^= 0x01;
 }
 
 }  // namespace
 
+Fingerprint report_content_hash(const smc::KpiReport& r) {
+  StreamHasher h;
+  h.tag("fmtree.result/v2");
+  h.f64(r.horizon).u64(r.trajectories);
+  const auto ci = [&h](const ConfidenceInterval& c) {
+    h.f64(c.point).f64(c.lo).f64(c.hi).f64(c.confidence);
+  };
+  ci(r.reliability);
+  ci(r.expected_failures);
+  ci(r.failures_per_year);
+  ci(r.availability);
+  ci(r.total_cost);
+  ci(r.cost_per_year);
+  ci(r.npv_cost);
+  h.f64(r.mean_cost.inspection)
+      .f64(r.mean_cost.repair)
+      .f64(r.mean_cost.replacement)
+      .f64(r.mean_cost.corrective)
+      .f64(r.mean_cost.downtime);
+  h.f64(r.mean_inspections).f64(r.mean_repairs).f64(r.mean_replacements);
+  h.u64(r.failures_per_leaf.size());
+  for (const double v : r.failures_per_leaf) h.f64(v);
+  h.u64(r.repairs_per_leaf.size());
+  for (const double v : r.repairs_per_leaf) h.f64(v);
+  return h.digest();
+}
+
 std::string encode_report(const CacheKey& key, const smc::KpiReport& r) {
   std::ostringstream os;
   os << "{\n"
-     << "  \"schema\": \"fmtree.result/v1\",\n"
+     << "  \"schema\": \"fmtree.result/v2\",\n"
      << "  \"model\": \"" << key.model.hex() << "\",\n"
      << "  \"request\": \"" << key.request.hex() << "\",\n"
+     << "  \"content_hash\": \"" << report_content_hash(r).hex() << "\",\n"
      << "  \"report\": {\n"
      << "    \"horizon\": \"" << hexfloat(r.horizon) << "\",\n"
      << "    \"trajectories\": " << r.trajectories << ",\n";
@@ -105,13 +159,16 @@ smc::KpiReport decode_report(const CacheKey& key, const std::string& text) {
   const json::Value doc = json::parse(text);
   const json::Value* schema = doc.find("schema");
   if (schema == nullptr || !schema->is(json::Kind::String) ||
-      schema->text != "fmtree.result/v1")
+      schema->text != "fmtree.result/v2")
     throw IoError("cache entry: unknown schema");
   const json::Value* model = doc.find("model");
   const json::Value* request = doc.find("request");
   if (model == nullptr || request == nullptr || model->text != key.model.hex() ||
       request->text != key.request.hex())
     throw IoError("cache entry: key mismatch");
+  const json::Value* stored_hash = doc.find("content_hash");
+  if (stored_hash == nullptr || !stored_hash->is(json::Kind::String))
+    throw IoError("cache entry: missing content hash");
   const json::Value* rep = doc.find("report");
   if (rep == nullptr || !rep->is(json::Kind::Object))
     throw IoError("cache entry: missing report object");
@@ -138,6 +195,12 @@ smc::KpiReport decode_report(const CacheKey& key, const std::string& text) {
   r.mean_replacements = decode_double(*rep, "mean_replacements");
   r.failures_per_leaf = decode_doubles(*rep, "failures_per_leaf");
   r.repairs_per_leaf = decode_doubles(*rep, "repairs_per_leaf");
+
+  // Integrity gate: the values we decoded must reproduce the checksum the
+  // writer computed from its values. Any bit rot or torn write that still
+  // parses lands here.
+  if (report_content_hash(r).hex() != stored_hash->text)
+    throw IoError("cache entry: content hash mismatch");
   return r;
 }
 
@@ -148,10 +211,72 @@ ResultCache::ResultCache(std::string directory) : directory_(std::move(directory
   if (ec)
     throw IoError("cannot create cache directory '" + directory_ +
                   "': " + ec.message());
+  recovery_scan();
 }
 
 std::string ResultCache::entry_path(const CacheKey& key) const {
   return directory_ + "/" + key.id() + ".json";
+}
+
+std::string ResultCache::quarantine_directory() const {
+  return directory_.empty() ? std::string{} : directory_ + "/quarantine";
+}
+
+void ResultCache::recovery_scan() {
+  // A crashed writer leaves "<entry>.json.tmp.<tag>" files behind (and the
+  // pre-v2 format left "<entry>.json.tmp"); none can ever be read, so remove
+  // them. A *live* concurrent writer could lose its temp file to this scan —
+  // it then fails its rename and recomputes, which is the contract anyway.
+  std::error_code ec;
+  std::uint64_t removed = 0;
+  // An unreadable directory yields an end iterator: no recovery, no throw.
+  for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
+    std::error_code file_ec;
+    if (!entry.is_regular_file(file_ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".json.tmp") == std::string::npos) continue;
+    std::filesystem::remove(entry.path(), file_ec);
+    if (!file_ec) ++removed;
+  }
+  if (removed > 0) {
+    stats_.recovered_tmp_files += removed;
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.code = "C102";
+    d.message = "cache recovery: removed " + std::to_string(removed) +
+                " stale temporary file(s) left by a crashed writer in '" +
+                directory_ + "'";
+    warnings_.push_back(std::move(d));
+  }
+}
+
+void ResultCache::quarantine_entry(const std::string& path, const std::string& why) {
+  // Caller holds mutex_. Move the entry aside so the next read is a clean
+  // miss and the corrupt bytes stay available for post-mortem inspection.
+  ++stats_.disk_failures;
+  ++stats_.corrupt_entries;
+  const std::filesystem::path source(path);
+  const std::filesystem::path dir(quarantine_directory());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string disposition;
+  if (!ec) {
+    std::filesystem::rename(source, dir / source.filename(), ec);
+  }
+  if (!ec) {
+    ++stats_.quarantined;
+    disposition = "quarantined to '" + (dir / source.filename()).string() + "'";
+  } else {
+    disposition = "could not quarantine: " + ec.message();
+  }
+  Diagnostic d;
+  d.severity = Severity::Warning;
+  d.code = "C101";
+  d.message = "corrupt result-cache entry '" + source.filename().string() +
+              "' (" + why + "); " + disposition;
+  d.hint = "the result will be recomputed; inspect the quarantine directory "
+           "if corruption persists";
+  warnings_.push_back(std::move(d));
 }
 
 std::optional<smc::KpiReport> ResultCache::get(const CacheKey& key) {
@@ -163,18 +288,23 @@ std::optional<smc::KpiReport> ResultCache::get(const CacheKey& key) {
     return it->second;
   }
   if (!directory_.empty()) {
-    std::ifstream in(entry_path(key));
+    const std::string path = entry_path(key);
+    std::ifstream in(path);
     if (in) {
       std::ostringstream text;
       text << in.rdbuf();
+      std::string payload = text.str();
       try {
-        smc::KpiReport report = decode_report(key, text.str());
+        if (fault::fault_point("cache.read")) corrupt_payload(payload);
+        smc::KpiReport report = decode_report(key, payload);
         memory_.emplace(id, report);
         ++stats_.hits;
         ++stats_.disk_hits;
         return report;
-      } catch (const IoError&) {
-        ++stats_.disk_failures;  // corrupt entry: fall through to a miss
+      } catch (const fault::InjectedFault& e) {
+        quarantine_entry(path, e.what());  // injected read error: same path
+      } catch (const IoError& e) {
+        quarantine_entry(path, e.what());
       }
     }
   }
@@ -188,20 +318,40 @@ void ResultCache::put(const CacheKey& key, const smc::KpiReport& report) {
   memory_.insert_or_assign(key.id(), report);
   if (directory_.empty()) return;
   // Write-then-rename so concurrent readers never observe a partial entry.
+  // The temp name is process- and sequence-unique: two writers of the same
+  // key never clobber each other's in-flight file.
   const std::string final_path = entry_path(key);
-  const std::string tmp_path = final_path + ".tmp";
+  const std::string tmp_path =
+      final_path + ".tmp." + process_tag() + "-" + std::to_string(++tmp_sequence_);
+  std::string payload = encode_report(key, report);
+  try {
+    // "cache.write" in corrupt mode simulates silent media corruption: the
+    // mangled payload is published and must be caught by the content hash on
+    // the next read. Error mode simulates a failed write syscall.
+    if (fault::fault_point("cache.write")) corrupt_payload(payload);
+  } catch (const fault::InjectedFault&) {
+    ++stats_.disk_failures;
+    return;  // nothing was written yet
+  }
   {
     std::ofstream out(tmp_path, std::ios::trunc);
     if (!out) {
       ++stats_.disk_failures;
       return;
     }
-    out << encode_report(key, report);
+    out << payload;
     if (!out.flush()) {
       ++stats_.disk_failures;
       std::remove(tmp_path.c_str());
       return;
     }
+  }
+  try {
+    (void)fault::fault_point("cache.rename");
+  } catch (const fault::InjectedFault&) {
+    ++stats_.disk_failures;
+    std::remove(tmp_path.c_str());  // failed publish must not leak the temp
+    return;
   }
   if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
     ++stats_.disk_failures;
@@ -214,6 +364,11 @@ void ResultCache::put(const CacheKey& key, const smc::KpiReport& report) {
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+std::vector<Diagnostic> ResultCache::take_warnings() {
+  std::lock_guard lock(mutex_);
+  return std::exchange(warnings_, {});
 }
 
 std::size_t ResultCache::size() const {

@@ -22,6 +22,17 @@
 // path cannot split. Job-level RunSettings::control and ::telemetry are
 // ignored: interruption and instrumentation of a sweep are plan-level
 // concerns (SweepPlan::control, run_sweep's telemetry argument).
+//
+// Self-healing (DESIGN.md, "Failure semantics"): a job that throws mid-run —
+// an injected I/O error, a resource cap, a NaN-poisoned aggregate — becomes a
+// structured per-job failure record (JobResult::failed + JobFailure) while
+// the rest of the plan completes. Transient failure classes (I/O, injected
+// faults) are retried up to SweepPlan::max_retries times with bounded
+// exponential backoff; the retry path is a plain smc::analyze, which is
+// bit-identical to the pooled path by the determinism contract, so a healed
+// job's report carries no trace of the faults it survived. A watchdog
+// (SweepPlan::stall_timeout_s) converts stalled-worker heartbeats into a
+// StopReason::Stalled stop with a diagnostic naming the stuck workers.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +44,7 @@
 #include "fmt/fmtree.hpp"
 #include "obs/telemetry.hpp"
 #include "smc/kpi.hpp"
+#include "util/diagnostics.hpp"
 
 namespace fmtree::batch {
 
@@ -54,6 +66,29 @@ struct SweepPlan {
   /// completed still deliver exact reports; interrupted jobs are returned
   /// with completed == false.
   const smc::RunControl* control = nullptr;
+  /// Retry budget for jobs that failed with a *transient* class (I/O errors,
+  /// injected faults): up to this many re-runs after the first attempt.
+  /// Non-transient classes (domain, resource, internal) never retry.
+  std::uint32_t max_retries = 2;
+  /// Exponential backoff before retry k sleeps
+  /// min(retry_backoff_ms * 2^(k-1), retry_backoff_cap_ms) milliseconds.
+  double retry_backoff_ms = 25.0;
+  double retry_backoff_cap_ms = 1000.0;
+  /// Stall watchdog: when > 0 and the pool makes no trajectory progress for
+  /// this many seconds while tasks remain, the sweep stops with
+  /// StopReason::Stalled and a diagnostic naming the silent workers.
+  /// 0 disables the watchdog (the default).
+  double stall_timeout_s = 0.0;
+};
+
+/// Why a job failed, as data: classification, the message, and how many
+/// attempts were spent on it.
+struct JobFailure {
+  /// Stable class name: "injected", "io", "resource", "domain", "internal".
+  std::string kind;
+  std::string message;       ///< the final attempt's exception text
+  bool transient = false;    ///< whether the class was eligible for retry
+  std::uint32_t attempts = 0;  ///< total attempts (first run + retries)
 };
 
 struct JobResult {
@@ -61,6 +96,12 @@ struct JobResult {
   CacheKey key;
   bool completed = false;  ///< report is valid (simulated or from cache)
   bool cache_hit = false;
+  /// True when the job threw and exhausted (or was ineligible for) retries;
+  /// `failure` then describes why. failed and completed are exclusive.
+  bool failed = false;
+  JobFailure failure;
+  /// Retry attempts spent on this job (0 when the first attempt succeeded).
+  std::uint32_t retries = 0;
   smc::KpiReport report;
 };
 
@@ -69,15 +110,24 @@ struct SweepOutcome {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;  ///< jobs actually simulated
   std::uint64_t trajectories_simulated = 0;
-  /// True when SweepPlan::control stopped the run before every job finished.
+  /// True when the plan stopped (control or watchdog) before every job
+  /// finished. Permanently *failed* jobs do not set this — they are
+  /// accounted in jobs_failed instead.
   bool truncated = false;
   smc::StopReason stop_reason = smc::StopReason::None;
+  std::uint64_t jobs_failed = 0;  ///< jobs with a permanent failure record
+  std::uint64_t retries = 0;      ///< retry attempts across all jobs
+  /// Cache-integrity warnings (C101/C102) drained from the cache plus the
+  /// watchdog's stall diagnostic (B102) when it fired.
+  std::vector<Diagnostic> warnings;
 };
 
 /// Executes the plan. `cache` may be null (no caching); `telemetry` may be
 /// empty. Emits batch.* counters (jobs, tasks, steals, trajectories, cache
-/// hits/misses), per-task tracer spans named after the job labels, and
-/// "sweep"-phase progress over the total trajectory count.
+/// hits/misses), the robustness counters (sweep.retries, sweep.job_failures,
+/// cache.corrupt_entries, fault.injected), per-task tracer spans named after
+/// the job labels plus "retry:<label>" spans, and "sweep"-phase progress
+/// over the total trajectory count.
 SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache = nullptr,
                        const obs::Telemetry& telemetry = {});
 

@@ -9,6 +9,7 @@
 
 #include "analytic/fmt2ctmc.hpp"
 #include "analytic/solvers.hpp"
+#include "batch/checkpoint.hpp"
 #include "batch/result_cache.hpp"
 #include "batch/sweep.hpp"
 #include "fmt/parser.hpp"
@@ -23,6 +24,7 @@
 #include "smc/kpi.hpp"
 #include "util/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/table.hpp"
 
 namespace fmtree::cli {
@@ -129,6 +131,16 @@ Options parse_args(const std::vector<std::string>& args) {
     else if (flag == "--progress") opt.progress = true;
     else if (flag == "--frequencies") opt.frequencies = parse_frequencies(value());
     else if (flag == "--cache-dir") opt.cache_dir = value();
+    else if (flag == "--resume") opt.resume = true;
+    else if (flag == "--max-retries")
+      opt.max_retries = static_cast<std::uint32_t>(parse_count(value(), "retries"));
+    else if (flag == "--stall-timeout")
+      opt.stall_timeout = parse_double(value(), "stall timeout");
+    else if (flag == "--inject-fault") {
+      const std::string& spec = value();
+      fault::parse_fault_spec(spec);  // validate now: usage error, not runtime
+      opt.inject_faults.push_back(spec);
+    }
     else throw DomainError("unknown flag '" + flag + "'\n" + usage());
   }
   const std::size_t want = opt.command == Command::Compare ? 2u : 1u;
@@ -146,6 +158,10 @@ Options parse_args(const std::vector<std::string>& args) {
     throw DomainError("--confidence must lie in (0,1)");
   if (!(opt.timeout >= 0)) throw DomainError("--timeout must be nonnegative");
   if (opt.state_cap == 0) throw DomainError("--state-cap must be positive");
+  if (!(opt.stall_timeout >= 0))
+    throw DomainError("--stall-timeout must be nonnegative");
+  if (opt.resume && opt.cache_dir.empty())
+    throw DomainError("--resume needs --cache-dir (the checkpoint lives there)");
   return opt;
 }
 
@@ -348,6 +364,8 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
 
   batch::SweepPlan plan;
   plan.threads = opt.threads;
+  plan.max_retries = opt.max_retries;
+  plan.stall_timeout_s = opt.stall_timeout;
   smc::RunControl& control = interrupt_control();
   control.reset();
   if (opt.timeout > 0) control.set_timeout(opt.timeout);
@@ -377,7 +395,45 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
   std::unique_ptr<batch::ResultCache> cache;
   if (!opt.cache_dir.empty())
     cache = std::make_unique<batch::ResultCache>(opt.cache_dir);
+
+  // --resume: consult the checkpoint manifest before running. The cache is
+  // what actually replays completed jobs bit-identically; the manifest adds
+  // plan validation and a progress preamble.
+  if (opt.resume && cache != nullptr) {
+    const std::string path = batch::checkpoint_path(opt.cache_dir);
+    try {
+      if (const auto cp = batch::read_checkpoint(path)) {
+        if (cp->plan_id == batch::checkpoint_plan_id(plan)) {
+          out << "resuming: " << cp->jobs_done() << " of " << cp->jobs.size()
+              << " jobs already completed in a previous run\n";
+        } else {
+          Diagnostic d;
+          d.severity = Severity::Warning;
+          d.code = "C103";
+          d.message = "checkpoint in '" + opt.cache_dir +
+                      "' was written by a different sweep plan; starting fresh";
+          out << "fmtree: " << format_diagnostic(d) << "\n";
+        }
+      } else {
+        out << "resuming: no checkpoint found in '" << opt.cache_dir
+            << "'; starting fresh\n";
+      }
+    } catch (const IoError& e) {
+      Diagnostic d;
+      d.severity = Severity::Warning;
+      d.code = "C103";
+      d.message = std::string("unreadable sweep checkpoint (") + e.what() +
+                  "); starting fresh";
+      out << "fmtree: " << format_diagnostic(d) << "\n";
+    }
+  }
+
   const batch::SweepOutcome o = batch::run_sweep(plan, cache.get(), telemetry);
+
+  // Publish the manifest for the *next* --resume whenever a cache exists —
+  // also after a truncated run, which is exactly when resume matters.
+  if (cache != nullptr)
+    batch::write_checkpoint(batch::checkpoint_path(opt.cache_dir), plan, o);
 
   out << "inspection-frequency cost curve over " << opt.horizon << " time units ("
       << opt.runs << " runs each, " << opt.confidence * 100 << "% CIs):\n";
@@ -385,6 +441,10 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
   std::size_t best = opt.frequencies.size();
   for (std::size_t i = 0; i < o.results.size(); ++i) {
     const batch::JobResult& r = o.results[i];
+    if (r.failed) {
+      t.add_row({r.label, "(failed: " + r.failure.kind + ")", "", ""});
+      continue;
+    }
     if (!r.completed) {
       t.add_row({r.label, "(interrupted)", "", ""});
       continue;
@@ -404,12 +464,25 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
     out << "cache: " << o.cache_hits << " hits, " << o.cache_misses << " misses ("
         << opt.cache_dir << ")\n";
   }
+  if (o.retries > 0)
+    out << "self-healing: " << o.retries << " retr"
+        << (o.retries == 1 ? "y" : "ies") << " recovered transient failures\n";
+  for (const Diagnostic& d : o.warnings)
+    out << "fmtree: " << format_diagnostic(d) << "\n";
+  if (o.jobs_failed > 0) {
+    out << "\nNOTE: " << o.jobs_failed << " job(s) failed permanently:\n";
+    for (const batch::JobResult& r : o.results)
+      if (r.failed)
+        out << "  " << r.label << " [" << r.failure.kind << ", "
+            << r.failure.attempts << " attempt(s)]: " << r.failure.message
+            << "\n";
+  }
   if (o.truncated) {
     out << "\nNOTE: sweep truncated (" << smc::stop_reason_name(o.stop_reason)
         << "); interrupted policies carry no results.\n";
     return kExitTruncated;
   }
-  return kExitOk;
+  return o.jobs_failed > 0 ? kExitTruncated : kExitOk;
 }
 
 int cmd_dot(const fmt::FaultMaintenanceTree& model, std::ostream& out) {
@@ -443,6 +516,9 @@ int cmd_cutsets(const Options& opt, const fmt::FaultMaintenanceTree& model,
 
 int run_on_text(const Options& options, const std::string& model_text,
                 std::ostream& out) {
+  // --inject-fault armings live exactly as long as the command; sites armed
+  // via FMTREE_FAULTS (registry construction) are left untouched.
+  const fault::Scope fault_scope(options.inject_faults);
   const TelemetrySession session(options);
   auto parse_span = obs::maybe_span(session.tracer(), "parse");
   const fmt::FaultMaintenanceTree model = fmt::parse_fmt(model_text);
@@ -599,6 +675,14 @@ std::string usage() {
       "                     0 = none (default 0,0.5,1,2,3,4,6,8,12,24)\n"
       "  --cache-dir <dir>  sweep: content-addressed result cache directory;\n"
       "                     repeated runs reuse bit-identical results\n"
+      "  --resume           sweep: resume from the checkpoint in --cache-dir;\n"
+      "                     completed jobs replay bit-identically from cache\n"
+      "  --max-retries <n>  sweep: retry budget per job for transient\n"
+      "                     failures (default 2)\n"
+      "  --stall-timeout <s> sweep: stop with a diagnostic if no progress\n"
+      "                     for <s> seconds (default: off)\n"
+      "  --inject-fault <f> arm a fault site for this run (testing), e.g.\n"
+      "                     cache.write:error,p=0.05,seed=7; repeatable\n"
       "exit codes: 0 ok, 1 truncated run, 2 usage/input error,\n"
       "            3 parse/validation diagnostics, 4 resource limit,\n"
       "            5 internal error\n";

@@ -14,7 +14,9 @@
 //          --quantiles <p1,p2,...>  --timeout <s>
 //          --state-cap <n>    --no-fallback  --json-errors
 //          --metrics <file>   --trace <file|chrome:file>  --progress
-//          --frequencies <f1,f2,...>  --cache-dir <dir>
+//          --frequencies <f1,f2,...>  --cache-dir <dir>  --resume
+//          --max-retries <n>  --stall-timeout <s>
+//          --inject-fault <site:spec>  (repeatable; testing only)
 //
 // Split into a library so argument parsing and command execution are unit
 // testable; main() is a thin wrapper.
@@ -74,6 +76,17 @@ struct Options {
   std::vector<double> frequencies = {0, 0.5, 1, 2, 3, 4, 6, 8, 12, 24};
   /// On-disk result cache directory for `sweep`; empty = no cache.
   std::string cache_dir;
+  /// Resume a previous sweep from the checkpoint manifest in cache_dir:
+  /// completed jobs replay bit-identically from the cache; only the rest are
+  /// simulated. Requires --cache-dir.
+  bool resume = false;
+  /// Per-job retry budget for transient failures (SweepPlan::max_retries).
+  std::uint32_t max_retries = 2;
+  /// Sweep stall watchdog in seconds; 0 = off (SweepPlan::stall_timeout_s).
+  double stall_timeout = 0.0;
+  /// Fault-injection specs ("site:mode[,trigger]") armed for the duration of
+  /// the command, on top of any FMTREE_FAULTS armings. Testing only.
+  std::vector<std::string> inject_faults;
 };
 
 /// Process-wide cooperative stop handle. Long-running commands (analyze)

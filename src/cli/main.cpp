@@ -7,17 +7,20 @@
 namespace {
 
 // Async-signal-safe: request_stop() is a relaxed atomic store. Restoring the
-// default disposition afterwards lets a second Ctrl-C kill a run that is
-// stuck somewhere that never polls the control.
-extern "C" void handle_interrupt(int) {
+// default disposition afterwards lets a second signal kill a run that is
+// stuck somewhere that never polls the control. SIGTERM (an orchestrator's
+// polite kill) gets the same treatment as SIGINT: the run stops at the next
+// trajectory boundary and reports exact statistics over the completed prefix.
+extern "C" void handle_interrupt(int sig) {
   fmtree::cli::interrupt_control().request_stop();
-  std::signal(SIGINT, SIG_DFL);
+  std::signal(sig, SIG_DFL);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
   std::vector<std::string> args(argv + 1, argv + argc);
   return fmtree::cli::main_impl(args, std::cout, std::cerr);
 }

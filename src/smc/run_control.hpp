@@ -23,9 +23,10 @@ namespace fmtree::smc {
 /// Why a run ended early. None means it ran to natural completion.
 enum class StopReason : std::uint8_t {
   None = 0,
-  Interrupted,      ///< request_stop() was called (e.g. SIGINT)
+  Interrupted,      ///< request_stop() was called (e.g. SIGINT/SIGTERM)
   DeadlineExpired,  ///< wall-clock deadline passed
   BudgetExhausted,  ///< trajectory budget consumed
+  Stalled,          ///< a watchdog saw no progress for its stall timeout
 };
 
 constexpr const char* stop_reason_name(StopReason r) noexcept {
@@ -34,6 +35,7 @@ constexpr const char* stop_reason_name(StopReason r) noexcept {
     case StopReason::Interrupted: return "interrupted";
     case StopReason::DeadlineExpired: return "deadline";
     case StopReason::BudgetExhausted: return "budget";
+    case StopReason::Stalled: return "stalled";
   }
   return "?";
 }

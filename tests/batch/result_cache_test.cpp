@@ -131,5 +131,81 @@ TEST(ResultCache, UncreatableDirectoryThrows) {
   EXPECT_THROW(ResultCache("/dev/null/not-a-dir"), IoError);
 }
 
+TEST(ResultCacheCodec, ContentHashCatchesSingleBitRot) {
+  const CacheKey key = test_key();
+  std::string text = encode_report(key, nasty_report());
+  EXPECT_NE(text.find("\"content_hash\""), std::string::npos);
+  // Flip one bit in the middle of the payload: whatever it lands on — a
+  // value digit, a key, structure — decode must reject the entry.
+  text[text.size() / 2] ^= 0x01;
+  EXPECT_THROW(decode_report(key, text), IoError);
+}
+
+TEST(ResultCacheCodec, ContentHashIsAFunctionOfValuesNotText) {
+  // Same values, different keys: the hash must agree (it feeds from the
+  // decoded values, not from the serialized text or the entry identity).
+  const std::string a = encode_report(test_key(), nasty_report());
+  const std::string b = encode_report(test_key(/*salt=*/9), nasty_report());
+  const std::string needle = "\"content_hash\": \"";
+  const auto hash_of = [&](const std::string& text) {
+    const std::size_t at = text.find(needle) + needle.size();
+    return text.substr(at, 32);
+  };
+  EXPECT_EQ(hash_of(a), hash_of(b));
+  EXPECT_EQ(report_content_hash(nasty_report()).hex(), hash_of(a));
+}
+
+TEST(ResultCache, QuarantinesCorruptEntriesWithAWarning) {
+  const std::string dir = testing::TempDir() + "fmtree_cache_quarantine_test";
+  std::filesystem::remove_all(dir);  // idempotence across ctest runs
+  const CacheKey key = test_key(/*salt=*/3);
+  {
+    ResultCache writer(dir);
+    writer.put(key, nasty_report());
+  }
+  // Corrupt the published entry on disk the way bit rot would.
+  const std::string path = dir + "/" + key.id() + ".json";
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    f.seekp(size / 2);
+    char c = 0;
+    f.seekg(size / 2);
+    f.get(c);
+    f.seekp(size / 2);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+  ResultCache reader(dir);
+  EXPECT_FALSE(reader.get(key).has_value());
+  const ResultCache::Stats st = reader.stats();
+  EXPECT_EQ(st.corrupt_entries, 1u);
+  EXPECT_EQ(st.quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));  // moved, not deleted
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(reader.quarantine_directory()) / (key.id() + ".json")));
+  const std::vector<Diagnostic> warnings = reader.take_warnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].code, "C101");
+  EXPECT_EQ(warnings[0].severity, Severity::Warning);
+  EXPECT_TRUE(reader.take_warnings().empty());  // drained
+}
+
+TEST(ResultCache, RecoveryScanRemovesStaleTempFiles) {
+  const std::string dir = testing::TempDir() + "fmtree_cache_recovery_test";
+  std::filesystem::remove_all(dir);  // idempotence across ctest runs
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream dead(dir + "/abc.json.tmp.deadbeef-1");
+    dead << "torn write from a crashed process";
+  }
+  ResultCache cache(dir);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/abc.json.tmp.deadbeef-1"));
+  EXPECT_EQ(cache.stats().recovered_tmp_files, 1u);
+  const std::vector<Diagnostic> warnings = cache.take_warnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].code, "C102");
+}
+
 }  // namespace
 }  // namespace fmtree::batch

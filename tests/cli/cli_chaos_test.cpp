@@ -1,0 +1,177 @@
+// CLI-level chaos: --inject-fault, --resume and the self-healing surface of
+// `fmtree sweep`. "Chaos" prefix: selected by CI's chaos job (ctest -R Chaos).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "batch/checkpoint.hpp"
+#include "cli/cli.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+namespace fmtree::cli {
+namespace {
+
+const char* kSweepModel = R"(
+  toplevel T;
+  T or A B;
+  A ebe phases=3 mean=5 threshold=2 repair_cost=100;
+  B be exp(0.05);
+  inspection I period=0.5 cost=20 targets A;
+  corrective cost=5000 delay=0;
+)";
+
+Options sweep_opts(std::vector<double> frequencies) {
+  Options o;
+  o.command = Command::Sweep;
+  o.horizon = 5.0;
+  o.runs = 200;
+  o.seed = 3;
+  o.frequencies = std::move(frequencies);
+  return o;
+}
+
+/// The cost-curve table with layout, status lines (resume preamble, cache
+/// summary, healing note) and the source column removed, so a "simulated"
+/// run and a "cache" replay compare equal iff the numbers match.
+std::string normalized_curve(const std::string& text) {
+  std::string s;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    const bool status_line = [&] {
+      for (const char* marker : {"cache:", "resuming:", "self-healing:", "fmtree:"})
+        if (line.find(marker) != std::string::npos) return true;
+      return false;
+    }();
+    if (!status_line) s += line + "\n";
+  }
+  for (const char* word : {"simulated", "cache"}) {
+    for (std::size_t at; (at = s.find(word)) != std::string::npos;)
+      s.erase(at, std::string(word).size());
+  }
+  std::erase_if(s, [](char c) { return c == ' ' || c == '|' || c == '-'; });
+  return s;
+}
+
+TEST(ChaosCliArgs, ParsesRobustnessFlags) {
+  const Options o = parse_args(
+      {"sweep", "m.fmt", "--cache-dir", "/tmp/c", "--resume", "--max-retries",
+       "5", "--stall-timeout", "30", "--inject-fault",
+       "cache.write:error,p=0.05,seed=7", "--inject-fault", "sweep.task:error"});
+  EXPECT_TRUE(o.resume);
+  EXPECT_EQ(o.max_retries, 5u);
+  EXPECT_DOUBLE_EQ(o.stall_timeout, 30.0);
+  ASSERT_EQ(o.inject_faults.size(), 2u);
+  EXPECT_EQ(o.inject_faults[1], "sweep.task:error");
+}
+
+TEST(ChaosCliArgs, RejectsBadRobustnessFlags) {
+  // --resume without a cache directory has nothing to resume from.
+  EXPECT_THROW(parse_args({"sweep", "m.fmt", "--resume"}), DomainError);
+  // Malformed fault specs fail at parse time, not mid-run.
+  EXPECT_THROW(parse_args({"sweep", "m.fmt", "--inject-fault", "nonsense"}),
+               DomainError);
+  EXPECT_THROW(parse_args({"sweep", "m.fmt", "--stall-timeout", "-1"}),
+               DomainError);
+}
+
+TEST(ChaosCliSweep, InjectedFaultsHealAndTheCurveIsIdentical) {
+  std::ostringstream clean;
+  ASSERT_EQ(run_on_text(sweep_opts({0, 2}), kSweepModel, clean), kExitOk);
+
+  Options chaos = sweep_opts({0, 2});
+  chaos.inject_faults = {"sweep.task:error,nth=1,limit=1"};
+  std::ostringstream healed;
+  ASSERT_EQ(run_on_text(chaos, kSweepModel, healed), kExitOk);
+  EXPECT_NE(healed.str().find("self-healing:"), std::string::npos);
+  EXPECT_EQ(normalized_curve(clean.str()), normalized_curve(healed.str()));
+  // The scope died with the run: nothing stays armed for later tests.
+  EXPECT_FALSE(fault::fault_point("sweep.task"));
+}
+
+TEST(ChaosCliSweep, ExhaustedRetriesFailTheJobButFinishTheSweep) {
+  Options o = sweep_opts({0, 2});
+  o.max_retries = 0;
+  o.inject_faults = {"sweep.task:error,nth=1,limit=1"};
+  std::ostringstream out;
+  const int code = run_on_text(o, kSweepModel, out);
+  EXPECT_EQ(code, kExitTruncated);
+  EXPECT_NE(out.str().find("(failed: injected)"), std::string::npos);
+  EXPECT_NE(out.str().find("job(s) failed permanently"), std::string::npos);
+  // The healthy job still delivered its row.
+  EXPECT_NE(out.str().find("cost-optimal policy:"), std::string::npos);
+}
+
+TEST(ChaosCliSweep, ResumeReplaysACrashedCacheBitIdentically) {
+  Options o = sweep_opts({0, 2});
+  o.cache_dir = testing::TempDir() + "fmtree_cli_chaos_resume";
+  std::filesystem::remove_all(o.cache_dir);
+
+  // Run 1 "crashes": every cache publish fails, so nothing durable lands —
+  // except the checkpoint written at the end.
+  Options crashing = o;
+  crashing.inject_faults = {"cache.rename:error"};
+  std::ostringstream first;
+  ASSERT_EQ(run_on_text(crashing, kSweepModel, first), kExitOk);
+  EXPECT_NE(first.str().find("0 hits, 2 misses"), std::string::npos);
+
+  // Run 2 resumes: nothing was persisted, so it recomputes — and must land
+  // on the identical curve. Its cache writes succeed this time.
+  Options resume = o;
+  resume.resume = true;
+  std::ostringstream second;
+  ASSERT_EQ(run_on_text(resume, kSweepModel, second), kExitOk);
+  EXPECT_NE(second.str().find("resuming:"), std::string::npos);
+  EXPECT_EQ(normalized_curve(first.str()), normalized_curve(second.str()));
+
+  // Run 3 resumes against the now-warm cache: all hits, same bits, and the
+  // checkpoint reports every job done.
+  std::ostringstream third;
+  ASSERT_EQ(run_on_text(resume, kSweepModel, third), kExitOk);
+  EXPECT_NE(third.str().find("resuming: 2 of 2 jobs"), std::string::npos);
+  EXPECT_NE(third.str().find("2 hits, 0 misses"), std::string::npos);
+  EXPECT_EQ(normalized_curve(first.str()), normalized_curve(third.str()));
+  const auto cp = batch::read_checkpoint(batch::checkpoint_path(o.cache_dir));
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->jobs_done(), 2u);
+}
+
+TEST(ChaosCliSweep, ResumeAgainstADifferentPlanWarnsAndRunsFresh) {
+  Options o = sweep_opts({0, 2});
+  o.cache_dir = testing::TempDir() + "fmtree_cli_chaos_plan_mismatch";
+  std::filesystem::remove_all(o.cache_dir);
+  std::ostringstream first;
+  ASSERT_EQ(run_on_text(o, kSweepModel, first), kExitOk);
+
+  Options other = sweep_opts({0, 4});  // different frequency grid
+  other.cache_dir = o.cache_dir;
+  other.resume = true;
+  std::ostringstream second;
+  ASSERT_EQ(run_on_text(other, kSweepModel, second), kExitOk);
+  EXPECT_NE(second.str().find("C103"), std::string::npos);
+  EXPECT_NE(second.str().find("different sweep plan"), std::string::npos);
+}
+
+TEST(ChaosCliExact, SolverBuildFaultBecomesADiagnosticNotACrash) {
+  // The solver.build site sits ahead of CTMC construction; through the full
+  // entry point an injected error must land in the structured failure path
+  // (a U101 diagnostic and a usage-class exit), never a crash.
+  const std::string model_path =
+      testing::TempDir() + "fmtree_chaos_exact_model.fmt";
+  {
+    std::ofstream model(model_path);
+    model << "toplevel T;\nT or A;\nA be exp(0.2);\n";
+  }
+  std::ostringstream out, err;
+  const int code = main_impl(
+      {"exact", model_path, "--inject-fault", "solver.build:error"}, out, err);
+  EXPECT_EQ(code, kExitUsage);
+  EXPECT_NE(err.str().find("injected fault at site 'solver.build'"),
+            std::string::npos);
+  EXPECT_FALSE(fault::fault_point("solver.build"));  // scope disarmed
+}
+
+}  // namespace
+}  // namespace fmtree::cli

@@ -2,10 +2,17 @@
 """Validate fmtree telemetry JSON against tools/telemetry_schema.json.
 
 Usage: validate_telemetry.py <metrics|trace> <file.json> [schema.json]
+                             [--require NAME ...]
 
 Self-contained interpreter for the small JSON-Schema subset the telemetry
 schemas use (type / const / required / properties / additionalProperties /
 items / minimum), so CI needs nothing beyond the Python standard library.
+
+--require NAME ... (metrics documents only) additionally demands that each
+named metric is present in the counters/gauges/histograms maps — the drift
+tripwire for instrumentation CI depends on (e.g. fault.injected,
+sweep.retries, sweep.job_failures, cache.corrupt_entries).
+
 Exit code 0 = valid, 1 = invalid, 2 = usage/IO error.
 """
 
@@ -62,27 +69,56 @@ def validate(value, schema, path, errors):
             validate(item, schema["items"], f"{path}[{i}]", errors)
 
 
+def check_required_metrics(document, names, path, errors):
+    """Every name must appear in one of the metric maps of the document."""
+    present = set()
+    for family in ("counters", "gauges", "histograms"):
+        table = document.get(family)
+        if isinstance(table, dict):
+            present.update(table)
+    for name in names:
+        if name not in present:
+            errors.append(f"{path}: required metric {name!r} is missing")
+
+
 def main(argv):
-    if len(argv) not in (3, 4) or argv[1] not in ("metrics", "trace"):
+    args = list(argv[1:])
+    required = []
+    if "--require" in args:
+        at = args.index("--require")
+        required = args[at + 1:]
+        args = args[:at]
+        if not required:
+            print("validate_telemetry: --require needs at least one name",
+                  file=sys.stderr)
+            return 2
+    if len(args) not in (2, 3) or args[0] not in ("metrics", "trace"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    schema_path = argv[3] if len(argv) == 4 else os.path.join(
+    if required and args[0] != "metrics":
+        print("validate_telemetry: --require only applies to metrics",
+              file=sys.stderr)
+        return 2
+    schema_path = args[2] if len(args) == 3 else os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "telemetry_schema.json")
     try:
         with open(schema_path) as f:
-            schema = json.load(f)[argv[1]]
-        with open(argv[2]) as f:
+            schema = json.load(f)[args[0]]
+        with open(args[1]) as f:
             document = json.load(f)
     except (OSError, json.JSONDecodeError, KeyError) as e:
         print(f"validate_telemetry: {e}", file=sys.stderr)
         return 2
     errors = []
     validate(document, schema, "$", errors)
+    if isinstance(document, dict) and required:
+        check_required_metrics(document, required, "$", errors)
     if errors:
         for e in errors:
-            print(f"INVALID {argv[2]}: {e}", file=sys.stderr)
+            print(f"INVALID {args[1]}: {e}", file=sys.stderr)
         return 1
-    print(f"OK {argv[2]} conforms to fmtree.{argv[1]} schema")
+    suffix = f" (+{len(required)} required metrics)" if required else ""
+    print(f"OK {args[1]} conforms to fmtree.{args[0]} schema{suffix}")
     return 0
 
 
