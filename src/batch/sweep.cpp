@@ -44,19 +44,23 @@ struct JobExec {
   /// the job here (remaining tasks are skipped) instead of taking down the
   /// pool; the job is then healed or reported after the pool drains.
   std::atomic<bool> failed{false};
+  /// Set when SweepJob::cancel observed a stop: remaining tasks of this job
+  /// are dropped on claim, like failed ones, while the plan keeps running.
+  std::atomic<bool> cancelled{false};
   std::mutex failure_mutex;
   JobFailure failure;
 };
 
 struct SweepMetricIds {
-  obs::CounterId jobs, tasks, steals, trajectories, events, cache_hits,
-      cache_misses;
+  obs::CounterId jobs, jobs_simulated, tasks, steals, trajectories, events,
+      cache_hits, cache_misses;
   obs::CounterId retries, job_failures, corrupt_entries, faults_injected;
 };
 
 SweepMetricIds register_sweep_metrics(obs::MetricsRegistry& registry) {
   SweepMetricIds ids;
   ids.jobs = registry.counter("batch.jobs");
+  ids.jobs_simulated = registry.counter("batch.jobs_simulated");
   ids.tasks = registry.counter("batch.tasks");
   ids.steals = registry.counter("batch.steals");
   ids.trajectories = registry.counter("batch.trajectories");
@@ -260,9 +264,23 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
         if (!found) break;  // no tasks anywhere; none are ever added
         heartbeats[w].beats.fetch_add(1, std::memory_order_relaxed);
         JobExec& exec = *exec_of[task.job];
-        // Job-level isolation: once a job failed, its remaining tasks are
-        // dropped on claim — the pool keeps its throughput for live jobs.
+        // Job-level isolation: once a job failed or was cancelled, its
+        // remaining tasks are dropped on claim — the pool keeps its
+        // throughput for live jobs.
         if (exec.failed.load(std::memory_order_acquire)) continue;
+        // Per-job cancellation (SweepJob::cancel): stops this job only.
+        const auto job_cancelled = [&exec]() {
+          if (exec.cancelled.load(std::memory_order_acquire)) return true;
+          if (exec.job->cancel == nullptr) return false;
+          if (exec.job->cancel->should_stop(
+                  exec.completed.load(std::memory_order_relaxed)) !=
+              smc::StopReason::None) {
+            exec.cancelled.store(true, std::memory_order_release);
+            return true;
+          }
+          return false;
+        };
+        if (job_cancelled()) continue;
         auto task_span = obs::maybe_span(telemetry.tracer,
                                         "job:" + exec.job->label);
         const std::uint64_t seed = exec.job->settings.seed;
@@ -308,7 +326,7 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
                     ? exec.opts.lane_width
                     : sim::BatchExecutor::kDefaultLaneWidth;
             for (std::uint64_t off = 0; off < task.count;) {
-              if (should_stop()) break;
+              if (should_stop() || job_cancelled()) break;
               const auto n = static_cast<std::uint32_t>(
                   std::min(width, task.count - off));
               exec.batch_executor->run(seed, task.first + off, n, exec.opts,
@@ -333,7 +351,7 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
             }
           } else {
             for (std::uint64_t i = 0; i < task.count; ++i) {
-              if (should_stop()) break;
+              if (should_stop() || job_cancelled()) break;
               const std::uint64_t index = task.first + i;
               sim::TrajectoryResult r = exec.simulator->run(
                   RandomStream(seed, index), exec.opts, ws);
@@ -470,6 +488,14 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
   const auto heal_job = [&](const SweepJob& job, JobResult& result) {
     std::uint32_t attempts = result.failure.attempts;
     for (;;) {
+      // Per-job cancel beats both healing and failure accounting: the
+      // caller already hung up, so neither a retry nor a failure record is
+      // owed. Observed only at attempt boundaries (documented on SweepJob).
+      if (job.cancel != nullptr &&
+          job.cancel->should_stop(0) != smc::StopReason::None) {
+        result.cancelled = true;
+        return;
+      }
       if (attempts > 0) {
         if (!result.failure.transient || result.retries >= plan.max_retries) {
           result.failed = true;
@@ -527,7 +553,14 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
       continue;
     }
     const std::uint64_t wanted = exec->batch.summaries.size();
-    if (exec->completed.load(std::memory_order_relaxed) != wanted) continue;
+    if (exec->completed.load(std::memory_order_relaxed) != wanted) {
+      // A cancel that left trajectories unrun parks the job as cancelled; a
+      // cancel that lost the race with the last task falls through and
+      // aggregates normally below.
+      if (exec->cancelled.load(std::memory_order_acquire))
+        result.cancelled = true;
+      continue;
+    }
     exec->batch.completed = wanted;
     smc::AnalysisSettings agg = exec->job->settings;
     agg.telemetry = telemetry;
@@ -553,13 +586,17 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
   }
 
   const smc::StopReason stopped_reason = stop.load(std::memory_order_acquire);
+  std::uint64_t jobs_simulated = 0;
   for (const JobResult& result : outcome.results) {
-    if (!result.completed && !result.failed) {
+    if (result.cancelled) ++outcome.jobs_cancelled;
+    if (result.completed && !result.cache_hit) ++jobs_simulated;
+    if (!result.completed && !result.failed && !result.cancelled) {
       outcome.truncated = true;
       outcome.stop_reason = stopped_reason;
-      break;
     }
   }
+  if (metrics != nullptr && jobs_simulated > 0)
+    metrics->add(ids.jobs_simulated, jobs_simulated);
 
   // Robustness bookkeeping: cache-integrity warnings + watchdog diagnostic
   // surface on the outcome; the deltas feed the metrics registry.

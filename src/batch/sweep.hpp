@@ -53,6 +53,15 @@ struct SweepJob {
   std::string label;  ///< e.g. the policy name; used in results and spans
   fmt::FaultMaintenanceTree model;
   smc::AnalysisSettings settings;
+  /// Optional per-job cancellation, distinct from the plan-level
+  /// SweepPlan::control: a stop observed here parks *this* job as
+  /// JobResult::cancelled while the rest of the plan keeps running (the
+  /// serve layer fires it when every caller of a deduplicated request has
+  /// hung up). A cancel that lands after the job's last trajectory completed
+  /// is too late by design — the job aggregates and caches normally.
+  /// Analyze-fallback jobs (adaptive stopping, retries) only observe it at
+  /// attempt boundaries.
+  const smc::RunControl* cancel = nullptr;
 };
 
 struct SweepPlan {
@@ -102,6 +111,10 @@ struct JobResult {
   JobFailure failure;
   /// Retry attempts spent on this job (0 when the first attempt succeeded).
   std::uint32_t retries = 0;
+  /// True when SweepJob::cancel stopped the job before it completed.
+  /// Cancelled jobs are neither failures nor plan truncation: completed,
+  /// failed and cancelled are mutually exclusive.
+  bool cancelled = false;
   smc::KpiReport report;
 };
 
@@ -112,22 +125,25 @@ struct SweepOutcome {
   std::uint64_t trajectories_simulated = 0;
   /// True when the plan stopped (control or watchdog) before every job
   /// finished. Permanently *failed* jobs do not set this — they are
-  /// accounted in jobs_failed instead.
+  /// accounted in jobs_failed instead — and neither do per-job *cancelled*
+  /// jobs (jobs_cancelled).
   bool truncated = false;
   smc::StopReason stop_reason = smc::StopReason::None;
-  std::uint64_t jobs_failed = 0;  ///< jobs with a permanent failure record
-  std::uint64_t retries = 0;      ///< retry attempts across all jobs
+  std::uint64_t jobs_failed = 0;     ///< jobs with a permanent failure record
+  std::uint64_t jobs_cancelled = 0;  ///< jobs stopped by SweepJob::cancel
+  std::uint64_t retries = 0;         ///< retry attempts across all jobs
   /// Cache-integrity warnings (C101/C102) drained from the cache plus the
   /// watchdog's stall diagnostic (B102) when it fired.
   std::vector<Diagnostic> warnings;
 };
 
 /// Executes the plan. `cache` may be null (no caching); `telemetry` may be
-/// empty. Emits batch.* counters (jobs, tasks, steals, trajectories, cache
-/// hits/misses), the robustness counters (sweep.retries, sweep.job_failures,
-/// cache.corrupt_entries, fault.injected), per-task tracer spans named after
-/// the job labels plus "retry:<label>" spans, and "sweep"-phase progress
-/// over the total trajectory count.
+/// empty. Emits batch.* counters (jobs, jobs_simulated — jobs that produced
+/// a fresh report rather than a cache hit — tasks, steals, trajectories,
+/// cache hits/misses), the robustness counters (sweep.retries,
+/// sweep.job_failures, cache.corrupt_entries, fault.injected), per-task
+/// tracer spans named after the job labels plus "retry:<label>" spans, and
+/// "sweep"-phase progress over the total trajectory count.
 SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache = nullptr,
                        const obs::Telemetry& telemetry = {});
 

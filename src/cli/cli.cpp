@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -20,6 +21,10 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/tracer.hpp"
+#include "serve/client.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "smc/compare.hpp"
 #include "smc/kpi.hpp"
 #include "util/diagnostics.hpp"
@@ -95,6 +100,7 @@ Options parse_args(const std::vector<std::string>& args) {
   else if (cmd == "cutsets") opt.command = Command::CutSets;
   else if (cmd == "compare") opt.command = Command::Compare;
   else if (cmd == "sweep") opt.command = Command::Sweep;
+  else if (cmd == "serve") opt.command = Command::Serve;
   else throw DomainError("unknown command '" + cmd + "'\n" + usage());
 
   // Flags and positional model paths may interleave in any order.
@@ -141,17 +147,38 @@ Options parse_args(const std::vector<std::string>& args) {
       fault::parse_fault_spec(spec);  // validate now: usage error, not runtime
       opt.inject_faults.push_back(spec);
     }
+    else if (flag == "--queue-limit") {
+      opt.queue_limit = static_cast<std::size_t>(parse_count(value(), "queue limit"));
+      if (opt.queue_limit == 0) throw DomainError("--queue-limit must be positive");
+    }
+    else if (flag == "--model-root") opt.model_root = value();
+    else if (flag == "--connect") opt.connect = value();
+    else if (flag == "--emit-request") opt.emit_request = true;
     else throw DomainError("unknown flag '" + flag + "'\n" + usage());
   }
   const std::size_t want = opt.command == Command::Compare ? 2u : 1u;
-  if (positional.empty())
-    throw DomainError("missing model file\n" + usage());
+  if (positional.empty()) {
+    throw DomainError(std::string(opt.command == Command::Serve
+                                      ? "missing socket path"
+                                      : "missing model file") +
+                      "\n" + usage());
+  }
   if (positional.size() < want)
     throw DomainError("compare needs two model files\n" + usage());
   if (positional.size() > want)
     throw DomainError("unexpected argument '" + positional[want] + "'\n" + usage());
-  opt.model_path = positional[0];
+  if (opt.command == Command::Serve) {
+    opt.socket_path = positional[0];
+  } else {
+    opt.model_path = positional[0];
+  }
   if (opt.command == Command::Compare) opt.model_path_b = positional[1];
+  if (opt.command != Command::Sweep && (!opt.connect.empty() || opt.emit_request))
+    throw DomainError("--connect / --emit-request only apply to sweep");
+  if (opt.resume && !opt.connect.empty())
+    throw DomainError(
+        "--resume is incompatible with --connect (the daemon owns the cache "
+        "and checkpoint)");
   if (!(opt.horizon > 0)) throw DomainError("--horizon must be positive");
   if (opt.runs == 0) throw DomainError("--runs must be positive");
   if (!(opt.confidence > 0 && opt.confidence < 1))
@@ -352,8 +379,115 @@ int cmd_exact(const Options& opt, const fmt::FaultMaintenanceTree& model,
   }
 }
 
+/// The canonical description of a sweep invocation: the same document
+/// `--emit-request` prints, the socket client sends, and the daemon parses.
+serve::Request sweep_request(const Options& opt, const std::string& model_text) {
+  serve::Request request;
+  request.model_text = model_text;
+  request.settings.horizon = opt.horizon;
+  request.settings.trajectories = opt.runs;
+  request.settings.seed = opt.seed;
+  request.settings.engine = opt.engine;
+  request.settings.confidence = opt.confidence;
+  request.frequencies = opt.frequencies;
+  request.has_policy = true;
+  return request;
+}
+
+/// Renders a served/in-process sweep Response exactly as the classic
+/// run_sweep-based CLI did, and returns the process exit code. The cache
+/// summary line appears only for a local run with --cache-dir (a client has
+/// no visibility into the daemon's cache totals beyond the per-job source).
+int render_sweep_response(const Options& opt, const serve::Response& o,
+                          bool show_cache_line, std::ostream& out) {
+  out << "inspection-frequency cost curve over " << opt.horizon << " time units ("
+      << opt.runs << " runs each, " << opt.confidence * 100 << "% CIs):\n";
+  TextTable t({"policy", "cost / time unit", "failures / time unit", "source"});
+  std::size_t best = o.jobs.size();
+  for (std::size_t i = 0; i < o.jobs.size(); ++i) {
+    const serve::JobOutcome& r = o.jobs[i];
+    if (r.state == serve::JobState::Failed) {
+      t.add_row({r.label, "(failed: " + r.failure.kind + ")", "", ""});
+      continue;
+    }
+    if (r.state == serve::JobState::Cancelled) {
+      t.add_row({r.label, "(cancelled)", "", ""});
+      continue;
+    }
+    if (r.state == serve::JobState::Interrupted) {
+      t.add_row({r.label, "(interrupted)", "", ""});
+      continue;
+    }
+    t.add_row({r.label, ci(r.report.cost_per_year, 2), ci(r.report.failures_per_year, 5),
+               r.cache_hit ? "cache" : "simulated"});
+    if (best == o.jobs.size() ||
+        r.report.cost_per_year.point < o.jobs[best].report.cost_per_year.point)
+      best = i;
+  }
+  t.print(out);
+  if (best < o.jobs.size()) {
+    out << "\ncost-optimal policy: " << o.jobs[best].label << " at "
+        << cell(o.jobs[best].report.cost_per_year.point, 2) << " / time unit\n";
+  }
+  if (show_cache_line) {
+    const std::uint64_t hits = o.count(serve::JobState::Done) -
+                               [&] {
+                                 std::uint64_t simulated = 0;
+                                 for (const serve::JobOutcome& r : o.jobs)
+                                   if (r.state == serve::JobState::Done && !r.cache_hit)
+                                     ++simulated;
+                                 return simulated;
+                               }();
+    out << "cache: " << hits << " hits, " << o.jobs.size() - hits << " misses ("
+        << opt.cache_dir << ")\n";
+  }
+  std::uint64_t retries = 0;
+  for (const serve::JobOutcome& r : o.jobs) retries += r.retries;
+  if (retries > 0)
+    out << "self-healing: " << retries << " retr" << (retries == 1 ? "y" : "ies")
+        << " recovered transient failures\n";
+  for (const Diagnostic& d : o.warnings)
+    out << "fmtree: " << format_diagnostic(d) << "\n";
+  const std::uint64_t jobs_failed = o.count(serve::JobState::Failed);
+  if (jobs_failed > 0) {
+    out << "\nNOTE: " << jobs_failed << " job(s) failed permanently:\n";
+    for (const serve::JobOutcome& r : o.jobs)
+      if (r.state == serve::JobState::Failed)
+        out << "  " << r.label << " [" << r.failure.kind << ", "
+            << r.failure.attempts << " attempt(s)]: " << r.failure.message
+            << "\n";
+  }
+  if (o.count(serve::JobState::Interrupted) > 0) {
+    out << "\nNOTE: sweep truncated (" << smc::stop_reason_name(o.stop_reason)
+        << "); interrupted policies carry no results.\n";
+    return kExitTruncated;
+  }
+  return jobs_failed > 0 ? kExitTruncated : kExitOk;
+}
+
+/// Reconstructs the SweepOutcome shape the checkpoint writer expects from a
+/// Response (jobs arrive in plan order, carrying the same cache keys).
+batch::SweepOutcome outcome_for_checkpoint(const serve::Response& response) {
+  batch::SweepOutcome outcome;
+  outcome.results.reserve(response.jobs.size());
+  for (const serve::JobOutcome& job : response.jobs) {
+    batch::JobResult r;
+    r.label = job.label;
+    r.key = job.key;
+    r.completed = job.state == serve::JobState::Done;
+    r.failed = job.state == serve::JobState::Failed;
+    r.cancelled = job.state == serve::JobState::Cancelled;
+    r.cache_hit = job.cache_hit;
+    r.retries = job.retries;
+    r.failure = job.failure;
+    outcome.results.push_back(std::move(r));
+  }
+  return outcome;
+}
+
 int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
-              std::ostream& out, obs::Telemetry telemetry) {
+              const std::string& model_text, std::ostream& out,
+              obs::Telemetry telemetry) {
   const bool wants_inspections = [&] {
     for (double f : opt.frequencies)
       if (f > 0) return true;
@@ -362,44 +496,46 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
   if (wants_inspections && model.inspections().empty())
     throw DomainError("model has no inspection modules to sweep");
 
+  const serve::Request request = sweep_request(opt, model_text);
+  if (opt.emit_request) {
+    out << serve::encode_request(request);
+    return kExitOk;
+  }
+
+  if (!opt.connect.empty()) {
+    serve::ClientEvents events;
+    if (telemetry.progress != nullptr) {
+      events.progress = [&telemetry](const obs::Progress& p) {
+        telemetry.progress->update(p);
+      };
+    }
+    const serve::Response response =
+        serve::request_over_socket(opt.connect, request, events);
+    return render_sweep_response(opt, response, /*show_cache_line=*/false, out);
+  }
+
+  // In-process: the same expansion and service entry points as the daemon,
+  // minus the socket. The per-plan control (SIGINT / --timeout) is bridged
+  // by the wait loop below; the Session's own drain path delivers the same
+  // trajectory-boundary truncation run_sweep always had.
+  serve::PreparedRequest prepared = serve::prepare(request, opt.model_root);
+
+  // The checkpoint manifest still wants a SweepPlan (for the plan id and the
+  // job list); build it from the same prepared jobs the service will run.
   batch::SweepPlan plan;
   plan.threads = opt.threads;
   plan.max_retries = opt.max_retries;
   plan.stall_timeout_s = opt.stall_timeout;
+  plan.jobs = prepared.jobs;
+
   smc::RunControl& control = interrupt_control();
   control.reset();
   if (opt.timeout > 0) control.set_timeout(opt.timeout);
-  plan.control = &control;
-  plan.jobs.reserve(opt.frequencies.size());
-  for (double f : opt.frequencies) {
-    batch::SweepJob job;
-    job.model = model;
-    if (f == 0) {
-      job.model.clear_inspections();
-      job.label = "no-inspection";
-    } else {
-      for (std::size_t i = 0; i < job.model.inspections().size(); ++i)
-        job.model.set_inspection_schedule(i, 1.0 / f);
-      std::ostringstream name;
-      name << f << "x-per-year";
-      job.label = name.str();
-    }
-    job.settings.horizon = opt.horizon;
-    job.settings.trajectories = opt.runs;
-    job.settings.seed = opt.seed;
-    job.settings.engine = opt.engine;
-    job.settings.confidence = opt.confidence;
-    plan.jobs.push_back(std::move(job));
-  }
-
-  std::unique_ptr<batch::ResultCache> cache;
-  if (!opt.cache_dir.empty())
-    cache = std::make_unique<batch::ResultCache>(opt.cache_dir);
 
   // --resume: consult the checkpoint manifest before running. The cache is
   // what actually replays completed jobs bit-identically; the manifest adds
   // plan validation and a progress preamble.
-  if (opt.resume && cache != nullptr) {
+  if (opt.resume && !opt.cache_dir.empty()) {
     const std::string path = batch::checkpoint_path(opt.cache_dir);
     try {
       if (const auto cp = batch::read_checkpoint(path)) {
@@ -428,61 +564,69 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
     }
   }
 
-  const batch::SweepOutcome o = batch::run_sweep(plan, cache.get(), telemetry);
+  serve::SessionConfig config;
+  config.threads = opt.threads;
+  config.queue_limit = std::max(opt.queue_limit, prepared.jobs.size());
+  config.cache_dir = opt.cache_dir;
+  config.model_root = opt.model_root;
+  config.max_retries = opt.max_retries;
+  config.stall_timeout_s = opt.stall_timeout;
+  config.telemetry = telemetry;
+  serve::Session session(std::move(config));
+  serve::Ticket ticket = session.submit_jobs(std::move(prepared.jobs));
+  while (!ticket.wait_for(0.05)) {
+    if (control.should_stop(0) != smc::StopReason::None) {
+      session.drain();  // resolves every ticket at the trajectory boundary
+      break;
+    }
+  }
+  serve::Response response = ticket.take();
+  // The drain path reports Interrupted; the control knows the precise reason
+  // (deadline vs signal), so prefer it for the truncation NOTE.
+  const smc::StopReason local_reason = control.should_stop(0);
+  if (response.stop_reason != smc::StopReason::None &&
+      local_reason != smc::StopReason::None)
+    response.stop_reason = local_reason;
 
   // Publish the manifest for the *next* --resume whenever a cache exists —
   // also after a truncated run, which is exactly when resume matters.
-  if (cache != nullptr)
-    batch::write_checkpoint(batch::checkpoint_path(opt.cache_dir), plan, o);
+  if (!opt.cache_dir.empty())
+    batch::write_checkpoint(batch::checkpoint_path(opt.cache_dir), plan,
+                            outcome_for_checkpoint(response));
 
-  out << "inspection-frequency cost curve over " << opt.horizon << " time units ("
-      << opt.runs << " runs each, " << opt.confidence * 100 << "% CIs):\n";
-  TextTable t({"policy", "cost / time unit", "failures / time unit", "source"});
-  std::size_t best = opt.frequencies.size();
-  for (std::size_t i = 0; i < o.results.size(); ++i) {
-    const batch::JobResult& r = o.results[i];
-    if (r.failed) {
-      t.add_row({r.label, "(failed: " + r.failure.kind + ")", "", ""});
-      continue;
-    }
-    if (!r.completed) {
-      t.add_row({r.label, "(interrupted)", "", ""});
-      continue;
-    }
-    t.add_row({r.label, ci(r.report.cost_per_year, 2), ci(r.report.failures_per_year, 5),
-               r.cache_hit ? "cache" : "simulated"});
-    if (best == opt.frequencies.size() ||
-        r.report.cost_per_year.point < o.results[best].report.cost_per_year.point)
-      best = i;
-  }
-  t.print(out);
-  if (best < o.results.size()) {
-    out << "\ncost-optimal policy: " << o.results[best].label << " at "
-        << cell(o.results[best].report.cost_per_year.point, 2) << " / time unit\n";
-  }
-  if (cache) {
-    out << "cache: " << o.cache_hits << " hits, " << o.cache_misses << " misses ("
-        << opt.cache_dir << ")\n";
-  }
-  if (o.retries > 0)
-    out << "self-healing: " << o.retries << " retr"
-        << (o.retries == 1 ? "y" : "ies") << " recovered transient failures\n";
-  for (const Diagnostic& d : o.warnings)
-    out << "fmtree: " << format_diagnostic(d) << "\n";
-  if (o.jobs_failed > 0) {
-    out << "\nNOTE: " << o.jobs_failed << " job(s) failed permanently:\n";
-    for (const batch::JobResult& r : o.results)
-      if (r.failed)
-        out << "  " << r.label << " [" << r.failure.kind << ", "
-            << r.failure.attempts << " attempt(s)]: " << r.failure.message
-            << "\n";
-  }
-  if (o.truncated) {
-    out << "\nNOTE: sweep truncated (" << smc::stop_reason_name(o.stop_reason)
-        << "); interrupted policies carry no results.\n";
-    return kExitTruncated;
-  }
-  return o.jobs_failed > 0 ? kExitTruncated : kExitOk;
+  return render_sweep_response(opt, response,
+                               /*show_cache_line=*/!opt.cache_dir.empty(), out);
+}
+
+int cmd_serve(const Options& opt, std::ostream& out, obs::Telemetry telemetry) {
+  serve::SessionConfig config;
+  config.threads = opt.threads;
+  config.queue_limit = opt.queue_limit;
+  config.cache_dir = opt.cache_dir;
+  config.model_root = opt.model_root;
+  config.max_retries = opt.max_retries;
+  config.stall_timeout_s = opt.stall_timeout;
+  config.telemetry = telemetry;
+  serve::Session session(std::move(config));
+
+  // SIGINT/SIGTERM (wired in main()) and --timeout stop the accept loop;
+  // Server::run then drains the session and joins every connection.
+  smc::RunControl& control = interrupt_control();
+  control.reset();
+  if (opt.timeout > 0) control.set_timeout(opt.timeout);
+
+  serve::ServerConfig server_config;
+  server_config.socket_path = opt.socket_path;
+  server_config.stop = &control;
+  serve::Server server(session, server_config);
+  out << "fmtree serve: listening on '" << opt.socket_path << "' ("
+      << (opt.cache_dir.empty() ? std::string("memory cache")
+                                : "cache dir " + opt.cache_dir)
+      << ", queue limit " << opt.queue_limit << ")\n"
+      << std::flush;
+  server.run();
+  out << "fmtree serve: drained, exiting\n";
+  return kExitOk;
 }
 
 int cmd_dot(const fmt::FaultMaintenanceTree& model, std::ostream& out) {
@@ -531,9 +675,13 @@ int run_on_text(const Options& options, const std::string& model_text,
       case Command::Exact: return cmd_exact(options, model, out, session.handles());
       case Command::Dot: return cmd_dot(model, out);
       case Command::CutSets: return cmd_cutsets(options, model, out);
-      case Command::Sweep: return cmd_sweep(options, model, out, session.handles());
+      case Command::Sweep:
+        return cmd_sweep(options, model, model_text, out, session.handles());
       case Command::Compare:
         throw DomainError("compare needs two models; use run_compare");
+      case Command::Serve:
+        // Dispatched in main_impl (no model file); unreachable here.
+        throw DomainError("serve takes a socket path, not a model");
     }
     throw DomainError("unhandled command");
   };
@@ -606,6 +754,14 @@ int main_impl(const std::vector<std::string>& args, std::ostream& out,
     return kExitUsage;
   }
   try {
+    if (options.command == Command::Serve) {
+      // No model file: the daemon reads models from requests / --model-root.
+      const fault::Scope fault_scope(options.inject_faults);
+      const TelemetrySession session(options);
+      const int code = cmd_serve(options, out, session.handles());
+      session.write_files();
+      return code;
+    }
     const auto read_file = [](const std::string& path) {
       std::ifstream file(path);
       if (!file) throw IoError("cannot open '" + path + "'");
@@ -629,6 +785,17 @@ int main_impl(const std::vector<std::string>& args, std::ostream& out,
   } catch (const ResourceLimitError& e) {
     return report_failure(options, err, {diagnostic_from(e, "R101")},
                           kExitResourceLimit);
+  } catch (const serve::AdmissionError& e) {
+    // R120: the daemon's queue is full — a resource limit, not a bad request.
+    return report_failure(options, err, e.diagnostics(), kExitResourceLimit);
+  } catch (const serve::RequestError& e) {
+    // Stable R-code -> exit-code mapping (DESIGN.md, "Failure semantics"):
+    // R113 carries model diagnostics, R122 is an internal server failure,
+    // everything else (R110/R111/R112/R121) is bad usage/transport.
+    const int code = e.code() == "R113"   ? kExitDiagnostics
+                     : e.code() == "R122" ? kExitInternal
+                                          : kExitUsage;
+    return report_failure(options, err, e.diagnostics(), code);
   } catch (const Error& e) {
     // IoError, DomainError, UnsupportedModelError: bad input to a valid
     // command — same exit code as a usage error.
@@ -652,6 +819,8 @@ std::string usage() {
       "  cutsets   minimal cut sets and importance measures\n"
       "  compare   paired A/B comparison of two models (common random numbers)\n"
       "  sweep     evaluate the model across inspection frequencies (cost curve)\n"
+      "  serve     analysis daemon on a local socket (fmtree serve <socket>);\n"
+      "            speaks fmtree.request/v1 / fmtree.response/v1 NDJSON\n"
       "options:\n"
       "  --horizon <t>      analysis horizon (default 10)\n"
       "  --runs <n>         Monte-Carlo trajectories (default 10000)\n"
@@ -681,6 +850,14 @@ std::string usage() {
       "                     failures (default 2)\n"
       "  --stall-timeout <s> sweep: stop with a diagnostic if no progress\n"
       "                     for <s> seconds (default: off)\n"
+      "  --connect <sock>   sweep: run as a client of the daemon at <sock>\n"
+      "                     instead of in-process (bit-identical output)\n"
+      "  --emit-request     sweep: print the fmtree.request/v1 document this\n"
+      "                     invocation describes and exit\n"
+      "  --queue-limit <n>  serve: max outstanding jobs before requests are\n"
+      "                     rejected with R120 (default 64)\n"
+      "  --model-root <dir> serve: directory model refs resolve in\n"
+      "                     (default 'models')\n"
       "  --inject-fault <f> arm a fault site for this run (testing), e.g.\n"
       "                     cache.write:error,p=0.05,seed=7; repeatable\n"
       "exit codes: 0 ok, 1 truncated run, 2 usage/input error,\n"

@@ -8,6 +8,7 @@
 //   fmtree cutsets <model.fmt> [options]          minimal cut sets + importance
 //   fmtree compare <a.fmt> <b.fmt> [options]      paired policy comparison
 //   fmtree sweep   <model.fmt> [options]          inspection-frequency cost curve
+//   fmtree serve   <socket> [options]             analysis daemon (fmtree.request/v1)
 //
 // Options: --horizon <years>  --runs <n>  --seed <n>  --threads <n>
 //          --engine <scalar|batch>  --confidence <p>
@@ -16,6 +17,8 @@
 //          --metrics <file>   --trace <file|chrome:file>  --progress
 //          --frequencies <f1,f2,...>  --cache-dir <dir>  --resume
 //          --max-retries <n>  --stall-timeout <s>
+//          --connect <socket>  --emit-request            (sweep as a client)
+//          --queue-limit <n>   --model-root <dir>        (serve)
 //          --inject-fault <site:spec>  (repeatable; testing only)
 //
 // Split into a library so argument parsing and command execution are unit
@@ -33,7 +36,7 @@
 
 namespace fmtree::cli {
 
-enum class Command { Check, Analyze, Exact, Dot, CutSets, Compare, Sweep };
+enum class Command { Check, Analyze, Exact, Dot, CutSets, Compare, Sweep, Serve };
 
 /// Stable process exit codes (documented in DESIGN.md, "Failure semantics").
 enum ExitCode : int {
@@ -87,6 +90,19 @@ struct Options {
   /// Fault-injection specs ("site:mode[,trigger]") armed for the duration of
   /// the command, on top of any FMTREE_FAULTS armings. Testing only.
   std::vector<std::string> inject_faults;
+  /// `serve`: the local socket to listen on (the positional argument).
+  std::string socket_path;
+  /// `serve`: admission bound on outstanding jobs (queued + running); a
+  /// request that would exceed it is rejected whole with R120.
+  std::size_t queue_limit = 64;
+  /// `serve`: directory model "ref"s resolve in.
+  std::string model_root = "models";
+  /// `sweep --connect`: run against the daemon at this socket instead of
+  /// in-process; the rendered curve is bit-identical either way.
+  std::string connect;
+  /// `sweep --emit-request`: print the canonical "fmtree.request/v1"
+  /// document this invocation describes and exit without analysing.
+  bool emit_request = false;
 };
 
 /// Process-wide cooperative stop handle. Long-running commands (analyze)

@@ -126,6 +126,57 @@ std::string Analysis::chrome_trace() const {
   return tracer_ ? tracer_->to_chrome_trace() : std::string();
 }
 
+bool PendingKpis::poll() { return response_.has_value() || ticket_.done(); }
+
+bool PendingKpis::wait_for(double seconds) {
+  return response_.has_value() || ticket_.wait_for(seconds);
+}
+
+smc::KpiReport PendingKpis::wait() {
+  if (!response_) {
+    response_ = ticket_.take();
+    // The ticket is spent; drop it now so a resolved handle no longer
+    // references the service and may safely outlive its Analysis session.
+    ticket_ = serve::Ticket();
+  }
+  if (response_->jobs.empty()) throw Error("async analysis resolved to no job");
+  const serve::JobOutcome& job = response_->jobs.front();
+  switch (job.state) {
+    case serve::JobState::Done: return job.report;
+    case serve::JobState::Failed:
+      throw Error("async analysis failed [" + job.failure.kind +
+                  "]: " + job.failure.message);
+    case serve::JobState::Cancelled: throw Error("async analysis was cancelled");
+    case serve::JobState::Interrupted:
+      throw Error("async analysis was interrupted before completion");
+  }
+  throw Error("async analysis resolved to an unknown state");
+}
+
+void PendingKpis::cancel() { ticket_.cancel(); }
+
+PendingKpis Analysis::submit() {
+  enable_cache();  // the service shares this session's cache (dedup + hits)
+  if (!service_) {
+    serve::SessionConfig config;
+    config.threads = settings_.threads;
+    config.cache = cache_.get();
+    config.telemetry = settings_.telemetry;
+    service_ = std::make_unique<serve::Session>(std::move(config));
+  }
+  batch::SweepJob job;
+  job.label = "analysis";
+  job.model = model_;
+  job.settings = settings_;
+  job.settings.control = nullptr;  // cancellation is the ticket's job here
+  job.settings.telemetry = {};
+  PendingKpis pending;
+  std::vector<batch::SweepJob> jobs;
+  jobs.push_back(std::move(job));
+  pending.ticket_ = service_->submit_jobs(std::move(jobs));
+  return pending;
+}
+
 smc::KpiReport Analysis::kpis() {
   if (!cache_) return smc::analyze(model_, settings_);
   const batch::CacheKey key = batch::kpi_cache_key(model_, settings_);

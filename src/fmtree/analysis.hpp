@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,40 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/tracer.hpp"
+#include "serve/session.hpp"
 #include "smc/kpi.hpp"
 
 namespace fmtree {
+
+/// A pending asynchronous kpis() computation (Analysis::submit()). Move-only.
+/// The handle owns one serve::Ticket on the session's embedded analysis
+/// service; destroying it before wait() cancels the caller's interest (the
+/// computation stops at the next trajectory boundary unless another handle
+/// shares it through the cache-key dedup). An unresolved handle must not
+/// outlive its Analysis; once wait() has returned the handle is detached
+/// from the service and may be kept or destroyed freely.
+class PendingKpis {
+public:
+  PendingKpis() = default;
+  PendingKpis(PendingKpis&&) noexcept = default;
+  PendingKpis& operator=(PendingKpis&&) noexcept = default;
+
+  /// Non-blocking: true once the result (or failure) is available.
+  bool poll();
+  /// Blocks up to `seconds`; returns poll().
+  bool wait_for(double seconds);
+  /// Blocks until resolved and returns the report — bit-identical to what
+  /// the blocking kpis() would have produced. Throws Error when the job
+  /// failed, was cancelled, or the service stopped first. Idempotent.
+  smc::KpiReport wait();
+  /// Detaches from the computation (see class comment). Idempotent.
+  void cancel();
+
+private:
+  friend class Analysis;
+  serve::Ticket ticket_;
+  std::optional<serve::Response> response_;
+};
 
 /// An analysis session over one fault maintenance tree.
 ///
@@ -120,9 +152,24 @@ public:
   std::string chrome_trace() const;
 
   // ---- Analyses -----------------------------------------------------------
+  //
+  // The blocking entry points below are retained for compatibility and for
+  // scripts where blocking is the natural shape; new code that overlaps an
+  // analysis with other work should prefer the asynchronous
+  // submit()/poll()/wait() path, which also deduplicates identical
+  // concurrent submissions (see serve/session.hpp).
 
   /// All KPIs of the study: reliability, E[#failures], availability, cost.
+  /// Blocking (see the section comment); submit() is the async equivalent.
   smc::KpiReport kpis();
+
+  /// Asynchronous kpis(): snapshots the model and settings as they stand,
+  /// enqueues the computation on the session's embedded analysis service
+  /// (serve::Session — created on first use with this session's cache and
+  /// telemetry) and returns immediately. Identical concurrent submissions
+  /// dedup onto one computation; all handles receive the same bit-exact
+  /// report. Settings changed after submit() do not affect a pending handle.
+  PendingKpis submit();
 
   /// P(first failure > t) on an even grid of `points` intervals over the
   /// horizon, or on an explicit grid.
@@ -171,6 +218,10 @@ private:
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::ProgressReporter> progress_;
   std::unique_ptr<batch::ResultCache> cache_;
+  /// The embedded analysis service backing submit(). Created lazily (it owns
+  /// a dispatcher thread); declared last so it drains before the cache and
+  /// sinks it borrows are destroyed.
+  std::unique_ptr<serve::Session> service_;
 };
 
 }  // namespace fmtree

@@ -1,0 +1,37 @@
+// The socket client of the serve daemon: connects, sends one
+// "fmtree.request/v1" document, streams the "fmtree.response/v1" events back
+// and returns the decoded Response. `fmtree sweep --connect` is a thin
+// wrapper around this — the same Response type comes back whether the
+// analysis ran in-process (serve::Session) or across the socket, and the
+// decoded reports are bit-identical to the server's computation
+// (serve/protocol.hpp explains why).
+//
+// Failure mapping: transport problems (connect/read/write, a connection that
+// dies before a terminal event, a malformed event) throw RequestError R121;
+// a server-sent error event is rethrown as the matching exception —
+// AdmissionError for R120, RequestError carrying the server's code and
+// diagnostics otherwise.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "obs/progress.hpp"
+#include "serve/request.hpp"
+#include "serve/session.hpp"
+
+namespace fmtree::serve {
+
+/// Optional event callbacks; leave empty to just wait for the result.
+struct ClientEvents {
+  std::function<void(const std::string& id, std::size_t jobs)> accepted;
+  std::function<void(const obs::Progress&)> progress;
+};
+
+/// Executes `request` against the daemon at `socket_path`. Blocks until the
+/// terminal event. Throws AdmissionError / RequestError as described above.
+Response request_over_socket(const std::string& socket_path, const Request& request,
+                             const ClientEvents& events = {});
+
+}  // namespace fmtree::serve

@@ -1,0 +1,308 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "fmt/parser.hpp"
+#include "util/json.hpp"
+
+namespace fmtree::serve {
+
+namespace {
+
+constexpr const char* kSchema = "fmtree.request/v1";
+
+Diagnostic make_diagnostic(std::string code, const std::string& message,
+                           std::string hint) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.code = std::move(code);
+  d.message = message;
+  d.hint = std::move(hint);
+  return d;
+}
+
+[[noreturn]] void invalid(const std::string& message, std::string hint = {}) {
+  throw RequestError("R112", message, std::move(hint));
+}
+
+/// Schema doubles: a JSON number, or a string holding a C99 hexfloat (or
+/// any strtod-parseable spelling). Hexfloat strings are the canonical form
+/// because they round-trip bit-exactly into the cache fingerprint.
+double parse_number(const json::Value& v, const std::string& what) {
+  if (v.is(json::Kind::Number)) {
+    try {
+      return v.as_double();
+    } catch (const Error& e) {
+      invalid("request field '" + what + "': " + e.what());
+    }
+  }
+  if (v.is(json::Kind::String)) {
+    const char* begin = v.text.c_str();
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin || *end != '\0')
+      invalid("request field '" + what + "' is not a number: '" + v.text + "'",
+              "use a JSON number or a C99 hexfloat string like \"0x1.8p+1\"");
+    return value;
+  }
+  invalid("request field '" + what + "' must be a number or hexfloat string");
+}
+
+std::uint64_t parse_count(const json::Value& v, const std::string& what) {
+  const double d = parse_number(v, what);
+  if (!(d >= 0) || d != std::floor(d))
+    invalid("request field '" + what + "' must be a nonnegative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+/// C99 hexfloat form, same helper discipline as the result cache: exact
+/// bits, locale-independent, strtod-parseable.
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+void reject_unknown_members(const json::Value& object, const char* where,
+                            std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : object.members) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok)
+      invalid(std::string("unknown request field '") + where + "." + key + "'",
+              "the fmtree.request/v1 schema rejects unrecognized fields");
+  }
+}
+
+}  // namespace
+
+RequestError::RequestError(std::string code, const std::string& message,
+                           std::string hint)
+    : Error(message), code_(std::move(code)) {
+  diagnostics_.push_back(make_diagnostic(code_, message, std::move(hint)));
+}
+
+RequestError::RequestError(std::string code, std::vector<Diagnostic> diagnostics)
+    : Error(diagnostics.empty() ? "invalid request" : diagnostics.front().message),
+      code_(std::move(code)),
+      diagnostics_(std::move(diagnostics)) {}
+
+AdmissionError::AdmissionError(const std::string& message)
+    : RequestError("R120", message,
+                   "the daemon's job queue is full; retry after a drain") {}
+
+Request parse_request(const std::string& text) {
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const Error& e) {
+    throw RequestError("R110", std::string("malformed request JSON: ") + e.what());
+  }
+  if (!doc.is(json::Kind::Object))
+    throw RequestError("R110", "request must be a JSON object");
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is(json::Kind::String))
+    throw RequestError("R111", "request has no schema tag",
+                       std::string("expected \"schema\": \"") + kSchema + "\"");
+  if (schema->text != kSchema)
+    throw RequestError("R111", "unsupported request schema '" + schema->text + "'",
+                       std::string("this server speaks ") + kSchema);
+  reject_unknown_members(doc, "request",
+                         {"schema", "id", "priority", "model", "settings", "policy"});
+
+  Request req;
+  if (const json::Value* id = doc.find("id")) {
+    if (!id->is(json::Kind::String)) invalid("request field 'id' must be a string");
+    req.id = id->text;
+  }
+  if (const json::Value* prio = doc.find("priority")) {
+    const double p = parse_number(*prio, "priority");
+    if (p != std::floor(p) || p < -1000 || p > 1000)
+      invalid("request field 'priority' must be an integer in [-1000, 1000]");
+    req.priority = static_cast<int>(p);
+  }
+
+  const json::Value* model = doc.find("model");
+  if (model == nullptr || !model->is(json::Kind::Object))
+    invalid("request needs a 'model' object",
+            "either {\"inline\": \"<.fmt source>\"} or {\"ref\": \"<name>\"}");
+  reject_unknown_members(*model, "model", {"inline", "ref"});
+  const json::Value* inline_text = model->find("inline");
+  const json::Value* ref = model->find("ref");
+  if ((inline_text != nullptr) == (ref != nullptr))
+    invalid("request 'model' needs exactly one of 'inline' or 'ref'");
+  if (inline_text != nullptr) {
+    if (!inline_text->is(json::Kind::String))
+      invalid("request field 'model.inline' must be a string of .fmt source");
+    req.model_text = inline_text->text;
+  } else {
+    if (!ref->is(json::Kind::String) || ref->text.empty())
+      invalid("request field 'model.ref' must be a nonempty string");
+    req.model_ref = ref->text;
+  }
+
+  if (const json::Value* settings = doc.find("settings")) {
+    if (!settings->is(json::Kind::Object))
+      invalid("request field 'settings' must be an object");
+    reject_unknown_members(*settings, "settings",
+                           {"horizon", "trajectories", "seed", "confidence",
+                            "discount_rate", "target_relative_error", "engine"});
+    if (const json::Value* v = settings->find("horizon"))
+      req.settings.horizon = parse_number(*v, "settings.horizon");
+    if (const json::Value* v = settings->find("trajectories"))
+      req.settings.trajectories = parse_count(*v, "settings.trajectories");
+    if (const json::Value* v = settings->find("seed"))
+      req.settings.seed = parse_count(*v, "settings.seed");
+    if (const json::Value* v = settings->find("confidence"))
+      req.settings.confidence = parse_number(*v, "settings.confidence");
+    if (const json::Value* v = settings->find("discount_rate"))
+      req.settings.discount_rate = parse_number(*v, "settings.discount_rate");
+    if (const json::Value* v = settings->find("target_relative_error"))
+      req.settings.target_relative_error =
+          parse_number(*v, "settings.target_relative_error");
+    if (const json::Value* v = settings->find("engine")) {
+      if (!v->is(json::Kind::String))
+        invalid("request field 'settings.engine' must be a string");
+      if (v->text == "default") req.settings.engine = Engine::Default;
+      else if (v->text == "scalar") req.settings.engine = Engine::Scalar;
+      else if (v->text == "batch") req.settings.engine = Engine::Batch;
+      else
+        invalid("unknown engine '" + v->text + "'",
+                "one of \"default\", \"scalar\", \"batch\"");
+    }
+  }
+  if (!(req.settings.horizon > 0)) invalid("settings.horizon must be positive");
+  if (req.settings.trajectories == 0)
+    invalid("settings.trajectories must be positive");
+  if (!(req.settings.confidence > 0 && req.settings.confidence < 1))
+    invalid("settings.confidence must lie in (0,1)");
+
+  if (const json::Value* policy = doc.find("policy")) {
+    if (!policy->is(json::Kind::Object))
+      invalid("request field 'policy' must be an object");
+    reject_unknown_members(*policy, "policy", {"frequencies"});
+    const json::Value* freqs = policy->find("frequencies");
+    if (freqs == nullptr || !freqs->is(json::Kind::Array) || freqs->items.empty())
+      invalid("request field 'policy.frequencies' must be a nonempty array");
+    for (const json::Value& item : freqs->items) {
+      const double f = parse_number(item, "policy.frequencies[]");
+      if (!(f >= 0) || !std::isfinite(f))
+        invalid("policy frequencies must be finite and >= 0");
+      req.frequencies.push_back(f);
+    }
+    req.has_policy = true;
+  }
+  return req;
+}
+
+std::string encode_request(const Request& request) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kSchema << "\",\n";
+  if (!request.id.empty())
+    os << "  \"id\": \"" << json::escape(request.id) << "\",\n";
+  if (request.priority != 0) os << "  \"priority\": " << request.priority << ",\n";
+  os << "  \"model\": {";
+  if (!request.model_ref.empty()) {
+    os << "\"ref\": \"" << json::escape(request.model_ref) << "\"";
+  } else {
+    os << "\"inline\": \"" << json::escape(request.model_text) << "\"";
+  }
+  os << "},\n"
+     << "  \"settings\": {\n"
+     << "    \"horizon\": \"" << hexfloat(request.settings.horizon) << "\",\n"
+     << "    \"trajectories\": " << request.settings.trajectories << ",\n"
+     << "    \"seed\": " << request.settings.seed << ",\n"
+     << "    \"confidence\": \"" << hexfloat(request.settings.confidence) << "\",\n"
+     << "    \"discount_rate\": \"" << hexfloat(request.settings.discount_rate)
+     << "\",\n"
+     << "    \"target_relative_error\": \""
+     << hexfloat(request.settings.target_relative_error) << "\",\n"
+     << "    \"engine\": \""
+     << (request.settings.engine == Engine::Default
+             ? "default"
+             : engine_name(request.settings.engine))
+     << "\"\n"
+     << "  }";
+  if (request.has_policy) {
+    os << ",\n  \"policy\": {\"frequencies\": [";
+    for (std::size_t i = 0; i < request.frequencies.size(); ++i)
+      os << (i == 0 ? "\"" : ", \"") << hexfloat(request.frequencies[i]) << "\"";
+    os << "]}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+PreparedRequest prepare(const Request& request, const std::string& model_root) {
+  std::string text = request.model_text;
+  if (!request.model_ref.empty()) {
+    if (request.model_ref.find("..") != std::string::npos ||
+        request.model_ref.front() == '/')
+      throw RequestError("R112",
+                         "model ref '" + request.model_ref +
+                             "' must be a plain name inside the model root",
+                         "absolute paths and '..' segments are rejected");
+    const std::string path = model_root + "/" + request.model_ref;
+    std::ifstream file(path);
+    if (!file)
+      throw RequestError("R112", "model ref '" + request.model_ref +
+                                     "' not found under '" + model_root + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  PreparedRequest prepared;
+  try {
+    prepared.model = fmt::parse_fmt(text);
+  } catch (const ParseErrors& e) {
+    throw RequestError("R113", e.diagnostics());
+  } catch (const ModelErrors& e) {
+    throw RequestError("R113", e.diagnostics());
+  } catch (const ParseError& e) {
+    throw RequestError("R113", {diagnostic_from(e)});
+  } catch (const ModelError& e) {
+    throw RequestError("R113", {diagnostic_from(e, "M104")});
+  }
+
+  if (!request.has_policy) {
+    batch::SweepJob job;
+    job.label = "analysis";
+    job.model = prepared.model;
+    job.settings = request.settings;
+    prepared.jobs.push_back(std::move(job));
+    return prepared;
+  }
+
+  bool wants_inspections = false;
+  for (double f : request.frequencies) wants_inspections = wants_inspections || f > 0;
+  if (wants_inspections && prepared.model.inspections().empty())
+    throw RequestError("R112", "model has no inspection modules to sweep");
+
+  // Identical expansion (labels included) to the `fmtree sweep` CLI, so a
+  // served sweep and a standalone one describe — and cache — the same jobs.
+  prepared.jobs.reserve(request.frequencies.size());
+  for (double f : request.frequencies) {
+    batch::SweepJob job;
+    job.model = prepared.model;
+    if (f == 0) {
+      job.model.clear_inspections();
+      job.label = "no-inspection";
+    } else {
+      for (std::size_t i = 0; i < job.model.inspections().size(); ++i)
+        job.model.set_inspection_schedule(i, 1.0 / f);
+      std::ostringstream name;
+      name << f << "x-per-year";
+      job.label = name.str();
+    }
+    job.settings = request.settings;
+    prepared.jobs.push_back(std::move(job));
+  }
+  return prepared;
+}
+
+}  // namespace fmtree::serve

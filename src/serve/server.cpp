@@ -1,0 +1,209 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+namespace fmtree::serve {
+
+namespace detail {
+struct Connection {
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+}  // namespace detail
+
+namespace {
+
+/// Closes the listener on every exit path of run().
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Writes the whole buffer; false on any transport failure (the caller drops
+/// the connection). MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE.
+/// The serve.write fault site models exactly that failure.
+bool write_all(int fd, const std::string& data) {
+  try {
+    if (fault::fault_point("serve.write")) return false;
+  } catch (const fault::InjectedFault&) {
+    return false;
+  }
+  const char* p = data.data();
+  std::size_t n = data.size();
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+int poll_ms(double seconds) {
+  const int ms = static_cast<int>(seconds * 1000.0);
+  return ms > 0 ? ms : 100;
+}
+
+}  // namespace
+
+Server::Server(Session& session, ServerConfig config)
+    : session_(session), config_(std::move(config)) {}
+
+Server::~Server() { reap(/*all=*/true); }
+
+std::string Server::read_request(int fd) {
+  // The client frames its request by shutting down its write side; we read
+  // to EOF, polling so a SIGTERM drain is never stuck behind a silent peer.
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    if (config_.stop != nullptr &&
+        config_.stop->should_stop(0) != smc::StopReason::None)
+      throw RequestError("R122", "service is draining; request abandoned",
+                         "retry against a running daemon");
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, poll_ms(config_.poll_interval_s));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw RequestError("R122", std::string("poll failed reading request: ") +
+                                     std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw RequestError("R122", std::string("failed to read request: ") +
+                                     std::strerror(errno));
+    }
+    if (r == 0) return text;
+    text.append(buf, static_cast<std::size_t>(r));
+    if (text.size() > config_.max_request_bytes)
+      throw RequestError("R110",
+                         "request document exceeds " +
+                             std::to_string(config_.max_request_bytes) + " bytes",
+                         "send the model by ref instead of inline");
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::optional<Ticket> ticket;
+  try {
+    const std::string text = read_request(fd);
+    const Request request = parse_request(text);
+    ticket.emplace(session_.submit(request));
+    if (!write_all(fd, encode_accepted(request.id, ticket->jobs()))) {
+      ticket->cancel();
+      ::close(fd);
+      return;
+    }
+    std::uint64_t last_generation = session_.progress().generation;
+    while (!ticket->wait_for(config_.poll_interval_s)) {
+      const Session::ProgressSnapshot snap = session_.progress();
+      if (snap.generation == last_generation) continue;
+      last_generation = snap.generation;
+      if (!write_all(fd, encode_progress(snap.progress))) {
+        // The peer is gone: detach. Jobs other connections still watch keep
+        // running; sole-watcher jobs are cancelled at the next boundary.
+        ticket->cancel();
+        ::close(fd);
+        return;
+      }
+    }
+    write_all(fd, encode_result(ticket->take()));
+  } catch (const RequestError& e) {
+    write_all(fd, encode_error(e));
+  } catch (const Error& e) {
+    write_all(fd, encode_error(RequestError("R122", e.what())));
+  } catch (const std::exception& e) {
+    write_all(fd, encode_error(RequestError(
+                      "R122", std::string("internal server error: ") + e.what())));
+  }
+  ::close(fd);
+}
+
+void Server::reap(bool all) {
+  std::erase_if(connections_, [all](const std::unique_ptr<detail::Connection>& c) {
+    if (!all && !c->done.load(std::memory_order_acquire)) return false;
+    if (c->thread.joinable()) c->thread.join();
+    return true;
+  });
+}
+
+void Server::run() {
+  FdCloser listener{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (listener.fd < 0)
+    throw IoError(std::string("cannot create socket: ") + std::strerror(errno));
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(addr.sun_path))
+    throw IoError("socket path must be 1.." +
+                  std::to_string(sizeof(addr.sun_path) - 1) + " characters: '" +
+                  config_.socket_path + "'");
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  ::unlink(config_.socket_path.c_str());  // a stale socket from a dead daemon
+  if (::bind(listener.fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0)
+    throw IoError("cannot bind '" + config_.socket_path +
+                  "': " + std::strerror(errno));
+  if (::listen(listener.fd, 16) < 0)
+    throw IoError("cannot listen on '" + config_.socket_path +
+                  "': " + std::strerror(errno));
+
+  while (config_.stop == nullptr ||
+         config_.stop->should_stop(0) == smc::StopReason::None) {
+    pollfd pfd{listener.fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, poll_ms(config_.poll_interval_s));
+    reap(/*all=*/false);
+    if (ready < 0 && errno != EINTR)
+      throw IoError(std::string("poll failed on listener: ") + std::strerror(errno));
+    if (ready <= 0) continue;
+    const int fd = ::accept(listener.fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    try {
+      if (fault::fault_point("serve.accept")) {
+        ::close(fd);
+        continue;
+      }
+    } catch (const fault::InjectedFault&) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<detail::Connection>();
+    detail::Connection* raw = conn.get();
+    conn->thread = std::thread([this, fd, raw] {
+      handle_connection(fd);
+      raw->done.store(true, std::memory_order_release);
+    });
+    connections_.push_back(std::move(conn));
+  }
+
+  // SIGTERM drain: stop accepting, resolve every in-flight ticket (completed
+  // jobs are already cached), let each connection write its final event.
+  session_.drain();
+  reap(/*all=*/true);
+  ::unlink(config_.socket_path.c_str());
+}
+
+}  // namespace fmtree::serve

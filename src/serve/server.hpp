@@ -1,0 +1,74 @@
+// serve::Server — the `fmtree serve` socket front end. Listens on a local
+// SOCK_STREAM (AF_UNIX) socket and speaks the "fmtree.response/v1" NDJSON
+// protocol (serve/protocol.hpp): one request per connection, answered with
+// accepted / progress / result (or error) events.
+//
+// The Server only moves bytes; all scheduling, dedup, admission and
+// cancellation live in the Session it fronts. A dropped connection cancels
+// the caller's interest in its jobs (Ticket::cancel) — jobs shared with
+// other connections keep running, which is what makes N identical concurrent
+// requests cost one computation.
+//
+// Shutdown: when the stop control fires (the CLI wires SIGTERM to it), the
+// listener closes, the Session drains — resolving every in-flight ticket,
+// with completed jobs already in the cache — and every connection thread is
+// joined before run() returns. A restarted daemon replays the completed
+// prefix bit-identically from the cache.
+//
+// Fault sites (DESIGN.md catalog, exercised by the Chaos suite):
+//   serve.accept   a just-accepted connection is dropped before any read;
+//                  the daemon keeps serving later connections
+//   serve.write    an event write is dropped mid-conversation; the client
+//                  loses the connection but an already-running job completes
+//                  and caches normally
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/session.hpp"
+#include "smc/run_control.hpp"
+
+namespace fmtree::serve {
+
+struct ServerConfig {
+  std::string socket_path;
+  /// Stop control (SIGTERM / --timeout); nullptr = run until destroyed.
+  const smc::RunControl* stop = nullptr;
+  /// Hard cap on one request document; larger requests are rejected (R110).
+  std::size_t max_request_bytes = std::size_t{4} << 20;
+  /// Accept-loop poll and per-ticket progress poll granularity.
+  double poll_interval_s = 0.1;
+};
+
+namespace detail {
+struct Connection;
+}
+
+class Server {
+public:
+  Server(Session& session, ServerConfig config);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// Binds, listens and serves until the stop control fires, then drains the
+  /// session and joins every connection. Throws IoError when the socket
+  /// cannot be set up.
+  void run();
+
+  const ServerConfig& config() const noexcept { return config_; }
+
+private:
+  void handle_connection(int fd);
+  std::string read_request(int fd);
+  void reap(bool all);
+
+  Session& session_;
+  ServerConfig config_;
+  std::vector<std::unique_ptr<detail::Connection>> connections_;
+};
+
+}  // namespace fmtree::serve

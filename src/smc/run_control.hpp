@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace fmtree::smc {
 
@@ -38,6 +39,18 @@ constexpr const char* stop_reason_name(StopReason r) noexcept {
     case StopReason::Stalled: return "stalled";
   }
   return "?";
+}
+
+/// Inverse of stop_reason_name, for wire decoders (the serve protocol
+/// transports stop reasons by their stable names). Unknown names map to
+/// None rather than failing: a newer server introducing a reason must not
+/// break an older client's ability to read the rest of the response.
+constexpr StopReason stop_reason_from_name(std::string_view name) noexcept {
+  if (name == "interrupted") return StopReason::Interrupted;
+  if (name == "deadline") return StopReason::DeadlineExpired;
+  if (name == "budget") return StopReason::BudgetExhausted;
+  if (name == "stalled") return StopReason::Stalled;
+  return StopReason::None;
 }
 
 class RunControl {

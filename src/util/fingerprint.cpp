@@ -44,6 +44,21 @@ std::string Fingerprint::hex() const {
   return out;
 }
 
+Fingerprint Fingerprint::from_hex(std::string_view text) {
+  if (text.size() != 32)
+    throw DomainError("fingerprint hex must be 32 characters, got " +
+                      std::to_string(text.size()));
+  const auto nibble = [&](char c) -> std::uint64_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint64_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint64_t>(c - 'a' + 10);
+    throw DomainError(std::string("invalid fingerprint hex character '") + c + "'");
+  };
+  Fingerprint f;
+  for (int i = 0; i < 16; ++i) f.hi = f.hi << 4 | nibble(text[i]);
+  for (int i = 16; i < 32; ++i) f.lo = f.lo << 4 | nibble(text[i]);
+  return f;
+}
+
 StreamHasher& StreamHasher::bytes(const void* data, std::size_t size) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
   for (std::size_t i = 0; i < size; ++i) {

@@ -34,6 +34,11 @@ struct Fingerprint {
   /// 32 lowercase hex characters (hi then lo), e.g. for cache file names.
   std::string hex() const;
 
+  /// Inverse of hex(): parses exactly 32 lowercase hex characters. Throws
+  /// DomainError on any other input (wire decoders use this to reject
+  /// malformed keys early).
+  static Fingerprint from_hex(std::string_view text);
+
   friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
   friend bool operator<(const Fingerprint& a, const Fingerprint& b) noexcept {
     return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;

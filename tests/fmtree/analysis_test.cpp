@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 
 #include "eijoint/model.hpp"
 #include "eijoint/scenarios.hpp"
@@ -106,6 +107,51 @@ TEST(AnalysisFacade, FromFileAndErrors) {
   const Analysis study =
       Analysis::from_file(std::string(FMTREE_SOURCE_DIR) + "/models/ei_joint.fmt");
   EXPECT_GT(study.model().num_ebes(), 0u);
+}
+
+TEST(AnalysisFacade, AsyncSubmitMatchesBlockingKpisBitExactly) {
+  Analysis blocking = Analysis::from_text(kModel);
+  blocking.horizon(8.0).trajectories(3000).seed(11).threads(2);
+  const smc::KpiReport reference = blocking.kpis();
+
+  Analysis study = Analysis::from_text(kModel);
+  study.horizon(8.0).trajectories(3000).seed(11).threads(2);
+  PendingKpis pending = study.submit();
+  while (!pending.poll()) pending.wait_for(0.01);
+  const smc::KpiReport async = pending.wait();
+  EXPECT_EQ(std::memcmp(&async.reliability, &reference.reliability,
+                        sizeof(reference.reliability)),
+            0);
+  EXPECT_EQ(std::memcmp(&async.total_cost, &reference.total_cost,
+                        sizeof(reference.total_cost)),
+            0);
+  // wait() is idempotent, and the second submission of the same study is a
+  // cache hit on the session's service — same bits again.
+  EXPECT_EQ(pending.wait().trajectories, reference.trajectories);
+  const smc::KpiReport again = study.submit().wait();
+  EXPECT_EQ(std::memcmp(&again.reliability, &reference.reliability,
+                        sizeof(reference.reliability)),
+            0);
+}
+
+TEST(AnalysisFacade, ResolvedAsyncHandleMayOutliveItsSession) {
+  PendingKpis resolved;
+  {
+    Analysis study = Analysis::from_text(kModel);
+    study.horizon(8.0).trajectories(500).seed(11);
+    resolved = study.submit();
+    resolved.wait();
+  }  // the Analysis (and its embedded service) are gone
+  EXPECT_TRUE(resolved.poll());
+  EXPECT_GT(resolved.wait().trajectories, 0u);
+}
+
+TEST(AnalysisFacade, CancelledAsyncHandleThrowsOnWait) {
+  Analysis study = Analysis::from_text(kModel);
+  study.horizon(8.0).trajectories(50'000'000).seed(11);
+  PendingKpis pending = study.submit();
+  pending.cancel();
+  EXPECT_THROW(pending.wait(), Error);
 }
 
 TEST(AnalysisFacade, ExactMttfAndOptimizerPassThrough) {

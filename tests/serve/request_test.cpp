@@ -1,0 +1,161 @@
+// fmtree.request/v1 schema tests: stable R-codes, canonical (hexfloat)
+// serialization round-trips, and the CLI-identical policy expansion that
+// makes a served sweep cache the very same jobs as a standalone one.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "batch/fingerprint.hpp"
+#include "serve/request.hpp"
+#include "util/error.hpp"
+
+namespace fmtree::serve {
+namespace {
+
+const char* kModel = R"(
+  toplevel T;
+  T or A B;
+  A ebe phases=3 mean=5 threshold=2 repair_cost=100;
+  B be exp(0.05);
+  inspection I period=0.5 cost=20 targets A;
+  corrective cost=5000 delay=0;
+)";
+
+Request sweep_request() {
+  Request r;
+  r.model_text = kModel;
+  r.settings.horizon = 7.5;
+  r.settings.trajectories = 300;
+  r.settings.seed = 9;
+  r.settings.confidence = 0.9;
+  r.frequencies = {0, 2, 4};
+  r.has_policy = true;
+  return r;
+}
+
+std::string expect_code(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const RequestError& e) {
+    EXPECT_FALSE(e.diagnostics().empty());
+    return e.code();
+  }
+  return "(no throw)";
+}
+
+TEST(ServeRequest, EncodeParsePreservesEveryFieldBitExactly) {
+  Request original = sweep_request();
+  original.id = "job-42";
+  original.priority = 7;
+  const std::string text = encode_request(original);
+  const Request parsed = parse_request(text);
+  EXPECT_EQ(parsed.id, "job-42");
+  EXPECT_EQ(parsed.priority, 7);
+  EXPECT_EQ(parsed.model_text, original.model_text);
+  EXPECT_EQ(parsed.has_policy, true);
+  ASSERT_EQ(parsed.frequencies.size(), original.frequencies.size());
+  // Hexfloat canonical form: a re-encode of the parse is byte-identical.
+  EXPECT_EQ(encode_request(parsed), text);
+  // The settings fingerprint — hence every cache key — survives the trip.
+  EXPECT_EQ(batch::settings_fingerprint(parsed.settings).hex(),
+            batch::settings_fingerprint(original.settings).hex());
+}
+
+TEST(ServeRequest, AcceptsPlainNumbersWhereHexfloatsAreCanonical) {
+  const Request r = parse_request(R"({
+    "schema": "fmtree.request/v1",
+    "model": {"ref": "ei_joint.fmt"},
+    "settings": {"horizon": 20, "trajectories": 1000, "confidence": 0.99}
+  })");
+  EXPECT_EQ(r.model_ref, "ei_joint.fmt");
+  EXPECT_DOUBLE_EQ(r.settings.horizon, 20.0);
+  EXPECT_DOUBLE_EQ(r.settings.confidence, 0.99);
+  EXPECT_FALSE(r.has_policy);
+}
+
+TEST(ServeRequest, StableDiagnosticCodes) {
+  // R110: not even JSON / not an object.
+  EXPECT_EQ(expect_code([] { parse_request("{oops"); }), "R110");
+  EXPECT_EQ(expect_code([] { parse_request("[1,2]"); }), "R110");
+  // R111: schema tag missing or unsupported.
+  EXPECT_EQ(expect_code([] { parse_request(R"({"model": {"ref": "x"}})"); }),
+            "R111");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v99",
+                                "model": {"ref": "x"}})");
+            }),
+            "R111");
+  // R112: structurally valid JSON that violates the schema.
+  EXPECT_EQ(expect_code([] { parse_request(R"({"schema": "fmtree.request/v1"})"); }),
+            "R112");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"inline": "a", "ref": "b"}})");
+            }),
+            "R112");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"ref": "x"}, "surprise": 1})");
+            }),
+            "R112");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"ref": "x"},
+                                "settings": {"horizon": -1}})");
+            }),
+            "R112");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"ref": "x"},
+                                "settings": {"engine": "quantum"}})");
+            }),
+            "R112");
+}
+
+TEST(ServeRequest, PrepareExpandsThePolicyGridWithCliIdenticalLabels) {
+  const PreparedRequest prepared = prepare(sweep_request(), "models");
+  ASSERT_EQ(prepared.jobs.size(), 3u);
+  EXPECT_EQ(prepared.jobs[0].label, "no-inspection");
+  EXPECT_EQ(prepared.jobs[1].label, "2x-per-year");
+  EXPECT_EQ(prepared.jobs[2].label, "4x-per-year");
+  EXPECT_TRUE(prepared.jobs[0].model.inspections().empty());
+}
+
+TEST(ServeRequest, PrepareWithoutPolicyYieldsOneAnalysisJob) {
+  Request r = sweep_request();
+  r.frequencies.clear();
+  r.has_policy = false;
+  const PreparedRequest prepared = prepare(r, "models");
+  ASSERT_EQ(prepared.jobs.size(), 1u);
+  EXPECT_EQ(prepared.jobs[0].label, "analysis");
+}
+
+TEST(ServeRequest, PrepareRejectsEscapingModelRefsAndBadModels) {
+  Request escaping = sweep_request();
+  escaping.model_text.clear();
+  escaping.model_ref = "../secrets.fmt";
+  EXPECT_EQ(expect_code([&] { prepare(escaping, "models"); }), "R112");
+
+  Request missing = sweep_request();
+  missing.model_text.clear();
+  missing.model_ref = "definitely-not-there.fmt";
+  EXPECT_EQ(expect_code([&] { prepare(missing, "models"); }), "R112");
+
+  // R113: the model is the problem, carrying parse diagnostics.
+  Request broken = sweep_request();
+  broken.model_text = "toplevel T;\nT or A;\n";  // A undefined
+  EXPECT_EQ(expect_code([&] { prepare(broken, "models"); }), "R113");
+
+  Request uninspectable = sweep_request();
+  uninspectable.model_text = R"(
+    toplevel T;
+    T or A;
+    A be exp(0.2);
+    corrective cost=100 delay=0;
+  )";
+  EXPECT_EQ(expect_code([&] { prepare(uninspectable, "models"); }), "R112");
+}
+
+}  // namespace
+}  // namespace fmtree::serve
