@@ -1,0 +1,32 @@
+# Condition-based maintenance for the EI joint, and the scripted scenario
+# that beats every periodic policy on the cost curve: a cheap narrow check
+# on the fast-degrading components plus a rare full visit for the slow
+# mechanical ones.
+#
+# The built-in policy pays the full 35-per-visit track access four times a
+# year to look at all ten components — but only lipping, contamination and
+# joint batter degrade on a sub-year scale (and joint batter accelerates
+# lipping and glue degradation through the rate dependencies, so catching
+# it early matters twice). The slow components (bolts, fishplate, glue,
+# endpost) spend years inside their detectable window, so a two-year full
+# visit loses essentially no detection coverage on them.
+#
+#   fmtree sweep models/ei_joint.fmt --policy examples/policies/condition_based.mpl \
+#       --frequencies 0,0.5,1,2,3,4,6,8,12,24
+policy "condition-based";
+
+# Frequent narrow check: the three fast movers only, at a fraction of the
+# full-visit cost.
+calendar electrical every 0.25 offset 0.25 cost 12
+  targets lipping, contamination, joint_batter;
+
+rule electrical {
+  if phase >= threshold then repair;
+}
+
+# Rare wide visit covering every inspectable component.
+calendar mechanical every 2 offset 1 cost 35 targets all;
+
+rule mechanical {
+  if phase >= threshold then repair;
+}

@@ -1,0 +1,16 @@
+# Opportunistic maintenance with a crew cap: a two-person crew visits twice
+# a year; degraded components are repaired at the threshold, and when a
+# repair already happened this round (the crew is on site with the track
+# closed anyway) near-threshold components are pulled forward one phase.
+policy "opportunistic";
+
+crew 2;
+
+calendar biannual every 0.5 offset 0.5 cost 35 targets all;
+
+rule biannual {
+  if phase >= threshold then repair;
+  # The round already repaired something: extend the same possession to
+  # anything within one phase of its threshold.
+  if repairs > 0 and phase >= threshold - 1 then repair;
+}

@@ -1,0 +1,15 @@
+# The paper's current EI-joint policy, written as a script: quarterly
+# visits, every inspectable component, repair at the detection threshold.
+#
+# This is the scripted twin of the built-in `inspection` module in
+# models/ei_joint.fmt — same period, offset, visit cost and target list —
+# and it produces bitwise-identical KPIs to the built-in policy on either
+# engine at any thread count (policy evaluation draws no random numbers;
+# the repair bookkeeping is the same code path).
+policy "4x-periodic";
+
+calendar quarterly every 0.25 offset 0.25 cost 35 targets all;
+
+rule quarterly {
+  if phase >= threshold then repair;
+}

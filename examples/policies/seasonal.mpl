@@ -1,0 +1,20 @@
+# Seasonal inspection with a yearly maintenance budget: monthly visits that
+# only happen outside the winter possession freeze (months 11..12 and the
+# first two, as fractions of the year cycle), paying repairs from a budget
+# that refills every year. When the budget is exhausted, only components at
+# their last phase before failure are repaired.
+policy "seasonal-budgeted";
+
+budget opex = 1500 refill 1500 every 1;
+
+# Active from early March to late October (window is a fraction of the
+# 1-year cycle); out-of-window visits are skipped silently at no cost.
+calendar monthly every 0.0833 offset 0.25 cost 18
+  window 0.18..0.82 of 1 targets all;
+
+rule monthly {
+  if phase >= threshold and budget(opex) >= 100
+    then repair, spend(opex, 100);
+  # Budget dry: triage — only components about to fail get attention.
+  if phase >= phases and budget(opex) < 100 then repair;
+}

@@ -1,6 +1,7 @@
 #include "batch/fingerprint.hpp"
 
 #include "fmt/canonical.hpp"
+#include "lang/policy.hpp"
 #include "smc/kpi.hpp"
 
 namespace fmtree::batch {
@@ -24,6 +25,12 @@ Fingerprint settings_fingerprint(const smc::AnalysisSettings& s) {
     h.str("engine", engine_name(Engine::Batch));
     h.str("rng", "philox4x32-10");
   }
+  // Scripted maintenance policy: hash the compiled form's fingerprint (not
+  // the script text), so reformatting preserves the key while any semantic
+  // change invalidates it. Hashed only when a policy is present — built-in
+  // runs keep their pre-DSL fingerprints, and a scripted run can never
+  // collide with a built-in one.
+  if (s.policy) h.fingerprint("policy", s.policy->fingerprint);
   return h.digest();
 }
 

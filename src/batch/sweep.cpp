@@ -7,8 +7,10 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "lang/runtime.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/tracer.hpp"
@@ -32,6 +34,12 @@ struct Task {
 struct JobExec {
   std::uint32_t index = 0;  ///< into plan.jobs / outcome.results
   const SweepJob* job = nullptr;
+  /// Scripted-policy jobs simulate the apply_policy transform of the job's
+  /// model (owned here so the simulator/executor pointers stay stable); the
+  /// cache key is still minted from the untransformed model + the policy
+  /// fingerprint in the settings.
+  std::optional<fmt::FaultMaintenanceTree> transformed;
+  std::optional<lang::BoundPolicy> bound;
   std::unique_ptr<sim::FmtSimulator> simulator;
   /// Non-null when the job's resolved engine is Engine::Batch; tasks then
   /// run lane batches through it instead of the scalar simulator.
@@ -185,10 +193,28 @@ SweepOutcome run_sweep(const SweepPlan& plan, ResultCache* cache,
     auto exec = std::make_unique<JobExec>();
     exec->index = j;
     exec->job = &job;
-    exec->simulator = std::make_unique<sim::FmtSimulator>(job.model);
-    if (resolve_engine(job.settings.engine) == Engine::Batch)
-      exec->batch_executor = std::make_unique<sim::BatchExecutor>(job.model);
-    exec->opts = options_for(job.settings);
+    try {
+      const fmt::FaultMaintenanceTree* sim_model = &job.model;
+      if (job.settings.policy) {
+        exec->transformed.emplace(
+            lang::apply_policy(*job.settings.policy, job.model));
+        sim_model = &*exec->transformed;
+      }
+      exec->simulator = std::make_unique<sim::FmtSimulator>(*sim_model);
+      if (resolve_engine(job.settings.engine) == Engine::Batch)
+        exec->batch_executor = std::make_unique<sim::BatchExecutor>(*sim_model);
+      exec->opts = options_for(job.settings);
+      if (job.settings.policy) {
+        exec->bound.emplace(lang::bind_policy(*job.settings.policy, *sim_model));
+        exec->opts.bound_policy = &*exec->bound;
+      }
+    } catch (const std::exception& e) {
+      // Model/policy rejected at construction (e.g. a script naming a
+      // component this model lacks): park the failure on the job and let the
+      // heal driver classify it — the pool never sees its tasks.
+      exec->failed.store(true, std::memory_order_release);
+      exec->failure = classify_failure(e, /*attempts=*/1);
+    }
     exec->batch.summaries.resize(job.settings.trajectories);
     exec->batch.failures_per_leaf.assign(job.model.num_ebes(), 0);
     exec->batch.repairs_per_leaf.assign(job.model.num_ebes(), 0);

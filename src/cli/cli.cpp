@@ -18,6 +18,7 @@
 #include "ft/dot.hpp"
 #include "ft/bdd.hpp"
 #include "ft/importance.hpp"
+#include "lang/policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/tracer.hpp"
@@ -100,6 +101,7 @@ Options parse_args(const std::vector<std::string>& args) {
   else if (cmd == "cutsets") opt.command = Command::CutSets;
   else if (cmd == "compare") opt.command = Command::Compare;
   else if (cmd == "sweep") opt.command = Command::Sweep;
+  else if (cmd == "lint-policy") opt.command = Command::LintPolicy;
   else if (cmd == "serve") opt.command = Command::Serve;
   else throw DomainError("unknown command '" + cmd + "'\n" + usage());
 
@@ -135,7 +137,11 @@ Options parse_args(const std::vector<std::string>& args) {
     else if (flag == "--metrics") opt.metrics_path = value();
     else if (flag == "--trace") opt.trace_path = value();
     else if (flag == "--progress") opt.progress = true;
-    else if (flag == "--frequencies") opt.frequencies = parse_frequencies(value());
+    else if (flag == "--frequencies") {
+      opt.frequencies = parse_frequencies(value());
+      opt.frequencies_set = true;
+    }
+    else if (flag == "--policy") opt.policies.push_back(value());
     else if (flag == "--cache-dir") opt.cache_dir = value();
     else if (flag == "--resume") opt.resume = true;
     else if (flag == "--max-retries")
@@ -156,25 +162,35 @@ Options parse_args(const std::vector<std::string>& args) {
     else if (flag == "--emit-request") opt.emit_request = true;
     else throw DomainError("unknown flag '" + flag + "'\n" + usage());
   }
-  const std::size_t want = opt.command == Command::Compare ? 2u : 1u;
-  if (positional.empty()) {
-    throw DomainError(std::string(opt.command == Command::Serve
-                                      ? "missing socket path"
-                                      : "missing model file") +
-                      "\n" + usage());
-  }
-  if (positional.size() < want)
-    throw DomainError("compare needs two model files\n" + usage());
-  if (positional.size() > want)
-    throw DomainError("unexpected argument '" + positional[want] + "'\n" + usage());
-  if (opt.command == Command::Serve) {
-    opt.socket_path = positional[0];
+  if (opt.command == Command::LintPolicy) {
+    // lint-policy takes one or more script files, not a model.
+    if (positional.empty())
+      throw DomainError("lint-policy needs at least one policy script\n" + usage());
+    for (std::string& path : positional) opt.policies.push_back(std::move(path));
   } else {
-    opt.model_path = positional[0];
+    const std::size_t want = opt.command == Command::Compare ? 2u : 1u;
+    if (positional.empty()) {
+      throw DomainError(std::string(opt.command == Command::Serve
+                                        ? "missing socket path"
+                                        : "missing model file") +
+                        "\n" + usage());
+    }
+    if (positional.size() < want)
+      throw DomainError("compare needs two model files\n" + usage());
+    if (positional.size() > want)
+      throw DomainError("unexpected argument '" + positional[want] + "'\n" + usage());
+    if (opt.command == Command::Serve) {
+      opt.socket_path = positional[0];
+    } else {
+      opt.model_path = positional[0];
+    }
+    if (opt.command == Command::Compare) opt.model_path_b = positional[1];
   }
-  if (opt.command == Command::Compare) opt.model_path_b = positional[1];
   if (opt.command != Command::Sweep && (!opt.connect.empty() || opt.emit_request))
     throw DomainError("--connect / --emit-request only apply to sweep");
+  if (!opt.policies.empty() && opt.command != Command::Sweep &&
+      opt.command != Command::LintPolicy)
+    throw DomainError("--policy only applies to sweep");
   if (opt.resume && !opt.connect.empty())
     throw DomainError(
         "--resume is incompatible with --connect (the daemon owns the cache "
@@ -379,8 +395,18 @@ int cmd_exact(const Options& opt, const fmt::FaultMaintenanceTree& model,
   }
 }
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw IoError("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
 /// The canonical description of a sweep invocation: the same document
 /// `--emit-request` prints, the socket client sends, and the daemon parses.
+/// Policy script files are inlined into the request, so the daemon needs no
+/// access to the client's filesystem.
 serve::Request sweep_request(const Options& opt, const std::string& model_text) {
   serve::Request request;
   request.model_text = model_text;
@@ -389,7 +415,15 @@ serve::Request sweep_request(const Options& opt, const std::string& model_text) 
   request.settings.seed = opt.seed;
   request.settings.engine = opt.engine;
   request.settings.confidence = opt.confidence;
-  request.frequencies = opt.frequencies;
+  // With --policy and no explicit --frequencies the sweep evaluates only the
+  // scripted candidates (the default grid would drown them in noise).
+  if (opt.policies.empty() || opt.frequencies_set)
+    request.frequencies = opt.frequencies;
+  for (const std::string& path : opt.policies) {
+    serve::Request::PolicyScript script;
+    script.text = read_text_file(path);
+    request.scripts.push_back(std::move(script));
+  }
   request.has_policy = true;
   return request;
 }
@@ -488,15 +522,14 @@ batch::SweepOutcome outcome_for_checkpoint(const serve::Response& response) {
 int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
               const std::string& model_text, std::ostream& out,
               obs::Telemetry telemetry) {
+  const serve::Request request = sweep_request(opt, model_text);
   const bool wants_inspections = [&] {
-    for (double f : opt.frequencies)
+    for (double f : request.frequencies)
       if (f > 0) return true;
     return false;
   }();
   if (wants_inspections && model.inspections().empty())
     throw DomainError("model has no inspection modules to sweep");
-
-  const serve::Request request = sweep_request(opt, model_text);
   if (opt.emit_request) {
     out << serve::encode_request(request);
     return kExitOk;
@@ -679,6 +712,9 @@ int run_on_text(const Options& options, const std::string& model_text,
         return cmd_sweep(options, model, model_text, out, session.handles());
       case Command::Compare:
         throw DomainError("compare needs two models; use run_compare");
+      case Command::LintPolicy:
+        // Dispatched in main_impl (no model file); unreachable here.
+        throw DomainError("lint-policy takes policy scripts, not a model");
       case Command::Serve:
         // Dispatched in main_impl (no model file); unreachable here.
         throw DomainError("serve takes a socket path, not a model");
@@ -741,6 +777,49 @@ int report_failure(const Options& opt, std::ostream& err,
   return code;
 }
 
+/// `fmtree lint-policy <script>...`: compile every script with the
+/// error-recovery parser and report all diagnostics (text on stderr with a
+/// file prefix, or one aggregated JSON array with --json-errors). Exit code
+/// kExitDiagnostics when any script fails, kExitOk otherwise — so CI can
+/// gate a whole corpus with a single invocation.
+int cmd_lint_policy(const Options& opt, std::ostream& out, std::ostream& err) {
+  Diagnostics sink;  // aggregate across files for the JSON channel
+  bool any_failed = false;
+  for (const std::string& path : opt.policies) {
+    std::string source;
+    try {
+      source = read_text_file(path);
+    } catch (const IoError& e) {
+      any_failed = true;
+      Diagnostic d = diagnostic_from(e, "U101");
+      out << path << ": FAILED (unreadable)\n";
+      if (opt.json_errors) sink.add(std::move(d));
+      else err << path << ": " << format_diagnostic(d) << "\n";
+      continue;
+    }
+    Diagnostics diags;
+    const std::optional<lang::CompiledPolicy> compiled =
+        lang::compile_policy(source, diags);
+    for (const Diagnostic& d : diags.all()) {
+      if (opt.json_errors) sink.add(d);
+      else err << path << ":" << format_diagnostic(d) << "\n";
+    }
+    if (compiled.has_value()) {
+      out << path << ": OK  policy '" << compiled->name << "' ("
+          << compiled->calendars.size() << " calendar(s), "
+          << compiled->statements.size() << " statement(s), "
+          << compiled->budgets.size() << " budget(s)";
+      if (diags.empty()) out << ")\n";
+      else out << ", " << diags.all().size() << " warning(s))\n";
+    } else {
+      any_failed = true;
+      out << path << ": FAILED (" << diags.error_count() << " error(s))\n";
+    }
+  }
+  if (opt.json_errors && !sink.empty()) err << sink.to_json() << "\n";
+  return any_failed ? kExitDiagnostics : kExitOk;
+}
+
 }  // namespace
 
 int main_impl(const std::vector<std::string>& args, std::ostream& out,
@@ -754,6 +833,10 @@ int main_impl(const std::vector<std::string>& args, std::ostream& out,
     return kExitUsage;
   }
   try {
+    if (options.command == Command::LintPolicy) {
+      // No model file: the positional arguments are policy scripts.
+      return cmd_lint_policy(options, out, err);
+    }
     if (options.command == Command::Serve) {
       // No model file: the daemon reads models from requests / --model-root.
       const fault::Scope fault_scope(options.inject_faults);
@@ -790,9 +873,11 @@ int main_impl(const std::vector<std::string>& args, std::ostream& out,
     return report_failure(options, err, e.diagnostics(), kExitResourceLimit);
   } catch (const serve::RequestError& e) {
     // Stable R-code -> exit-code mapping (DESIGN.md, "Failure semantics"):
-    // R113 carries model diagnostics, R122 is an internal server failure,
-    // everything else (R110/R111/R112/R121) is bad usage/transport.
+    // R113 carries model diagnostics, R114 policy-script diagnostics, R122
+    // is an internal server failure, everything else (R110/R111/R112/R121)
+    // is bad usage/transport.
     const int code = e.code() == "R113"   ? kExitDiagnostics
+                     : e.code() == "R114" ? kExitDiagnostics
                      : e.code() == "R122" ? kExitInternal
                                           : kExitUsage;
     return report_failure(options, err, e.diagnostics(), code);
@@ -819,6 +904,8 @@ std::string usage() {
       "  cutsets   minimal cut sets and importance measures\n"
       "  compare   paired A/B comparison of two models (common random numbers)\n"
       "  sweep     evaluate the model across inspection frequencies (cost curve)\n"
+      "  lint-policy  compile maintenance-policy scripts (fmtree lint-policy\n"
+      "            <script>...), report L1xx diagnostics; exit 3 on errors\n"
       "  serve     analysis daemon on a local socket (fmtree serve <socket>);\n"
       "            speaks fmtree.request/v1 / fmtree.response/v1 NDJSON\n"
       "options:\n"
@@ -842,6 +929,9 @@ std::string usage() {
       "  --progress         print throttled progress lines while running\n"
       "  --frequencies <l>  sweep: comma-separated inspections per time unit,\n"
       "                     0 = none (default 0,0.5,1,2,3,4,6,8,12,24)\n"
+      "  --policy <file>    sweep: add a scripted maintenance-policy candidate\n"
+      "                     (repeatable); without an explicit --frequencies,\n"
+      "                     only the scripted candidates are evaluated\n"
       "  --cache-dir <dir>  sweep: content-addressed result cache directory;\n"
       "                     repeated runs reuse bit-identical results\n"
       "  --resume           sweep: resume from the checkpoint in --cache-dir;\n"

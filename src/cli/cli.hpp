@@ -8,6 +8,7 @@
 //   fmtree cutsets <model.fmt> [options]          minimal cut sets + importance
 //   fmtree compare <a.fmt> <b.fmt> [options]      paired policy comparison
 //   fmtree sweep   <model.fmt> [options]          inspection-frequency cost curve
+//   fmtree lint-policy <script.mpl>...            compile policy scripts, report L1xx
 //   fmtree serve   <socket> [options]             analysis daemon (fmtree.request/v1)
 //
 // Options: --horizon <years>  --runs <n>  --seed <n>  --threads <n>
@@ -15,7 +16,8 @@
 //          --quantiles <p1,p2,...>  --timeout <s>
 //          --state-cap <n>    --no-fallback  --json-errors
 //          --metrics <file>   --trace <file|chrome:file>  --progress
-//          --frequencies <f1,f2,...>  --cache-dir <dir>  --resume
+//          --frequencies <f1,f2,...>  --policy <script.mpl>
+//          --cache-dir <dir>  --resume
 //          --max-retries <n>  --stall-timeout <s>
 //          --connect <socket>  --emit-request            (sweep as a client)
 //          --queue-limit <n>   --model-root <dir>        (serve)
@@ -36,7 +38,17 @@
 
 namespace fmtree::cli {
 
-enum class Command { Check, Analyze, Exact, Dot, CutSets, Compare, Sweep, Serve };
+enum class Command {
+  Check,
+  Analyze,
+  Exact,
+  Dot,
+  CutSets,
+  Compare,
+  Sweep,
+  LintPolicy,
+  Serve,
+};
 
 /// Stable process exit codes (documented in DESIGN.md, "Failure semantics").
 enum ExitCode : int {
@@ -77,6 +89,13 @@ struct Options {
   /// Inspection frequencies (per time unit; 0 = no inspections) for `sweep`.
   /// Defaults to the paper's cost-curve grid.
   std::vector<double> frequencies = {0, 0.5, 1, 2, 3, 4, 6, 8, 12, 24};
+  /// Set when --frequencies was given explicitly. A sweep with --policy and
+  /// no explicit --frequencies evaluates only the scripted candidates.
+  bool frequencies_set = false;
+  /// Maintenance-policy script files: `sweep --policy <file>` (repeatable,
+  /// each compiled into one scripted sweep candidate) and the positional
+  /// script list of `lint-policy`.
+  std::vector<std::string> policies;
   /// On-disk result cache directory for `sweep`; empty = no cache.
   std::string cache_dir;
   /// Resume a previous sweep from the checkpoint manifest in cache_dir:

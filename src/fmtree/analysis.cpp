@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fmt/parser.hpp"
+#include "lang/policy.hpp"
 #include "util/error.hpp"
 
 namespace fmtree {
@@ -73,6 +74,24 @@ Analysis& Analysis::lane_width(unsigned lanes) {
 Analysis& Analysis::control(const smc::RunControl* ctl) {
   settings_.control = ctl;
   return *this;
+}
+
+Analysis& Analysis::policy_script(const std::string& source) {
+  if (source.empty()) {
+    settings_.policy.reset();
+    return *this;
+  }
+  settings_.policy =
+      std::make_shared<const lang::CompiledPolicy>(lang::compile_policy(source));
+  return *this;
+}
+
+Analysis& Analysis::policy_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw IoError("cannot open policy script: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return policy_script(text.str());
 }
 
 Analysis& Analysis::enable_metrics() {

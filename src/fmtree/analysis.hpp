@@ -112,6 +112,14 @@ public:
   Analysis& lane_width(unsigned lanes);
   /// Cooperative cancellation/budgets for every subsequent call.
   Analysis& control(const smc::RunControl* ctl);
+  /// Compiles a maintenance-policy script (the src/lang DSL) and attaches it
+  /// to every subsequent analysis call: the model's built-in inspection
+  /// modules are replaced by the script's calendars and the engines run the
+  /// compiled rules at each inspection event. Throws ParseErrors (L1xx
+  /// diagnostics) on malformed scripts. An empty source detaches the policy.
+  Analysis& policy_script(const std::string& source);
+  /// Reads `path` and forwards to policy_script. Throws IoError/ParseErrors.
+  Analysis& policy_file(const std::string& path);
 
   /// Full settings escape hatch (also where the embedded RunSettings live).
   smc::AnalysisSettings& settings() noexcept { return settings_; }

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <string_view>
 
 #include "obs/telemetry.hpp"
@@ -34,6 +35,10 @@
 namespace fmtree::smc {
 class RunControl;
 }  // namespace fmtree::smc
+
+namespace fmtree::lang {
+struct CompiledPolicy;
+}  // namespace fmtree::lang
 
 namespace fmtree {
 
@@ -90,6 +95,15 @@ struct RunSettings {
   /// default width. Execution-only: reports are bit-identical at any width,
   /// so the value is excluded from cache fingerprints (like `threads`).
   unsigned lane_width = 0;
+  /// Optional scripted maintenance policy (compiled from the policy DSL,
+  /// see src/lang). When set, analysis runs replace the model's built-in
+  /// inspection modules with the script's calendars and the engines invoke
+  /// the compiled rules at every inspection event. The compiled form's
+  /// fingerprint — not the script text — enters the settings fingerprint,
+  /// so reformatting a script preserves cache keys while any semantic
+  /// change (thresholds, calendars, budgets) invalidates them, and a
+  /// scripted run never shares a cache entry with a built-in one.
+  std::shared_ptr<const lang::CompiledPolicy> policy;
   /// Optional cooperative stop handle (SIGINT, deadlines, budgets);
   /// nullptr = run to completion. See smc/run_control.hpp.
   const smc::RunControl* control = nullptr;

@@ -62,6 +62,52 @@ SweepResult sweep_policies(const ModelFactory& factory,
   return result;
 }
 
+SweepResult sweep_policies(
+    const fmt::FaultMaintenanceTree& model,
+    const std::vector<std::shared_ptr<const lang::CompiledPolicy>>& scripts,
+    const smc::AnalysisSettings& settings, batch::ResultCache* cache) {
+  if (scripts.empty()) throw DomainError("policy sweep needs candidates");
+  batch::SweepPlan plan;
+  plan.threads = settings.threads;
+  plan.control = settings.control;
+  plan.jobs.reserve(scripts.size());
+  for (const std::shared_ptr<const lang::CompiledPolicy>& script : scripts) {
+    if (script == nullptr) throw DomainError("scripted candidate is null");
+    batch::SweepJob job;
+    job.label = script->name;
+    job.model = model;
+    job.settings = settings;
+    job.settings.policy = script;
+    job.settings.control = nullptr;    // interruption is plan-level
+    job.settings.telemetry = {};       // instrumentation too
+    plan.jobs.push_back(std::move(job));
+  }
+  batch::SweepOutcome outcome = batch::run_sweep(plan, cache, settings.telemetry);
+
+  SweepResult result;
+  result.curve.reserve(scripts.size());
+  bool have_best = false;
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    batch::JobResult& job = outcome.results[i];
+    if (!job.completed) {
+      job.report.truncated = true;
+      job.report.stop_reason = outcome.stop_reason;
+    }
+    MaintenancePolicy label_only;
+    label_only.name = scripts[i]->name;
+    result.curve.push_back(
+        PolicyEvaluation{std::move(label_only), std::move(job.report)});
+    count_evaluation(settings);
+    if (job.completed &&
+        (!have_best || result.curve[i].cost_per_year() <
+                           result.curve[result.best_index].cost_per_year())) {
+      result.best_index = i;
+      have_best = true;
+    }
+  }
+  return result;
+}
+
 std::vector<MaintenancePolicy> inspection_frequency_candidates(
     const MaintenancePolicy& base, const std::vector<double>& frequencies_per_year) {
   if (frequencies_per_year.empty())

@@ -3,9 +3,11 @@
 // paper's finding that the current EI-joint policy is close to cost-optimal.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "batch/result_cache.hpp"
+#include "lang/policy.hpp"
 #include "maintenance/policy.hpp"
 #include "smc/kpi.hpp"
 
@@ -44,6 +46,21 @@ SweepResult sweep_policies(const ModelFactory& factory,
                            const std::vector<MaintenancePolicy>& candidates,
                            const smc::AnalysisSettings& settings,
                            batch::ResultCache* cache = nullptr);
+
+/// Evaluates scripted maintenance policies (compiled src/lang scripts) on
+/// one shared base model: each candidate runs with its compiled policy in
+/// the settings (the engines replace the model's built-in inspections with
+/// the script's calendars), all over the same work-stealing pool and cache
+/// machinery as the MaintenancePolicy overload — so scripted and built-in
+/// candidates can be compared on one cost curve. Labels and the returned
+/// curve's MaintenancePolicy names are the scripts' policy names; the other
+/// MaintenancePolicy fields are not meaningful for scripted candidates.
+/// Scripted evaluations never share cache entries with built-in ones (the
+/// compiled fingerprint is part of the settings fingerprint).
+SweepResult sweep_policies(
+    const fmt::FaultMaintenanceTree& model,
+    const std::vector<std::shared_ptr<const lang::CompiledPolicy>>& scripts,
+    const smc::AnalysisSettings& settings, batch::ResultCache* cache = nullptr);
 
 /// Convenience: candidates that differ from `base` only in inspection
 /// frequency (inspections per year, 0 = none). Names are derived.

@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "fmt/parser.hpp"
+#include "lang/runtime.hpp"
 #include "util/json.hpp"
 
 namespace fmtree::serve {
@@ -184,15 +186,51 @@ Request parse_request(const std::string& text) {
   if (const json::Value* policy = doc.find("policy")) {
     if (!policy->is(json::Kind::Object))
       invalid("request field 'policy' must be an object");
-    reject_unknown_members(*policy, "policy", {"frequencies"});
+    reject_unknown_members(*policy, "policy", {"frequencies", "scripts"});
     const json::Value* freqs = policy->find("frequencies");
-    if (freqs == nullptr || !freqs->is(json::Kind::Array) || freqs->items.empty())
-      invalid("request field 'policy.frequencies' must be a nonempty array");
-    for (const json::Value& item : freqs->items) {
-      const double f = parse_number(item, "policy.frequencies[]");
-      if (!(f >= 0) || !std::isfinite(f))
-        invalid("policy frequencies must be finite and >= 0");
-      req.frequencies.push_back(f);
+    const json::Value* scripts = policy->find("scripts");
+    if (freqs == nullptr && scripts == nullptr)
+      invalid("request field 'policy' needs 'frequencies' and/or 'scripts'");
+    if (freqs != nullptr) {
+      if (!freqs->is(json::Kind::Array) || freqs->items.empty())
+        invalid("request field 'policy.frequencies' must be a nonempty array");
+      for (const json::Value& item : freqs->items) {
+        const double f = parse_number(item, "policy.frequencies[]");
+        if (!(f >= 0) || !std::isfinite(f))
+          invalid("policy frequencies must be finite and >= 0");
+        req.frequencies.push_back(f);
+      }
+    }
+    if (scripts != nullptr) {
+      if (!scripts->is(json::Kind::Array) || scripts->items.empty())
+        invalid("request field 'policy.scripts' must be a nonempty array");
+      for (const json::Value& item : scripts->items) {
+        if (!item.is(json::Kind::Object))
+          invalid("request field 'policy.scripts[]' must be an object",
+                  "either {\"inline\": \"<script>\"} or {\"ref\": \"<name>\"}");
+        reject_unknown_members(item, "policy.scripts[]", {"inline", "ref"});
+        const json::Value* inline_src = item.find("inline");
+        const json::Value* script_ref = item.find("ref");
+        if ((inline_src != nullptr) == (script_ref != nullptr))
+          invalid(
+              "request 'policy.scripts[]' needs exactly one of 'inline' or "
+              "'ref'");
+        Request::PolicyScript script;
+        if (inline_src != nullptr) {
+          if (!inline_src->is(json::Kind::String) || inline_src->text.empty())
+            invalid(
+                "request field 'policy.scripts[].inline' must be a nonempty "
+                "string of policy source");
+          script.text = inline_src->text;
+        } else {
+          if (!script_ref->is(json::Kind::String) || script_ref->text.empty())
+            invalid(
+                "request field 'policy.scripts[].ref' must be a nonempty "
+                "string");
+          script.ref = script_ref->text;
+        }
+        req.scripts.push_back(std::move(script));
+      }
     }
     req.has_policy = true;
   }
@@ -228,10 +266,29 @@ std::string encode_request(const Request& request) {
      << "\"\n"
      << "  }";
   if (request.has_policy) {
-    os << ",\n  \"policy\": {\"frequencies\": [";
-    for (std::size_t i = 0; i < request.frequencies.size(); ++i)
-      os << (i == 0 ? "\"" : ", \"") << hexfloat(request.frequencies[i]) << "\"";
-    os << "]}";
+    os << ",\n  \"policy\": {";
+    bool first_member = true;
+    if (!request.frequencies.empty()) {
+      os << "\"frequencies\": [";
+      for (std::size_t i = 0; i < request.frequencies.size(); ++i)
+        os << (i == 0 ? "\"" : ", \"") << hexfloat(request.frequencies[i]) << "\"";
+      os << "]";
+      first_member = false;
+    }
+    if (!request.scripts.empty()) {
+      os << (first_member ? "" : ", ") << "\"scripts\": [";
+      for (std::size_t i = 0; i < request.scripts.size(); ++i) {
+        const Request::PolicyScript& s = request.scripts[i];
+        os << (i == 0 ? "" : ", ");
+        if (!s.ref.empty()) {
+          os << "{\"ref\": \"" << json::escape(s.ref) << "\"}";
+        } else {
+          os << "{\"inline\": \"" << json::escape(s.text) << "\"}";
+        }
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << "\n}\n";
   return os.str();
@@ -285,7 +342,7 @@ PreparedRequest prepare(const Request& request, const std::string& model_root) {
 
   // Identical expansion (labels included) to the `fmtree sweep` CLI, so a
   // served sweep and a standalone one describe — and cache — the same jobs.
-  prepared.jobs.reserve(request.frequencies.size());
+  prepared.jobs.reserve(request.frequencies.size() + request.scripts.size());
   for (double f : request.frequencies) {
     batch::SweepJob job;
     job.model = prepared.model;
@@ -300,6 +357,48 @@ PreparedRequest prepare(const Request& request, const std::string& model_root) {
       job.label = name.str();
     }
     job.settings = request.settings;
+    prepared.jobs.push_back(std::move(job));
+  }
+
+  // Scripted candidates: compile each script (R114 carries the compiler's
+  // own L1xx diagnostics) and attach the compiled policy to the job's
+  // settings; the engines transform the model at execution time. Script
+  // refs resolve under the same model root — and the same path discipline —
+  // as model refs.
+  for (const Request::PolicyScript& script : request.scripts) {
+    std::string source = script.text;
+    if (!script.ref.empty()) {
+      if (script.ref.find("..") != std::string::npos || script.ref.front() == '/')
+        throw RequestError("R112",
+                           "policy script ref '" + script.ref +
+                               "' must be a plain name inside the model root",
+                           "absolute paths and '..' segments are rejected");
+      const std::string path = model_root + "/" + script.ref;
+      std::ifstream file(path);
+      if (!file)
+        throw RequestError("R112", "policy script ref '" + script.ref +
+                                       "' not found under '" + model_root + "'");
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      source = buffer.str();
+    }
+    Diagnostics diags;
+    std::optional<lang::CompiledPolicy> compiled =
+        lang::compile_policy(source, diags);
+    if (!compiled) throw RequestError("R114", diags.all());
+    // Bind eagerly against the request's model so a script naming missing
+    // components is rejected at admission (R114), not at execution.
+    try {
+      (void)lang::bind_policy(*compiled, lang::apply_policy(*compiled, prepared.model));
+    } catch (const ModelErrors& e) {
+      throw RequestError("R114", e.diagnostics());
+    }
+    batch::SweepJob job;
+    job.label = compiled->name;
+    job.model = prepared.model;
+    job.settings = request.settings;
+    job.settings.policy =
+        std::make_shared<const lang::CompiledPolicy>(*std::move(compiled));
     prepared.jobs.push_back(std::move(job));
   }
   return prepared;

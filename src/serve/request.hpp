@@ -23,6 +23,8 @@
 //   R111  missing/unsupported schema tag
 //   R112  invalid field (missing model, wrong type, unknown key, bad value)
 //   R113  the model inside the request failed to parse/validate
+//   R114  a policy script inside the request failed to compile/bind (the
+//         diagnostics carry the script's own L1xx codes and locations)
 //   R120  admission control rejected the request (queue full; retry later)
 //   R121  client-side transport failure (connect/read/write on the socket)
 //   R122  the server failed internally while executing the request
@@ -75,6 +77,15 @@ struct Request {
   /// Inspection-frequency grid (policy sweep); empty + !has_policy = a
   /// single analysis of the model as written.
   std::vector<double> frequencies;
+  /// One scripted maintenance policy: inline DSL source or a `ref` resolved
+  /// against the server's model root (exactly one of the two is set).
+  struct PolicyScript {
+    std::string text;  ///< inline script source
+    std::string ref;   ///< script name under the model root
+  };
+  /// Scripted-policy candidates (policy.scripts); each becomes one job with
+  /// the compiled policy attached, labeled by the script's policy name.
+  std::vector<PolicyScript> scripts;
   bool has_policy = false;
 };
 

@@ -220,6 +220,7 @@ struct BatchExecutor::LaneContext {
   double* down_since = nullptr;
   GateEvaluator::State* gates = nullptr;
   CounterStream* rng = nullptr;
+  lang::PolicyState* policy = nullptr;  ///< non-null iff a scripted policy runs
   TrajectoryResult* result = nullptr;
 };
 
@@ -422,19 +423,19 @@ void BatchExecutor::simulate_lane(LaneContext& lane, const SimOptions& opts) con
     } else if (best_idx < repl_base) {
       const std::uint32_t m = best_idx - insp_base;
       const InspectionInfo& mod = inspections_[m];
+      const lang::BoundPolicy* policy = opts.bound_policy;
+      if (policy && !lang::round_active(*policy, m, now)) {
+        // Out-of-window seasonal visit: no cost, no round, just reschedule.
+        lane.inspect_time[m] = now + mod.period;
+        continue;
+      }
       ++result.inspections;
       result.cost.inspection += mod.cost;
       result.discounted_cost.inspection += mod.cost * discount(now);
-      for (std::uint32_t k = mod.targets_begin; k < mod.targets_end; ++k) {
-        const std::uint32_t leaf = insp_targets_[k];
-        if (lane.failed[leaf]) continue;       // inspections cannot fix failures
-        if (lane.under_repair[leaf]) continue;  // a crew is already on it
-        if (lane.phase[leaf] < threshold_[leaf]) continue;
-        // Imperfect inspections miss degradation with prob. 1 - p.
-        if (mod.detection_probability < 1.0 &&
-            !rng.bernoulli(mod.detection_probability)) {
-          continue;
-        }
+      // The engine's repair bookkeeping, shared between the built-in
+      // threshold sweep and the scripted-policy host so both paths accrue
+      // costs and set clocks identically per call.
+      const auto do_repair = [&](std::uint32_t leaf) {
         ++result.repairs;
         ++result.repairs_per_leaf[leaf];
         result.cost.repair += repair_cost_[leaf];
@@ -445,6 +446,29 @@ void BatchExecutor::simulate_lane(LaneContext& lane, const SimOptions& opts) con
           lane.leaf_time[leaf] = now + repair_duration_[leaf];
         } else {
           renew_leaf(leaf, now);
+        }
+      };
+      if (policy) {
+        const auto host = lang::make_host(
+            [&](std::uint32_t leaf) {
+              return static_cast<double>(lane.phase[leaf]);
+            },
+            [&](std::uint32_t leaf) { return lane.failed[leaf] != 0; },
+            [&](std::uint32_t leaf) { return lane.under_repair[leaf] != 0; },
+            do_repair);
+        lang::run_round(*policy, m, now, host, *lane.policy);
+      } else {
+        for (std::uint32_t k = mod.targets_begin; k < mod.targets_end; ++k) {
+          const std::uint32_t leaf = insp_targets_[k];
+          if (lane.failed[leaf]) continue;       // inspections cannot fix failures
+          if (lane.under_repair[leaf]) continue;  // a crew is already on it
+          if (lane.phase[leaf] < threshold_[leaf]) continue;
+          // Imperfect inspections miss degradation with prob. 1 - p.
+          if (mod.detection_probability < 1.0 &&
+              !rng.bernoulli(mod.detection_probability)) {
+            continue;
+          }
+          do_repair(leaf);
         }
       }
       // Repairs reset phases, which can deactivate phase-triggered rate
@@ -505,6 +529,11 @@ void BatchExecutor::run(std::uint64_t seed, std::uint64_t first, std::uint32_t n
   ws.rng.reserve(n);
   for (std::uint32_t lane = 0; lane < n; ++lane)
     ws.rng.emplace_back(seed, first + lane);
+  if (opts.bound_policy) {
+    ws.policy.resize(n);
+    for (std::uint32_t lane = 0; lane < n; ++lane)
+      ws.policy[lane].reset(*opts.bound_policy);
+  }
 
   for (std::uint32_t lane = 0; lane < n; ++lane) {
     eval_.reset(ws.gates[lane]);
@@ -550,6 +579,7 @@ void BatchExecutor::run(std::uint64_t seed, std::uint64_t first, std::uint32_t n
     ctx.down_since = &ws.down_since[lane];
     ctx.gates = &ws.gates[lane];
     ctx.rng = &ws.rng[lane];
+    if (opts.bound_policy) ctx.policy = &ws.policy[lane];
     ctx.result = &ws.results[lane];
     simulate_lane(ctx, opts);
   }

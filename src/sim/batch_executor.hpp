@@ -68,6 +68,8 @@ struct BatchWorkspace {
   std::vector<double> down_since;
   std::vector<GateEvaluator::State> gates;
   std::vector<CounterStream> rng;
+  /// Per-lane scripted-policy VM states (sized only when a policy runs).
+  std::vector<lang::PolicyState> policy;
   /// Per-lane trajectory results, valid for lanes [0, n) after run().
   std::vector<TrajectoryResult> results;
 };

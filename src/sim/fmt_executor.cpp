@@ -95,6 +95,8 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts,
   ws.under_repair.assign(num_leaves, 0);
   eval_.reset(ws.gates);
   ws.queue.reset();  // safe: every handle of the previous trajectory is gone
+  const lang::BoundPolicy* policy = opts.bound_policy;
+  if (policy) ws.policy.reset(*policy);
 
   auto& phase = ws.phase;
   auto& accel = ws.accel;
@@ -331,20 +333,20 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts,
       }
       case Ev::Kind::Inspect: {
         const fmt::InspectionModule& mod = model_.inspections()[event.payload.index];
+        if (policy && !lang::round_active(*policy, event.payload.index, now)) {
+          // Out-of-window seasonal visit: no cost, no round, just reschedule.
+          queue.schedule(now + mod.period, Ev{Ev::Kind::Inspect, event.payload.index});
+          break;
+        }
         ++result.inspections;
         result.cost.inspection += mod.cost;
         result.discounted_cost.inspection += mod.cost * discount(now);
         if (trace) trace->record(now, TraceKind::InspectionPerformed, mod.name);
-        for (std::uint32_t leaf : inspection_targets_[event.payload.index]) {
+        // The engine's own repair bookkeeping, shared verbatim between the
+        // built-in threshold sweep and the scripted-policy host so the two
+        // paths accrue costs and schedule events identically per call.
+        const auto do_repair = [&](std::uint32_t leaf) {
           const fmt::ExtendedBasicEvent& e = model_.ebes()[leaf];
-          if (leaf_failed[leaf]) continue;  // inspections cannot fix failures
-          if (under_repair[leaf]) continue;  // a crew is already on it
-          if (phase[leaf] < e.degradation.threshold_phase()) continue;
-          // Imperfect inspections miss degradation with prob. 1 - p.
-          if (mod.detection_probability < 1.0 &&
-              !rng.bernoulli(mod.detection_probability)) {
-            continue;
-          }
           ++result.repairs;
           ++result.repairs_per_leaf[leaf];
           result.cost.repair += e.repair.cost;
@@ -358,6 +360,27 @@ TrajectoryResult FmtSimulator::run(RandomStream rng, const SimOptions& opts,
                 queue.schedule(now + e.repair.duration, Ev{Ev::Kind::RepairDone, leaf});
           } else {
             renew_leaf(leaf, now);
+          }
+        };
+        if (policy) {
+          const auto host = lang::make_host(
+              [&](std::uint32_t leaf) { return static_cast<double>(phase[leaf]); },
+              [&](std::uint32_t leaf) { return leaf_failed[leaf] != 0; },
+              [&](std::uint32_t leaf) { return under_repair[leaf] != 0; },
+              do_repair);
+          lang::run_round(*policy, event.payload.index, now, host, ws.policy);
+        } else {
+          for (std::uint32_t leaf : inspection_targets_[event.payload.index]) {
+            const fmt::ExtendedBasicEvent& e = model_.ebes()[leaf];
+            if (leaf_failed[leaf]) continue;  // inspections cannot fix failures
+            if (under_repair[leaf]) continue;  // a crew is already on it
+            if (phase[leaf] < e.degradation.threshold_phase()) continue;
+            // Imperfect inspections miss degradation with prob. 1 - p.
+            if (mod.detection_probability < 1.0 &&
+                !rng.bernoulli(mod.detection_probability)) {
+              continue;
+            }
+            do_repair(leaf);
           }
         }
         // Repairs reset phases, which can deactivate phase-triggered rate

@@ -32,6 +32,7 @@
 
 #include "fmt/fmtree.hpp"
 #include "fmtree/run_settings.hpp"
+#include "lang/runtime.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/gate_eval.hpp"
 #include "sim/trace.hpp"
@@ -108,6 +109,13 @@ struct SimOptions : fmtree::RunSettings {
   /// instead of incrementally. Slow; exists as the benchmark baseline and
   /// as the oracle for equivalence tests. Results are identical either way.
   bool reference_engine = false;
+  /// Scripted maintenance policy bound to *this simulator's model* (which
+  /// must already be the lang::apply_policy transform of the original).
+  /// When set, inspection events run the compiled rules through the
+  /// executor-callback host instead of the built-in threshold sweep.
+  /// The BoundPolicy (and the CompiledPolicy it references) must outlive
+  /// every run. nullptr = built-in semantics.
+  const lang::BoundPolicy* bound_policy = nullptr;
   Trace* trace = nullptr;  ///< optional event log (slows the run; tests only)
 };
 
@@ -127,6 +135,7 @@ struct SimWorkspace {
   std::vector<char> under_repair;
   GateEvaluator::State gates;
   EventQueue<detail::Ev> queue;
+  lang::PolicyState policy;  ///< scripted-policy VM state (unused otherwise)
 };
 
 /// Executes trajectories of one FMT. Immutable after construction; run() is

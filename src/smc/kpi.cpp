@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "lang/runtime.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/tracer.hpp"
@@ -26,7 +28,17 @@ namespace {
 BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettings& s,
                     double horizon, bool record_failure_log = false) {
   auto build_span = obs::maybe_span(s.telemetry.tracer, "build");
-  const sim::FmtSimulator simulator(model);
+  // Scripted policy: simulate the apply_policy transform of the model (its
+  // calendars as inspection modules) and hand both engines the bound policy.
+  // The transform and binding live here — the single funnel every analysis
+  // entry point (KPIs, curves, MTTF) and both engines run through.
+  std::optional<fmt::FaultMaintenanceTree> transformed;
+  std::optional<lang::BoundPolicy> bound;
+  if (s.policy) {
+    transformed.emplace(lang::apply_policy(*s.policy, model));
+    bound.emplace(lang::bind_policy(*s.policy, *transformed));
+  }
+  const sim::FmtSimulator simulator(transformed ? *transformed : model);
   build_span.close();
   const ParallelRunner runner(simulator, s.threads);
   sim::SimOptions opts;
@@ -35,6 +47,7 @@ BatchResult collect(const fmt::FaultMaintenanceTree& model, const AnalysisSettin
   opts.discount_rate = s.discount_rate;
   opts.record_failure_log = record_failure_log;
   opts.failure_log_cap = s.failure_log_cap;
+  if (bound) opts.bound_policy = &*bound;
   obs::MetricsRegistry* metrics = s.telemetry.metrics;
   const obs::CounterId batches_counter =
       metrics != nullptr ? metrics->counter("smc.batches") : obs::CounterId{};

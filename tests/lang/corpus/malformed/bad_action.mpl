@@ -1,0 +1,8 @@
+# L122: 'replace' is not an action; the second statement misuses a keyword
+# in an expression.
+policy "bad-action";
+calendar c every 1 targets all;
+rule c {
+  if phase >= threshold then replace;
+  if spend > 1 then repair;
+}

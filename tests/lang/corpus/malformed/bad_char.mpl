@@ -1,0 +1,4 @@
+# L110: '@' is not a valid character; '!' alone is not an operator.
+policy @bad;
+calendar c every 1 targets all;
+rule c { if phase ! threshold then repair; }

@@ -1,0 +1,7 @@
+# L133: out-of-range values — negative period, fractional crew, inverted
+# window, negative budget.
+policy "bad-values";
+budget b = -5;
+crew 1.5;
+calendar c every -1 targets all;
+calendar w every 1 window 0.8..0.2 of 1 targets all;

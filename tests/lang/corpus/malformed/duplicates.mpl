@@ -1,0 +1,10 @@
+# L131: duplicate calendar, duplicate budget, duplicate rule, duplicate
+# policy name — all reported in one pass.
+policy "dups";
+policy "dups again";
+budget b = 1;
+budget b = 2;
+calendar c every 1 targets all;
+calendar c every 2 targets all;
+rule c { repair; }
+rule c { repair; }

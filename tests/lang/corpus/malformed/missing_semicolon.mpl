@@ -1,0 +1,5 @@
+# L120: the calendar statement never ends; the rule keyword is consumed as
+# a (bad) calendar clause.
+policy "missing-semicolon";
+calendar c every 1 targets all
+rule c { repair; }

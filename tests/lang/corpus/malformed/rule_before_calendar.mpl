@@ -1,0 +1,3 @@
+# L130: the rule names a calendar that was never declared.
+policy "ghost-rule";
+rule ghost { repair; }

@@ -1,0 +1,6 @@
+# L132: spend() and budget() name a budget that does not exist.
+policy "no-such-budget";
+calendar c every 1 targets all;
+rule c {
+  if budget(capex) > 0 then spend(capex, 1);
+}

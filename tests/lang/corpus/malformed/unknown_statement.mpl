@@ -1,0 +1,4 @@
+# L121: 'inspect' is not a statement; recovery continues to find the
+# second, equally unknown statement.
+inspect weekly;
+schedule monthly;

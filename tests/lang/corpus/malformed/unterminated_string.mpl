@@ -1,0 +1,2 @@
+# L111: the string literal never closes.
+policy "runs off the end of the file;

@@ -1,0 +1,9 @@
+# Budget with refill, a seasonal window, and spend actions.
+policy "corpus-budget-window";
+budget opex = 1200 refill 600 every 0.5;
+calendar summer every 0.1 offset 0.3 cost 9 window 0.2..0.8 of 1 targets all;
+rule summer {
+  if phase >= threshold and budget(opex) >= 150
+    then repair, spend(opex, 150)
+    else spend(opex, 0);
+}

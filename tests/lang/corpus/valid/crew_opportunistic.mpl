@@ -1,0 +1,8 @@
+# Crew cap plus opportunistic pull-forward using the round repair counter.
+policy "corpus-crew";
+crew 2;
+calendar visit every 0.5 cost 20 targets all;
+rule visit {
+  if phase >= threshold then repair;
+  if repairs > 0 and phase >= threshold - 1 then repair;
+}

@@ -1,0 +1,12 @@
+# Expression-grammar coverage: arithmetic, comparisons, boolean operators,
+# named component reads, mod(), time, parenthesization and unary minus.
+policy "corpus-expressions";
+budget cap = 100;
+calendar c every 1 targets widget_a, widget_b;
+rule c {
+  if (phase + 1) * 2 - -1 >= threshold / 1 and not failed then repair;
+  if phase(widget_a) == phases(widget_a) or phase(widget_b) != 1
+    then repair(widget_a);
+  if mod(time, 2) < 1 and repaired(widget_b) == false then repair(widget_b);
+  if budget(cap) > 0 and 1 <= 2 and true then spend(cap, 5 + 2 * 3);
+}

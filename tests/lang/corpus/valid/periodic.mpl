@@ -1,0 +1,6 @@
+# Minimal periodic policy: one calendar, threshold repairs.
+policy "corpus-periodic";
+calendar quarterly every 0.25 offset 0.25 cost 35 targets all;
+rule quarterly {
+  if phase >= threshold then repair;
+}

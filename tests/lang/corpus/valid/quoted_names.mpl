@@ -1,0 +1,7 @@
+# Quoted identifiers: component and calendar names with spaces; a quoted
+# word that collides with a keyword stays an identifier.
+policy "corpus quoted";
+calendar "main visit" every 1 cost 5 targets "end post", "repair";
+rule "main visit" {
+  if phase >= threshold then repair("end post");
+}

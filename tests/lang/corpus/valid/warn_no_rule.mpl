@@ -1,0 +1,4 @@
+# Valid but warns (L134): the calendar has no rule, so its visits inspect
+# nothing. Lint exits 0 on warnings.
+policy "corpus-warn";
+calendar idle every 1 cost 1 targets all;

@@ -1,0 +1,167 @@
+// Policy runtime semantics against a synthetic host (no engine): the model
+// transform, target resolution, seasonal windows, lazy budgets, and the
+// repair guards of run_round (idempotence, crew cap, failed/under-repair).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fmt/parser.hpp"
+#include "lang/policy.hpp"
+#include "lang/runtime.hpp"
+#include "util/diagnostics.hpp"
+
+namespace fmtree::lang {
+namespace {
+
+const char* const kModel = R"(
+toplevel top;
+top or a b c;
+a ebe phases=3 mean=3 threshold=2 repair_cost=10 repair=fix_a;
+b ebe phases=4 mean=8 threshold=3 repair_cost=20 repair=fix_b;
+c ebe phases=1 mean=40 threshold=2;
+inspection insp period=1 targets a b;
+corrective cost=100;
+)";
+
+/// A host over plain arrays; records repair calls in order.
+struct FakeState {
+  std::vector<double> phase;
+  std::vector<std::uint8_t> failed;
+  std::vector<std::uint8_t> busy;
+  std::vector<std::uint32_t> repaired;
+};
+
+auto host_over(FakeState& st) {
+  return make_host([&](std::uint32_t l) { return st.phase[l]; },
+                   [&](std::uint32_t l) { return st.failed[l] != 0; },
+                   [&](std::uint32_t l) { return st.busy[l] != 0; },
+                   [&](std::uint32_t l) { st.repaired.push_back(l); });
+}
+
+TEST(LangRuntime, ApplyPolicyReplacesInspections) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
+  const CompiledPolicy policy = compile_policy(
+      "calendar narrow every 0.5 offset 0.1 cost 7 targets a;\n"
+      "rule narrow { repair; }\n"
+      "calendar wide every 2 targets all;\n"
+      "rule wide { repair; }\n");
+  const fmt::FaultMaintenanceTree out = apply_policy(policy, model);
+  ASSERT_EQ(out.inspections().size(), 2u);
+  EXPECT_EQ(out.inspections()[0].name, "narrow");
+  EXPECT_DOUBLE_EQ(out.inspections()[0].period, 0.5);
+  EXPECT_DOUBLE_EQ(out.inspections()[0].first_at, 0.1);
+  EXPECT_DOUBLE_EQ(out.inspections()[0].cost, 7.0);
+  ASSERT_EQ(out.inspections()[0].targets.size(), 1u);
+  // `targets all` resolves to the inspectable leaves only (c has a
+  // threshold above its phase count).
+  ASSERT_EQ(out.inspections()[1].targets.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.inspections()[1].first_at, 2.0);  // offset defaults to period
+}
+
+TEST(LangRuntime, UnknownTargetIsDiagnosed) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
+  const CompiledPolicy policy = compile_policy(
+      "calendar c every 1 targets nonsuch; rule c { repair; }");
+  try {
+    apply_policy(policy, model);
+    FAIL() << "expected ModelErrors";
+  } catch (const ModelErrors& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics()[0].code, "L135");
+  }
+}
+
+TEST(LangRuntime, RoundActiveWindow) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
+  const CompiledPolicy policy = compile_policy(
+      "calendar c every 0.1 window 0.25..0.75 of 1 targets a; rule c { repair; }");
+  const fmt::FaultMaintenanceTree transformed = apply_policy(policy, model);
+  const BoundPolicy bound = bind_policy(policy, transformed);
+  EXPECT_FALSE(round_active(bound, 0, 0.1));
+  EXPECT_TRUE(round_active(bound, 0, 0.25));
+  EXPECT_TRUE(round_active(bound, 0, 0.5));
+  EXPECT_FALSE(round_active(bound, 0, 0.75));
+  EXPECT_FALSE(round_active(bound, 0, 1.1));   // wraps with the cycle
+  EXPECT_TRUE(round_active(bound, 0, 1.5));
+}
+
+TEST(LangRuntime, BudgetRefillsLazily) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
+  const CompiledPolicy policy = compile_policy(
+      "budget opex = 100 refill 50 every 1;\n"
+      "calendar c every 1 targets a; rule c { spend(opex, 30); }");
+  const fmt::FaultMaintenanceTree transformed = apply_policy(policy, model);
+  const BoundPolicy bound = bind_policy(policy, transformed);
+  PolicyState st;
+  st.reset(bound);
+  EXPECT_DOUBLE_EQ(bound.budget_available(0, 0.0, st), 100.0);
+  EXPECT_DOUBLE_EQ(bound.budget_available(0, 2.5, st), 200.0);
+
+  FakeState fake{{1, 1, 1}, {0, 0, 0}, {0, 0, 0}, {}};
+  const auto host = host_over(fake);
+  run_round(bound, 0, 1.0, host, st);
+  EXPECT_DOUBLE_EQ(st.budget_spent[0], 30.0);
+  EXPECT_DOUBLE_EQ(bound.budget_available(0, 1.0, st), 120.0);
+}
+
+TEST(LangRuntime, RepairGuards) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
+  const CompiledPolicy policy = compile_policy(
+      "calendar c every 1 targets a, b;\n"
+      "rule c {\n"
+      "  if phase >= threshold then repair;\n"
+      "  if phase >= threshold then repair;\n"  // idempotent per round
+      "}");
+  const fmt::FaultMaintenanceTree transformed = apply_policy(policy, model);
+  const BoundPolicy bound = bind_policy(policy, transformed);
+  PolicyState st;
+  st.reset(bound);
+
+  // Both above threshold: each repaired exactly once despite two statements.
+  FakeState fake{{2, 3, 1}, {0, 0, 0}, {0, 0, 0}, {}};
+  run_round(bound, 0, 1.0, host_over(fake), st);
+  EXPECT_EQ(fake.repaired, (std::vector<std::uint32_t>{0, 1}));
+
+  // Failed and under-repair components are skipped.
+  FakeState skip{{4, 3, 1}, {1, 0, 0}, {0, 1, 0}, {}};
+  run_round(bound, 0, 2.0, host_over(skip), st);
+  EXPECT_TRUE(skip.repaired.empty());
+}
+
+TEST(LangRuntime, CrewCapLimitsRepairsPerRound) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
+  const CompiledPolicy policy = compile_policy(
+      "crew 1;\n"
+      "calendar c every 1 targets a, b;\n"
+      "rule c { if phase >= threshold then repair; }");
+  const fmt::FaultMaintenanceTree transformed = apply_policy(policy, model);
+  const BoundPolicy bound = bind_policy(policy, transformed);
+  PolicyState st;
+  st.reset(bound);
+  FakeState fake{{2, 3, 1}, {0, 0, 0}, {0, 0, 0}, {}};
+  run_round(bound, 0, 1.0, host_over(fake), st);
+  EXPECT_EQ(fake.repaired, (std::vector<std::uint32_t>{0}));
+
+  // The cap is per round, not per trajectory.
+  fake.repaired.clear();
+  run_round(bound, 0, 2.0, host_over(fake), st);
+  EXPECT_EQ(fake.repaired, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(LangRuntime, NamedReadsAndRepairTargetsOtherComponents) {
+  const fmt::FaultMaintenanceTree model = fmt::parse_fmt(kModel);
+  const CompiledPolicy policy = compile_policy(
+      "calendar c every 1 targets a;\n"
+      "rule c { if phase(b) >= threshold(b) then repair(b); }");
+  const fmt::FaultMaintenanceTree transformed = apply_policy(policy, model);
+  const BoundPolicy bound = bind_policy(policy, transformed);
+  PolicyState st;
+  st.reset(bound);
+  FakeState fake{{1, 3, 1}, {0, 0, 0}, {0, 0, 0}, {}};
+  run_round(bound, 0, 1.0, host_over(fake), st);
+  EXPECT_EQ(fake.repaired, (std::vector<std::uint32_t>{1}));
+}
+
+}  // namespace
+}  // namespace fmtree::lang

@@ -65,17 +65,34 @@ def load_doc(path: str) -> dict:
 
 
 def model_entry(doc: dict, path: str, model: str) -> dict:
-    for entry in doc.get("models", []):
+    models = doc.get("models")
+    if not isinstance(models, list):
+        raise SystemExit(
+            f"error: {path}: no 'models' array — is this a BENCH_engine.json "
+            f"produced by bench/run_perf.sh --out? "
+            f"(top-level keys: {', '.join(sorted(doc)) or 'none'})")
+    for entry in models:
         if entry.get("model") == model:
             return entry
-    raise SystemExit(f"error: {path}: model '{model}' not found")
+    available = ", ".join(sorted(str(e.get("model")) for e in models)) or "none"
+    raise SystemExit(f"error: {path}: model '{model}' not found "
+                     f"(models present: {available})")
 
 
 def metric_value(entry: dict, path: str, model: str, metric: str) -> float:
-    value = entry.get(metric)
+    if metric not in entry:
+        numeric = ", ".join(sorted(
+            k for k, v in entry.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)))
+        raise SystemExit(
+            f"error: {path}: model '{model}' has no field '{metric}' — "
+            f"regenerate the file with the current bench/run_perf.sh "
+            f"(numeric fields present: {numeric or 'none'})")
+    value = entry[metric]
     if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
         raise SystemExit(
-            f"error: {path}: model '{model}' has no positive '{metric}'")
+            f"error: {path}: model '{model}' field '{metric}' = {value!r} "
+            f"must be a positive number")
     return float(value)
 
 

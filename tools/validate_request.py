@@ -5,8 +5,9 @@ Usage: validate_request.py <request.json|-> [schema.json]
 
 Self-contained interpreter for the small JSON-Schema subset the request
 schema uses (type / const / enum / required / properties /
-additionalProperties: false / items / oneOf / minimum / maximum / minLength /
-minItems), so CI needs nothing beyond the Python standard library. The
+additionalProperties: false / items / oneOf / anyOf / minimum / maximum /
+minLength / minItems), so CI needs nothing beyond the Python standard
+library. The
 custom "format": "double" keyword accepts either a JSON number or a string
 that parses as a double — including the canonical C99 hexfloat spelling
 ("0x1.8p+1") `fmtree sweep --emit-request` emits for bit-exact round-trips.
@@ -94,6 +95,14 @@ def validate(value, schema, path, errors):
         if matched != 1:
             errors.append(f"{path}: matches {matched} of the oneOf "
                           f"alternatives, expected exactly 1")
+    if "anyOf" in schema:
+        matched = 0
+        for sub in schema["anyOf"]:
+            trial = []
+            validate(value, sub, path, trial)
+            matched += not trial
+        if matched == 0:
+            errors.append(f"{path}: matches none of the anyOf alternatives")
     if isinstance(value, dict):
         for key in schema.get("required", []):
             if key not in value:
