@@ -1,0 +1,26 @@
+# A corridor policy for fleet runs: one shared track crew sweeps the line
+# twice a year, paying repairs from a corridor-level budget that refills
+# annually. Written for `fmtree fleet --policy`, where the same script is
+# applied to every joint and the fleet KPI table reports the crew's
+# utilisation against its visit capacity and the summed budget burn.
+#
+#   fmtree fleet models/ei_joint.fmt --joints 25 \
+#       --policy examples/policies/shared_crew.mpl --crews 1
+#
+# The per-visit cost is lower than the standalone 35-per-visit figure:
+# a crew working the corridor end to end amortises track access across
+# neighbouring joints instead of mobilising per joint.
+policy "shared-crew";
+
+crew 1;
+
+budget corridor = 800 refill 800 every 1;
+
+calendar sweep every 0.5 offset 0.5 cost 25 targets all;
+
+rule sweep {
+  if phase >= threshold and budget(corridor) >= 80
+    then repair, spend(corridor, 80);
+  # Budget dry: only components on their last phase before failure.
+  if phase >= phases then repair;
+}

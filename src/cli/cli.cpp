@@ -13,6 +13,9 @@
 #include "batch/checkpoint.hpp"
 #include "batch/result_cache.hpp"
 #include "batch/sweep.hpp"
+#include "data/generator.hpp"
+#include "data/stream.hpp"
+#include "fleet/fleet.hpp"
 #include "fmt/parser.hpp"
 #include "ft/cutsets.hpp"
 #include "ft/dot.hpp"
@@ -101,6 +104,7 @@ Options parse_args(const std::vector<std::string>& args) {
   else if (cmd == "cutsets") opt.command = Command::CutSets;
   else if (cmd == "compare") opt.command = Command::Compare;
   else if (cmd == "sweep") opt.command = Command::Sweep;
+  else if (cmd == "fleet") opt.command = Command::Fleet;
   else if (cmd == "lint-policy") opt.command = Command::LintPolicy;
   else if (cmd == "serve") opt.command = Command::Serve;
   else throw DomainError("unknown command '" + cmd + "'\n" + usage());
@@ -160,6 +164,23 @@ Options parse_args(const std::vector<std::string>& args) {
     else if (flag == "--model-root") opt.model_root = value();
     else if (flag == "--connect") opt.connect = value();
     else if (flag == "--emit-request") opt.emit_request = true;
+    else if (flag == "--joints") {
+      opt.joints = static_cast<std::size_t>(parse_count(value(), "joints"));
+      if (opt.joints == 0) throw DomainError("--joints must be positive");
+    }
+    else if (flag == "--fleet-seed") opt.fleet_seed = parse_count(value(), "fleet seed");
+    else if (flag == "--jitter") opt.jitter = parse_double(value(), "jitter");
+    else if (flag == "--coupling") opt.coupling = parse_double(value(), "coupling");
+    else if (flag == "--spacing-km")
+      opt.spacing_km = parse_double(value(), "spacing");
+    else if (flag == "--crews")
+      opt.crews = static_cast<std::uint32_t>(parse_count(value(), "crews"));
+    else if (flag == "--worst")
+      opt.worst_k = static_cast<std::size_t>(parse_count(value(), "worst count"));
+    else if (flag == "--calibrate") opt.calibrate_path = value();
+    else if (flag == "--generate-incidents") opt.generate_incidents_path = value();
+    else if (flag == "--observe-years")
+      opt.observe_years = parse_double(value(), "observation window");
     else throw DomainError("unknown flag '" + flag + "'\n" + usage());
   }
   if (opt.command == Command::LintPolicy) {
@@ -186,11 +207,36 @@ Options parse_args(const std::vector<std::string>& args) {
     }
     if (opt.command == Command::Compare) opt.model_path_b = positional[1];
   }
-  if (opt.command != Command::Sweep && (!opt.connect.empty() || opt.emit_request))
-    throw DomainError("--connect / --emit-request only apply to sweep");
+  if (opt.command != Command::Sweep && opt.command != Command::Fleet &&
+      (!opt.connect.empty() || opt.emit_request))
+    throw DomainError("--connect / --emit-request only apply to sweep and fleet");
   if (!opt.policies.empty() && opt.command != Command::Sweep &&
-      opt.command != Command::LintPolicy)
-    throw DomainError("--policy only applies to sweep");
+      opt.command != Command::Fleet && opt.command != Command::LintPolicy)
+    throw DomainError("--policy only applies to sweep and fleet");
+  if (opt.command == Command::Fleet && opt.policies.size() > 1)
+    throw DomainError(
+        "fleet accepts at most one --policy (the script applies to every "
+        "joint)");
+  if (opt.command == Command::Fleet) {
+    if (!(opt.jitter >= 0) || !std::isfinite(opt.jitter))
+      throw DomainError("--jitter must be finite and >= 0");
+    if (!(opt.coupling >= 0) || !std::isfinite(opt.coupling))
+      throw DomainError("--coupling must be finite and >= 0");
+    if (!(opt.spacing_km > 0) || !std::isfinite(opt.spacing_km))
+      throw DomainError("--spacing-km must be positive and finite");
+    if (!opt.calibrate_path.empty() && !opt.generate_incidents_path.empty())
+      throw DomainError("--calibrate and --generate-incidents are exclusive");
+    if ((!opt.calibrate_path.empty() || !opt.generate_incidents_path.empty()) &&
+        !(opt.observe_years > 0))
+      throw DomainError(
+          "--calibrate / --generate-incidents need --observe-years > 0");
+  } else if (!opt.calibrate_path.empty() || !opt.generate_incidents_path.empty()) {
+    throw DomainError("--calibrate / --generate-incidents only apply to fleet");
+  }
+  if (opt.resume && opt.command == Command::Fleet)
+    throw DomainError(
+        "--resume only applies to sweep (fleet re-runs replay through the "
+        "result cache instead)");
   if (opt.resume && !opt.connect.empty())
     throw DomainError(
         "--resume is incompatible with --connect (the daemon owns the cache "
@@ -573,8 +619,14 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
     try {
       if (const auto cp = batch::read_checkpoint(path)) {
         if (cp->plan_id == batch::checkpoint_plan_id(plan)) {
-          out << "resuming: " << cp->jobs_done() << " of " << cp->jobs.size()
-              << " jobs already completed in a previous run\n";
+          // done + failed + pending partition the plan: a failed job is not
+          // banked (it re-runs), so it must never inflate the done total.
+          const std::uint64_t done = cp->jobs_done();
+          const std::uint64_t failed = cp->jobs_failed();
+          out << "resuming: " << done << " of " << cp->jobs.size()
+              << " jobs already completed in a previous run";
+          if (failed > 0) out << ", " << failed << " failed (will re-run)";
+          out << "; " << (cp->jobs.size() - done - failed) << " pending\n";
         } else {
           Diagnostic d;
           d.severity = Severity::Warning;
@@ -629,6 +681,251 @@ int cmd_sweep(const Options& opt, const fmt::FaultMaintenanceTree& model,
 
   return render_sweep_response(opt, response,
                                /*show_cache_line=*/!opt.cache_dir.empty(), out);
+}
+
+/// The canonical description of a fleet invocation, mirroring sweep_request:
+/// corridor spec + settings, plus at most one inlined policy script.
+serve::Request fleet_request(const Options& opt, const std::string& model_text) {
+  serve::Request request;
+  request.model_text = model_text;
+  request.settings.horizon = opt.horizon;
+  request.settings.trajectories = opt.runs;
+  request.settings.seed = opt.seed;
+  request.settings.engine = opt.engine;
+  request.settings.confidence = opt.confidence;
+  request.has_fleet = true;
+  request.fleet.joints = static_cast<std::uint32_t>(opt.joints);
+  request.fleet.seed = opt.fleet_seed;
+  request.fleet.jitter = opt.jitter;
+  request.fleet.coupling = opt.coupling;
+  for (const std::string& path : opt.policies) {
+    serve::Request::PolicyScript script;
+    script.text = read_text_file(path);
+    request.scripts.push_back(std::move(script));
+    request.has_policy = true;
+  }
+  return request;
+}
+
+fleet::CorridorSpec fleet_spec(const Options& opt) {
+  fleet::CorridorSpec spec;
+  spec.joints = opt.joints;
+  spec.seed = opt.fleet_seed;
+  spec.jitter = opt.jitter;
+  spec.coupling = opt.coupling;
+  spec.spacing_km = opt.spacing_km;
+  return spec;
+}
+
+/// Folds a served/in-process Response (jobs in corridor order) into the same
+/// FleetOutcome shape fleet::analyze_fleet produces, so both executors render
+/// identically and aggregate through the same exact sums.
+fleet::FleetOutcome fleet_outcome_from_response(
+    const fleet::Corridor& corridor, const serve::Response& response,
+    const fleet::FleetOptions& options) {
+  fleet::FleetOutcome o;
+  o.warnings = response.warnings;
+  o.truncated = response.count(serve::JobState::Interrupted) > 0;
+  o.joints.reserve(corridor.joints.size());
+  for (std::size_t i = 0; i < corridor.joints.size(); ++i) {
+    fleet::JointSummary s;
+    s.name = corridor.joints[i].name;
+    s.scale = corridor.joints[i].scale;
+    if (i < response.jobs.size()) {
+      const serve::JobOutcome& job = response.jobs[i];
+      if (job.state == serve::JobState::Done) {
+        s.report = job.report;
+        job.cache_hit ? ++o.cache_hits : ++o.cache_misses;
+      } else if (job.state == serve::JobState::Failed) {
+        ++o.jobs_failed;
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.code = "F101";
+        d.message = "fleet shard '" + s.name + "' failed [" + job.failure.kind +
+                    "]: " + job.failure.message;
+        d.hint = "the joint is excluded from the corridor aggregates";
+        o.warnings.push_back(std::move(d));
+      }
+    }
+    o.joints.push_back(std::move(s));
+  }
+  o.kpis = fleet::aggregate_fleet(corridor, o.joints, options);
+  return o;
+}
+
+int render_fleet(const Options& opt, const fleet::Corridor& corridor,
+                 const fleet::FleetOutcome& o, bool show_cache_line,
+                 std::ostream& out) {
+  const fleet::FleetKpis& k = o.kpis;
+  out << "corridor: " << corridor.joints.size() << " joints over "
+      << cell(corridor.length_km(), 1) << " km (jitter " << corridor.spec.jitter
+      << ", coupling " << corridor.spec.coupling << ", fleet seed "
+      << corridor.spec.seed << ")\n";
+  out << "fleet KPIs over " << opt.horizon << " time units (" << opt.runs
+      << " runs per joint, " << k.joints << "/" << corridor.joints.size()
+      << " joints analysed):\n";
+  out << "  failures:     " << cell(k.failures_per_year, 4) << " / time unit\n";
+  out << "  cost:         " << cell(k.cost_per_year, 2) << " / time unit ("
+      << cell(k.cost_per_km_year, 2) << " per km)\n";
+  out << "  crew demand:  " << cell(k.crew_visits_per_year, 1) << " visits vs "
+      << cell(k.crew_capacity_per_year, 1) << " capacity (" << opt.crews
+      << " crews) = " << cell(100.0 * k.crew_utilisation, 1)
+      << "% utilisation\n";
+  if (k.budget_per_year > 0)
+    out << "  budget:       " << cell(k.cost_per_year, 2) << " spent of "
+        << cell(k.budget_per_year, 2) << " / time unit = "
+        << cell(100.0 * k.budget_utilisation, 1) << "% utilisation\n";
+  if (!k.worst.empty()) {
+    out << "\nworst " << k.worst.size() << " joints by expected failures:\n";
+    TextTable t({"joint", "lifetime scale", "failures / time unit",
+                 "cost / time unit"});
+    for (std::size_t i : k.worst) {
+      const fleet::JointSummary& j = o.joints[i];
+      t.add_row({j.name, cell(j.scale, 3), ci(j.report.failures_per_year, 5),
+                 ci(j.report.cost_per_year, 2)});
+    }
+    t.print(out);
+  }
+  if (show_cache_line)
+    out << "cache: " << o.cache_hits << " hits, " << o.cache_misses
+        << " misses (" << opt.cache_dir << ")\n";
+  for (const Diagnostic& d : o.warnings)
+    out << "fmtree: " << format_diagnostic(d) << "\n";
+  if (o.jobs_failed > 0)
+    out << "\nNOTE: " << o.jobs_failed
+        << " joint(s) failed permanently and are excluded from the corridor "
+           "aggregates.\n";
+  if (o.truncated) {
+    out << "\nNOTE: fleet analysis truncated; aggregates cover the completed "
+           "joints only.\n";
+    return kExitTruncated;
+  }
+  return o.jobs_failed > 0 ? kExitTruncated : kExitOk;
+}
+
+/// `fleet --calibrate <csv>`: one streaming pass over the incident database
+/// (O(1) memory however many records), then the per-mode Garwood rate table.
+int cmd_fleet_calibrate(const Options& opt, std::ostream& out) {
+  const data::IncidentScan scan = data::scan_incidents(opt.calibrate_path);
+  out << "incident scan: " << scan.records << " records, "
+      << scan.counts_by_mode.size() << " failure mode(s) (streamed from '"
+      << opt.calibrate_path << "')\n";
+  const std::vector<data::ModeRate> rates = data::estimate_mode_rates(
+      scan, static_cast<std::uint32_t>(opt.joints), opt.observe_years,
+      opt.confidence);
+  out << "per-mode failure rates over " << opt.joints << " joints x "
+      << opt.observe_years << " time units (" << opt.confidence * 100
+      << "% CIs):\n";
+  TextTable t({"failure mode", "events", "rate / joint-time unit", "CI"});
+  for (const data::ModeRate& r : rates)
+    t.add_row({r.mode, std::to_string(r.rate.events), cell(r.rate.rate, 6),
+               "[" + cell(r.rate.lo, 6) + ", " + cell(r.rate.hi, 6) + "]"});
+  t.print(out);
+  return kExitOk;
+}
+
+/// `fleet --generate-incidents <csv>`: simulate the fleet under the model's
+/// own maintenance policy and stream the incident database out through the
+/// byte-identical-to-save_csv writer.
+int cmd_fleet_generate(const Options& opt, const fmt::FaultMaintenanceTree& model,
+                       std::ostream& out) {
+  const data::IncidentDatabase db = data::generate_incidents(
+      model, static_cast<std::uint32_t>(opt.joints), opt.observe_years,
+      opt.fleet_seed);
+  data::IncidentStreamWriter writer(opt.generate_incidents_path);
+  for (const data::IncidentRecord& r : db.records()) writer.add(r);
+  writer.close();
+  out << "generated " << writer.written() << " incident(s) from " << opt.joints
+      << " joints x " << opt.observe_years << " time units into '"
+      << opt.generate_incidents_path << "'\n";
+  return kExitOk;
+}
+
+int cmd_fleet(const Options& opt, const fmt::FaultMaintenanceTree& model,
+              const std::string& model_text, std::ostream& out,
+              obs::Telemetry telemetry) {
+  if (!opt.calibrate_path.empty()) return cmd_fleet_calibrate(opt, out);
+  if (!opt.generate_incidents_path.empty())
+    return cmd_fleet_generate(opt, model, out);
+
+  const serve::Request request = fleet_request(opt, model_text);
+  if (opt.emit_request) {
+    out << serve::encode_request(request);
+    return kExitOk;
+  }
+
+  // The corridor is regenerated locally in full (including the render-side
+  // spacing the request schema deliberately omits); the jobs the daemon
+  // expands from the request are bit-identical to the local plan's.
+  const fleet::Corridor corridor = fleet::generate_corridor(model, fleet_spec(opt));
+  fleet::FleetOptions options;
+  options.settings = request.settings;
+  options.resources.crews = opt.crews;
+  options.worst_k = opt.worst_k;
+  options.threads = opt.threads;
+  options.max_retries = opt.max_retries;
+  options.stall_timeout_s = opt.stall_timeout;
+  if (!request.scripts.empty()) {
+    // The jobs get the compiled policy through prepare(); this copy only
+    // feeds the render-side budget KPI of the aggregator.
+    Diagnostics diags;
+    std::optional<lang::CompiledPolicy> compiled =
+        lang::compile_policy(request.scripts.front().text, diags);
+    if (!compiled) throw serve::RequestError("R114", diags.all());
+    options.policy =
+        std::make_shared<const lang::CompiledPolicy>(*std::move(compiled));
+  }
+
+  const auto finish = [&](const serve::Response& response, bool show_cache) {
+    const fleet::FleetOutcome o =
+        fleet_outcome_from_response(corridor, response, options);
+    if (telemetry.metrics != nullptr) {
+      obs::MetricsRegistry& m = *telemetry.metrics;
+      m.add(m.counter("fleet.joints"), corridor.joints.size());
+      m.add(m.counter("fleet.cache_hits"), o.cache_hits);
+      m.add(m.counter("fleet.cache_misses"), o.cache_misses);
+      m.add(m.counter("fleet.jobs_failed"), o.jobs_failed);
+    }
+    return render_fleet(opt, corridor, o, show_cache, out);
+  };
+
+  if (!opt.connect.empty()) {
+    serve::ClientEvents events;
+    if (telemetry.progress != nullptr) {
+      events.progress = [&telemetry](const obs::Progress& p) {
+        telemetry.progress->update(p);
+      };
+    }
+    const serve::Response response =
+        serve::request_over_socket(opt.connect, request, events);
+    return finish(response, /*show_cache=*/false);
+  }
+
+  // In-process: the same expansion and service entry points as the daemon,
+  // minus the socket (the cmd_sweep pattern).
+  serve::PreparedRequest prepared = serve::prepare(request, opt.model_root);
+  smc::RunControl& control = interrupt_control();
+  control.reset();
+  if (opt.timeout > 0) control.set_timeout(opt.timeout);
+
+  serve::SessionConfig config;
+  config.threads = opt.threads;
+  config.queue_limit = std::max(opt.queue_limit, prepared.jobs.size());
+  config.cache_dir = opt.cache_dir;
+  config.model_root = opt.model_root;
+  config.max_retries = opt.max_retries;
+  config.stall_timeout_s = opt.stall_timeout;
+  config.telemetry = telemetry;
+  serve::Session session(std::move(config));
+  serve::Ticket ticket = session.submit_jobs(std::move(prepared.jobs));
+  while (!ticket.wait_for(0.05)) {
+    if (control.should_stop(0) != smc::StopReason::None) {
+      session.drain();
+      break;
+    }
+  }
+  const serve::Response response = ticket.take();
+  return finish(response, /*show_cache=*/!opt.cache_dir.empty());
 }
 
 int cmd_serve(const Options& opt, std::ostream& out, obs::Telemetry telemetry) {
@@ -710,6 +1007,8 @@ int run_on_text(const Options& options, const std::string& model_text,
       case Command::CutSets: return cmd_cutsets(options, model, out);
       case Command::Sweep:
         return cmd_sweep(options, model, model_text, out, session.handles());
+      case Command::Fleet:
+        return cmd_fleet(options, model, model_text, out, session.handles());
       case Command::Compare:
         throw DomainError("compare needs two models; use run_compare");
       case Command::LintPolicy:
@@ -904,6 +1203,8 @@ std::string usage() {
       "  cutsets   minimal cut sets and importance measures\n"
       "  compare   paired A/B comparison of two models (common random numbers)\n"
       "  sweep     evaluate the model across inspection frequencies (cost curve)\n"
+      "  fleet     corridor of N joints from one base model: per-joint shards\n"
+      "            through the shared pool, corridor KPIs + crew utilisation\n"
       "  lint-policy  compile maintenance-policy scripts (fmtree lint-policy\n"
       "            <script>...), report L1xx diagnostics; exit 3 on errors\n"
       "  serve     analysis daemon on a local socket (fmtree serve <socket>);\n"
@@ -940,10 +1241,25 @@ std::string usage() {
       "                     failures (default 2)\n"
       "  --stall-timeout <s> sweep: stop with a diagnostic if no progress\n"
       "                     for <s> seconds (default: off)\n"
-      "  --connect <sock>   sweep: run as a client of the daemon at <sock>\n"
-      "                     instead of in-process (bit-identical output)\n"
-      "  --emit-request     sweep: print the fmtree.request/v1 document this\n"
-      "                     invocation describes and exit\n"
+      "  --connect <sock>   sweep/fleet: run as a client of the daemon at\n"
+      "                     <sock> instead of in-process (bit-identical output)\n"
+      "  --emit-request     sweep/fleet: print the fmtree.request/v1 document\n"
+      "                     this invocation describes and exit\n"
+      "  --joints <n>       fleet: corridor size (default 50)\n"
+      "  --fleet-seed <n>   fleet: corridor generation seed, independent of\n"
+      "                     the analysis --seed (default 0)\n"
+      "  --jitter <x>       fleet: lognormal per-joint lifetime spread\n"
+      "                     (default 0.1; 0 = identical joints)\n"
+      "  --coupling <x>     fleet: neighbour load-coupling strength (default 0)\n"
+      "  --spacing-km <x>   fleet: track distance between joints (default 1)\n"
+      "  --crews <n>        fleet: shared maintenance crews (default 2)\n"
+      "  --worst <n>        fleet: size of the worst-joints table (default 5)\n"
+      "  --calibrate <csv>  fleet: stream an incident database (O(1) memory)\n"
+      "                     and print per-mode Garwood rates; needs\n"
+      "                     --observe-years, exposure = joints x years\n"
+      "  --generate-incidents <csv>  fleet: simulate the fleet and stream an\n"
+      "                     incident database to <csv>; needs --observe-years\n"
+      "  --observe-years <t> fleet: observation window for the two above\n"
       "  --queue-limit <n>  serve: max outstanding jobs before requests are\n"
       "                     rejected with R120 (default 64)\n"
       "  --model-root <dir> serve: directory model refs resolve in\n"

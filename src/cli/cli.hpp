@@ -8,6 +8,7 @@
 //   fmtree cutsets <model.fmt> [options]          minimal cut sets + importance
 //   fmtree compare <a.fmt> <b.fmt> [options]      paired policy comparison
 //   fmtree sweep   <model.fmt> [options]          inspection-frequency cost curve
+//   fmtree fleet   <model.fmt> [options]          N-joint corridor KPIs
 //   fmtree lint-policy <script.mpl>...            compile policy scripts, report L1xx
 //   fmtree serve   <socket> [options]             analysis daemon (fmtree.request/v1)
 //
@@ -19,7 +20,11 @@
 //          --frequencies <f1,f2,...>  --policy <script.mpl>
 //          --cache-dir <dir>  --resume
 //          --max-retries <n>  --stall-timeout <s>
-//          --connect <socket>  --emit-request            (sweep as a client)
+//          --connect <socket>  --emit-request            (sweep/fleet as a client)
+//          --joints <n>  --fleet-seed <n>  --jitter <x>  --coupling <x>
+//          --spacing-km <x>  --crews <n>  --worst <n>              (fleet)
+//          --calibrate <csv>  --generate-incidents <csv>
+//          --observe-years <t>                       (fleet incident data)
 //          --queue-limit <n>   --model-root <dir>        (serve)
 //          --inject-fault <site:spec>  (repeatable; testing only)
 //
@@ -46,6 +51,7 @@ enum class Command {
   CutSets,
   Compare,
   Sweep,
+  Fleet,
   LintPolicy,
   Serve,
 };
@@ -116,12 +122,32 @@ struct Options {
   std::size_t queue_limit = 64;
   /// `serve`: directory model "ref"s resolve in.
   std::string model_root = "models";
-  /// `sweep --connect`: run against the daemon at this socket instead of
-  /// in-process; the rendered curve is bit-identical either way.
+  /// `sweep/fleet --connect`: run against the daemon at this socket instead
+  /// of in-process; the rendered output is bit-identical either way.
   std::string connect;
-  /// `sweep --emit-request`: print the canonical "fmtree.request/v1"
+  /// `sweep/fleet --emit-request`: print the canonical "fmtree.request/v1"
   /// document this invocation describes and exit without analysing.
   bool emit_request = false;
+  /// `fleet`: corridor shape (fleet::CorridorSpec) — joint count, fleet seed
+  /// (independent of the analysis --seed), lognormal lifetime jitter,
+  /// neighbour load-coupling strength and track spacing.
+  std::size_t joints = 50;
+  std::uint64_t fleet_seed = 0;
+  double jitter = 0.1;
+  double coupling = 0.0;
+  double spacing_km = 1.0;
+  /// `fleet`: shared maintenance resources and the worst-k table size.
+  std::uint32_t crews = 2;
+  std::size_t worst_k = 5;
+  /// `fleet --calibrate <csv>`: stream the incident database (O(1) memory)
+  /// and print the per-mode Garwood rate table instead of analysing.
+  /// Exposure = --joints assets x --observe-years.
+  std::string calibrate_path;
+  /// `fleet --generate-incidents <csv>`: simulate --joints assets for
+  /// --observe-years under the model's own maintenance policy and stream the
+  /// incident database to <csv> instead of analysing.
+  std::string generate_incidents_path;
+  double observe_years = 0.0;
 };
 
 /// Process-wide cooperative stop handle. Long-running commands (analyze)

@@ -30,7 +30,8 @@ double gamma_quantile(double shape, double p) {
 }
 
 RateEstimate estimate_rate(std::uint64_t events, double exposure, double confidence) {
-  if (!(exposure > 0)) throw DomainError("exposure must be positive");
+  if (!(exposure > 0) || !std::isfinite(exposure))
+    throw DomainError("exposure must be positive and finite");
   if (!(confidence > 0 && confidence < 1))
     throw DomainError("confidence must lie in (0,1)");
   const double alpha = 1.0 - confidence;
@@ -48,35 +49,79 @@ RateEstimate estimate_rate(std::uint64_t events, double exposure, double confide
   return est;
 }
 
-ErlangFit fit_erlang(const std::vector<double>& samples) {
-  if (samples.size() < 2) throw DomainError("erlang fit needs >= 2 samples");
-  RunningStats stats;
+namespace {
+
+/// Shared NaN-poisoning guard of the lifetime fitters: an empty sample is
+/// unusable, and a single NaN/inf/non-positive value would otherwise poison
+/// (or, with RunningStats' non-finite exclusion, silently bias) the moments.
+void require_positive_finite(const std::vector<double>& samples, const char* what) {
+  if (samples.empty()) throw DomainError(std::string(what) + " needs >= 1 sample");
   for (double x : samples) {
-    if (!(x > 0)) throw DomainError("erlang fit requires positive samples");
-    stats.add(x);
+    if (!std::isfinite(x) || !(x > 0))
+      throw DomainError(std::string(what) + " requires positive finite samples");
   }
+}
+
+}  // namespace
+
+ErlangFit fit_erlang(const std::vector<double>& samples) {
+  require_positive_finite(samples, "erlang fit");
+  RunningStats stats;
+  for (double x : samples) stats.add(x);
   ErlangFit fit;
   fit.n = samples.size();
   fit.sample_mean = stats.mean();
   fit.sample_variance = stats.variance();
-  if (fit.sample_variance <= 0) {
-    // Degenerate (all equal): many phases approximate a deterministic time.
-    fit.shape = 100;
+  // Moment matching divides by the sample variance; degenerate inputs (one
+  // sample, or all samples equal) have none, and near-degenerate ones would
+  // overflow the integer shape. Clamp to a defined shape and say why instead
+  // of producing inf/NaN.
+  const double cap = static_cast<double>(kDegenerateErlangShape);
+  if (fit.n < 2) {
+    fit.shape = kDegenerateErlangShape;
+    fit.degenerate = true;
+    fit.note = "single sample cannot identify a shape; clamped to " +
+               std::to_string(kDegenerateErlangShape) + " phases";
+  } else if (fit.sample_variance <= 0) {
+    fit.shape = kDegenerateErlangShape;
+    fit.degenerate = true;
+    fit.note = "zero sample variance (all samples equal); clamped to " +
+               std::to_string(kDegenerateErlangShape) + " phases";
   } else {
     const double raw = fit.sample_mean * fit.sample_mean / fit.sample_variance;
-    fit.shape = std::max(1, static_cast<int>(std::llround(raw)));
+    if (raw >= cap + 0.5) {
+      fit.shape = kDegenerateErlangShape;
+      fit.degenerate = true;
+      fit.note = "near-zero sample variance; shape clamped to " +
+                 std::to_string(kDegenerateErlangShape) + " phases";
+    } else {
+      fit.shape = std::max(1, static_cast<int>(std::llround(raw)));
+    }
   }
   fit.rate = static_cast<double>(fit.shape) / fit.sample_mean;
   return fit;
 }
 
 WeibullFit fit_weibull(const std::vector<double>& samples) {
-  if (samples.size() < 2) throw DomainError("weibull fit needs >= 2 samples");
-  double mean_log = 0;
-  for (double x : samples) {
-    if (!(x > 0)) throw DomainError("weibull fit requires positive samples");
-    mean_log += std::log(x);
+  require_positive_finite(samples, "weibull fit");
+  WeibullFit fit;
+  fit.n = samples.size();
+
+  const auto [min_it, max_it] = std::minmax_element(samples.begin(), samples.end());
+  if (fit.n < 2 || *min_it == *max_it) {
+    // Zero spread: the MLE shape diverges to +infinity (the sample looks
+    // deterministic). Clamp to the ceiling; the scale is the common value.
+    fit.shape = kMaxWeibullShape;
+    fit.scale = *max_it;
+    fit.degenerate = true;
+    fit.note = fit.n < 2 ? "single sample cannot identify a shape; clamped"
+                         : "zero sample spread (all samples equal); shape clamped";
+    fit.log_likelihood = weibull_log_likelihood(fit.shape, fit.scale, samples);
+    return fit;
   }
+
+  double mean_log = 0;
+  for (double x : samples) mean_log += std::log(x);
   mean_log /= static_cast<double>(samples.size());
 
   // Profile-likelihood equation in the shape k:
@@ -92,24 +137,30 @@ WeibullFit fit_weibull(const std::vector<double>& samples) {
     return sum_xk_lnx / sum_xk - 1.0 / k - mean_log;
   };
   double lo = 1e-3, hi = 1.0;
-  while (g(hi) < 0) {
-    hi *= 2;
-    if (hi > 1e4) throw DomainError("weibull shape estimate diverged");
+  // A root escaping the bracket means a (near-)degenerate spread; clamp to
+  // the corresponding bound instead of failing the whole calibration.
+  while (g(hi) < 0 && hi <= kMaxWeibullShape) hi *= 2;
+  if (hi > kMaxWeibullShape) {
+    hi = kMaxWeibullShape;
+    lo = kMaxWeibullShape;
+    fit.degenerate = true;
+    fit.note = "near-zero sample spread; shape clamped to the ceiling";
   }
-  while (g(lo) > 0) {
-    lo /= 2;
-    if (lo < 1e-9) throw DomainError("weibull shape estimate collapsed");
+  while (g(lo) > 0 && lo >= 1e-9) lo /= 2;
+  if (lo < 1e-9) {
+    lo = 1e-9;
+    hi = 1e-9;
+    fit.degenerate = true;
+    fit.note = "extreme sample spread; shape clamped to the floor";
   }
-  for (int it = 0; it < 200; ++it) {
+  for (int it = 0; it < 200 && lo < hi; ++it) {
     const double mid = 0.5 * (lo + hi);
     (g(mid) < 0 ? lo : hi) = mid;
   }
-  WeibullFit fit;
   fit.shape = 0.5 * (lo + hi);
   double sum_xk = 0;
   for (double x : samples) sum_xk += std::pow(x, fit.shape);
   fit.scale = std::pow(sum_xk / static_cast<double>(samples.size()), 1.0 / fit.shape);
-  fit.n = samples.size();
   fit.log_likelihood = weibull_log_likelihood(fit.shape, fit.scale, samples);
   return fit;
 }
@@ -153,11 +204,13 @@ FamilySelection select_lifetime_family(const std::vector<double>& samples) {
 }
 
 fmt::DegradationModel fit_degradation(const std::vector<DegradationSample>& samples) {
-  if (samples.size() < 2) throw DomainError("degradation fit needs >= 2 samples");
+  if (samples.empty()) throw DomainError("degradation fit needs >= 1 sample");
   std::vector<double> ttf;
   RunningStats threshold_time;
   ttf.reserve(samples.size());
   for (const DegradationSample& s : samples) {
+    if (!std::isfinite(s.time_to_threshold) || s.time_to_threshold < 0)
+      throw DomainError("degradation fit requires finite non-negative threshold times");
     ttf.push_back(s.time_to_failure);
     threshold_time.add(s.time_to_threshold);
   }

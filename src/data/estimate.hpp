@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/generator.hpp"
@@ -24,35 +25,64 @@ struct RateEstimate {
 RateEstimate estimate_rate(std::uint64_t events, double exposure,
                            double confidence = 0.95);
 
+/// Shape the moment-matched Erlang fit clamps to on degenerate input (zero
+/// sample variance or a single sample): many phases approximate the
+/// deterministic lifetime the data describes, and the clamp keeps the
+/// division mean^2/variance from manufacturing inf/NaN or overflowing the
+/// integer shape.
+inline constexpr int kDegenerateErlangShape = 100;
+
+/// Shape ceiling of the Weibull profile-likelihood fit. The MLE diverges to
+/// +infinity as the sample spread vanishes; the fit clamps there (flagged
+/// `degenerate`) instead of failing, matching a near-deterministic lifetime.
+inline constexpr double kMaxWeibullShape = 1e4;
+
 /// Erlang fit by moment matching: shape = round(mean^2/var) clamped to
-/// >= 1, rate = shape/mean.
+/// [1, kDegenerateErlangShape], rate = shape/mean.
 struct ErlangFit {
   int shape = 1;
   double rate = 1.0;
   double sample_mean = 0.0;
   double sample_variance = 0.0;
   std::size_t n = 0;
+  /// True when the input could not identify a shape (single sample, zero or
+  /// near-zero variance) and the fit was clamped; `note` says why. The
+  /// clamped fit is still a valid distribution over the observed mean.
+  bool degenerate = false;
+  std::string note;
 
   double mean() const noexcept { return static_cast<double>(shape) / rate; }
 };
 
+/// Throws DomainError on an empty sample or any non-positive / non-finite
+/// value (NaN-poisoning guard); degenerate-but-valid inputs (all equal,
+/// n == 1) yield a clamped fit flagged `degenerate` instead of inf/NaN.
 ErlangFit fit_erlang(const std::vector<double>& samples);
 
 /// Fits a full degradation model from elicited durations: the Erlang shape
 /// and rate come from the time-to-failure samples; the threshold phase is
 /// placed so that the model's expected time-to-threshold,
 /// (threshold-1)/rate, matches the observed mean time-to-threshold.
+/// Inherits fit_erlang's degenerate handling (a single sample or all-equal
+/// durations fit a clamped near-deterministic model instead of throwing);
+/// non-finite durations throw DomainError.
 fmt::DegradationModel fit_degradation(const std::vector<DegradationSample>& samples);
 
-/// Weibull fit by maximum likelihood (Newton iteration on the profile
-/// likelihood in the shape parameter).
+/// Weibull fit by maximum likelihood (bisection on the profile likelihood
+/// in the shape parameter).
 struct WeibullFit {
   double shape = 1.0;
   double scale = 1.0;
   std::size_t n = 0;
   double log_likelihood = 0.0;
+  /// True when the shape was clamped (single sample, zero spread, or the
+  /// profile-likelihood root left [1e-9, kMaxWeibullShape]); `note` says why.
+  bool degenerate = false;
+  std::string note;
 };
 
+/// Same input contract as fit_erlang: throws on empty / non-positive /
+/// non-finite samples, clamps (and flags) degenerate-but-valid ones.
 WeibullFit fit_weibull(const std::vector<double>& samples);
 
 /// Log-likelihoods for model selection between the two lifetime families

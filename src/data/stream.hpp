@@ -1,0 +1,125 @@
+// Streaming incident ingestion: calibrate against million-record incident
+// databases in O(1) memory.
+//
+// IncidentDatabase::load_csv materialises every record; fine for the paper's
+// ~hundreds of incidents, hopeless for a national fleet's registry. The
+// streaming layer keeps the same CSV dialect (the exact bytes save_csv
+// writes — RFC 4180 quoting, "asset_id,time,failure_mode" header) but never
+// holds more than one record:
+//
+//  * MappedFile           — read-only POSIX mmap with RAII unmap;
+//  * IncidentStreamReader — pull-reader yielding IncidentRecords straight
+//                           off the mapping, zero copies for unquoted
+//                           fields' numeric parses;
+//  * scan_incidents       — one pass producing the O(#modes) summary
+//                           estimation needs (per-mode counts, record count,
+//                           max asset id / time);
+//  * estimate_mode_rates  — Garwood rate table from a scan: the streaming
+//                           equivalent of estimate_rate over counts_by_mode;
+//  * IncidentStreamWriter — append-only writer emitting byte-identical
+//                           output to IncidentDatabase::save_csv, so
+//                           generators can produce fleet-scale databases
+//                           without materialising them either.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/estimate.hpp"
+#include "data/incident.hpp"
+
+namespace fmtree::data {
+
+/// Read-only memory mapping of a whole file. Move-only; unmaps on
+/// destruction. An empty file maps to a null data() with size() == 0.
+class MappedFile {
+public:
+  explicit MappedFile(const std::string& path);  ///< throws IoError
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+
+private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Pull-reader over a mapped incident CSV. Validates the header eagerly
+/// (throws IoError, same message discipline as load_csv); next() yields
+/// records in file order and throws IoError on a malformed row, naming the
+/// 1-based data-row index. Unlike IncidentDatabase, the reader applies no
+/// range checks — it does not know the fleet size or window; callers
+/// validate against their own context (scan_incidents reports the maxima).
+class IncidentStreamReader {
+public:
+  explicit IncidentStreamReader(const std::string& path);
+
+  /// Fills `out` and returns true, or returns false at end of input.
+  bool next(IncidentRecord& out);
+
+  /// 1-based index of the data row next() would read (header not counted).
+  std::uint64_t row() const noexcept { return row_; }
+
+private:
+  MappedFile map_;
+  const char* cur_ = nullptr;
+  const char* end_ = nullptr;
+  std::uint64_t row_ = 1;
+};
+
+/// One-pass summary of an incident CSV: everything per-mode Poisson
+/// calibration needs, in O(#modes) memory.
+struct IncidentScan {
+  std::uint64_t records = 0;
+  std::uint32_t max_asset_id = 0;  ///< 0 when records == 0
+  double max_time = 0.0;           ///< 0 when records == 0
+  std::map<std::string, std::uint64_t> counts_by_mode;
+};
+
+IncidentScan scan_incidents(const std::string& path);
+
+/// One failure mode's Garwood rate estimate.
+struct ModeRate {
+  std::string mode;
+  RateEstimate rate;
+};
+
+/// Per-mode failure rates from a scan, exposure = num_assets *
+/// observation_years. Throws DomainError on a non-positive exposure or when
+/// the scan saw an asset id >= num_assets or a time > observation_years
+/// (the streaming analogue of IncidentDatabase::add's range checks).
+std::vector<ModeRate> estimate_mode_rates(const IncidentScan& scan,
+                                          std::uint32_t num_assets,
+                                          double observation_years,
+                                          double confidence = 0.95);
+
+/// Append-only incident CSV writer; output is byte-identical to
+/// IncidentDatabase::save_csv over the same records. Writes the header on
+/// construction; close() flushes and throws IoError on failure (also called
+/// by the destructor, which swallows errors instead).
+class IncidentStreamWriter {
+public:
+  explicit IncidentStreamWriter(const std::string& path);  ///< throws IoError
+  ~IncidentStreamWriter();
+  IncidentStreamWriter(const IncidentStreamWriter&) = delete;
+  IncidentStreamWriter& operator=(const IncidentStreamWriter&) = delete;
+
+  void add(const IncidentRecord& record);
+  void close();
+
+  std::uint64_t written() const noexcept { return written_; }
+
+private:
+  std::string path_;
+  void* file_ = nullptr;  ///< std::FILE*, kept out of the header
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace fmtree::data

@@ -19,6 +19,12 @@ NodeId FaultMaintenanceTree::add_basic_event(std::string name, Distribution life
   return add_ebe(std::move(name), DegradationModel::basic(std::move(lifetime)));
 }
 
+void FaultMaintenanceTree::set_ebe_degradation(NodeId id, DegradationModel degradation) {
+  const std::size_t index = structure_.basic_index(id);  // throws if not a leaf
+  structure_.set_basic_lifetime(id, degradation.time_to_failure_approximation());
+  ebes_[index].degradation = std::move(degradation);
+}
+
 NodeId FaultMaintenanceTree::add_gate(std::string name, GateType type,
                                       std::vector<NodeId> children, int k) {
   return structure_.add_gate(std::move(name), type, std::move(children), k);

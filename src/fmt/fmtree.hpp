@@ -99,6 +99,13 @@ public:
   /// at frequency 0 of a sweep. Corrective maintenance is untouched.
   void clear_inspections() noexcept { inspections_.clear(); }
 
+  /// Replaces the degradation model of an existing leaf, refreshing the
+  /// static view's lifetime approximation to match. Maintenance modules,
+  /// dependencies and node indices are untouched. Throws ModelError when
+  /// `id` is not a leaf. Used by fleet generators, which derive per-asset
+  /// variants of one calibrated base model by rescaling phase sojourns.
+  void set_ebe_degradation(NodeId id, DegradationModel degradation);
+
   /// Validates the whole model (structure + maintenance references).
   /// Throws ModelError on violations.
   void validate() const;

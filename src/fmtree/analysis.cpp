@@ -249,6 +249,15 @@ batch::SweepOutcome Analysis::sweep(batch::SweepPlan plan) {
   return batch::run_sweep(plan, cache_.get(), settings_.telemetry);
 }
 
+fleet::FleetOutcome Analysis::fleet(const fleet::CorridorSpec& spec,
+                                    fleet::FleetOptions options) {
+  options.settings = settings_;
+  options.policy = settings_.policy;
+  if (options.threads == 0) options.threads = settings_.threads;
+  const fleet::Corridor corridor = fleet::generate_corridor(model_, spec);
+  return fleet::analyze_fleet(corridor, options, cache_.get(), settings_.telemetry);
+}
+
 batch::SweepOutcome Analysis::sweep(
     const maintenance::ModelFactory& factory,
     const std::vector<maintenance::MaintenancePolicy>& candidates) {

@@ -26,6 +26,7 @@
 #include "analytic/solvers.hpp"
 #include "batch/result_cache.hpp"
 #include "batch/sweep.hpp"
+#include "fleet/fleet.hpp"
 #include "fmt/fmtree.hpp"
 #include "maintenance/optimizer.hpp"
 #include "obs/metrics.hpp"
@@ -218,6 +219,16 @@ public:
   batch::SweepOutcome sweep(
       const maintenance::ModelFactory& factory,
       const std::vector<maintenance::MaintenancePolicy>& candidates);
+
+  /// Instantiates a corridor of joints from this session's model
+  /// (fleet::generate_corridor) and analyses every joint through the shared
+  /// pool with this session's cache and telemetry. The session settings —
+  /// including any policy_script() — apply to every joint; options.settings
+  /// and options.policy are overwritten with them, while resources, worst_k
+  /// and the execution knobs are honoured (threads defaults to the session's).
+  /// Throws DomainError on an invalid corridor spec.
+  fleet::FleetOutcome fleet(const fleet::CorridorSpec& spec,
+                            fleet::FleetOptions options = {});
 
 private:
   fmt::FaultMaintenanceTree model_;

@@ -44,6 +44,13 @@ void FaultTree::set_top(NodeId id) {
   top_ = id;
 }
 
+void FaultTree::set_basic_lifetime(NodeId id, Distribution lifetime) {
+  check_id(id);
+  if (kinds_[id.value] != Kind::Basic)
+    throw ModelError("node '" + name(id) + "' is not a basic event");
+  basics_store_[payload_[id.value]].lifetime = std::move(lifetime);
+}
+
 void FaultTree::validate(std::span<const NodeId> extra_roots) const {
   Diagnostics diags;
   validate(extra_roots, diags);

@@ -65,6 +65,12 @@ public:
 
   void set_top(NodeId id);
 
+  /// Replaces the lifetime distribution of an existing basic event. Throws
+  /// ModelError when `id` is not a leaf. Structure, names and indices are
+  /// untouched, so derived artifacts (BDD variable order, cut sets) keyed on
+  /// basic_events() order stay valid.
+  void set_basic_lifetime(NodeId id, Distribution lifetime);
+
   /// Checks global invariants: top set, every node reachable from the top,
   /// at least one basic event. Throws ModelError otherwise.
   void validate() const { validate({}); }

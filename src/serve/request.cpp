@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 
+#include "fleet/fleet.hpp"
 #include "fmt/parser.hpp"
 #include "lang/runtime.hpp"
 #include "util/json.hpp"
@@ -113,8 +114,9 @@ Request parse_request(const std::string& text) {
   if (schema->text != kSchema)
     throw RequestError("R111", "unsupported request schema '" + schema->text + "'",
                        std::string("this server speaks ") + kSchema);
-  reject_unknown_members(doc, "request",
-                         {"schema", "id", "priority", "model", "settings", "policy"});
+  reject_unknown_members(
+      doc, "request",
+      {"schema", "id", "priority", "model", "settings", "fleet", "policy"});
 
   Request req;
   if (const json::Value* id = doc.find("id")) {
@@ -183,6 +185,33 @@ Request parse_request(const std::string& text) {
   if (!(req.settings.confidence > 0 && req.settings.confidence < 1))
     invalid("settings.confidence must lie in (0,1)");
 
+  if (const json::Value* fleet = doc.find("fleet")) {
+    if (!fleet->is(json::Kind::Object))
+      invalid("request field 'fleet' must be an object");
+    reject_unknown_members(*fleet, "fleet",
+                           {"joints", "seed", "jitter", "coupling"});
+    const json::Value* joints = fleet->find("joints");
+    if (joints == nullptr)
+      invalid("request field 'fleet' needs 'joints'");
+    const std::uint64_t n = parse_count(*joints, "fleet.joints");
+    if (n < 1 || n > 100000)
+      invalid("request field 'fleet.joints' must lie in [1, 100000]");
+    req.fleet.joints = static_cast<std::uint32_t>(n);
+    if (const json::Value* v = fleet->find("seed"))
+      req.fleet.seed = parse_count(*v, "fleet.seed");
+    if (const json::Value* v = fleet->find("jitter")) {
+      req.fleet.jitter = parse_number(*v, "fleet.jitter");
+      if (!(req.fleet.jitter >= 0) || !std::isfinite(req.fleet.jitter))
+        invalid("request field 'fleet.jitter' must be finite and >= 0");
+    }
+    if (const json::Value* v = fleet->find("coupling")) {
+      req.fleet.coupling = parse_number(*v, "fleet.coupling");
+      if (!(req.fleet.coupling >= 0) || !std::isfinite(req.fleet.coupling))
+        invalid("request field 'fleet.coupling' must be finite and >= 0");
+    }
+    req.has_fleet = true;
+  }
+
   if (const json::Value* policy = doc.find("policy")) {
     if (!policy->is(json::Kind::Object))
       invalid("request field 'policy' must be an object");
@@ -234,6 +263,13 @@ Request parse_request(const std::string& text) {
     }
     req.has_policy = true;
   }
+  if (req.has_fleet && !req.frequencies.empty())
+    invalid("a fleet request cannot also sweep 'policy.frequencies'",
+            "bake the inspection schedule into the model (or use one policy "
+            "script); every joint runs the same policy");
+  if (req.has_fleet && req.scripts.size() > 1)
+    invalid("a fleet request accepts at most one policy script",
+            "the script is applied to every joint of the corridor");
   return req;
 }
 
@@ -265,6 +301,12 @@ std::string encode_request(const Request& request) {
              : engine_name(request.settings.engine))
      << "\"\n"
      << "  }";
+  if (request.has_fleet) {
+    os << ",\n  \"fleet\": {\"joints\": " << request.fleet.joints
+       << ", \"seed\": " << request.fleet.seed << ", \"jitter\": \""
+       << hexfloat(request.fleet.jitter) << "\", \"coupling\": \""
+       << hexfloat(request.fleet.coupling) << "\"}";
+  }
   if (request.has_policy) {
     os << ",\n  \"policy\": {";
     bool first_member = true;
@@ -293,6 +335,44 @@ std::string encode_request(const Request& request) {
   os << "\n}\n";
   return os.str();
 }
+
+namespace {
+
+/// Resolves (R112 on a bad ref), compiles (R114 with the compiler's own L1xx
+/// diagnostics) and eagerly binds one policy script against the request's
+/// model, so a script naming missing components is rejected at admission,
+/// not at execution.
+std::shared_ptr<const lang::CompiledPolicy> compile_script(
+    const Request::PolicyScript& script, const std::string& model_root,
+    const fmt::FaultMaintenanceTree& model) {
+  std::string source = script.text;
+  if (!script.ref.empty()) {
+    if (script.ref.find("..") != std::string::npos || script.ref.front() == '/')
+      throw RequestError("R112",
+                         "policy script ref '" + script.ref +
+                             "' must be a plain name inside the model root",
+                         "absolute paths and '..' segments are rejected");
+    const std::string path = model_root + "/" + script.ref;
+    std::ifstream file(path);
+    if (!file)
+      throw RequestError("R112", "policy script ref '" + script.ref +
+                                     "' not found under '" + model_root + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  }
+  Diagnostics diags;
+  std::optional<lang::CompiledPolicy> compiled = lang::compile_policy(source, diags);
+  if (!compiled) throw RequestError("R114", diags.all());
+  try {
+    (void)lang::bind_policy(*compiled, lang::apply_policy(*compiled, model));
+  } catch (const ModelErrors& e) {
+    throw RequestError("R114", e.diagnostics());
+  }
+  return std::make_shared<const lang::CompiledPolicy>(*std::move(compiled));
+}
+
+}  // namespace
 
 PreparedRequest prepare(const Request& request, const std::string& model_root) {
   std::string text = request.model_text;
@@ -324,6 +404,30 @@ PreparedRequest prepare(const Request& request, const std::string& model_root) {
     throw RequestError("R113", {diagnostic_from(e)});
   } catch (const ModelError& e) {
     throw RequestError("R113", {diagnostic_from(e, "M104")});
+  }
+
+  // Corridor expansion: the jobs are built by the same fleet::fleet_plan the
+  // in-process path uses, so a served corridor describes — and cache-hits —
+  // exactly the jobs a local run of the same spec would.
+  if (request.has_fleet) {
+    fleet::CorridorSpec spec;
+    spec.joints = request.fleet.joints;
+    spec.seed = request.fleet.seed;
+    spec.jitter = request.fleet.jitter;
+    spec.coupling = request.fleet.coupling;
+    fleet::FleetOptions options;
+    options.settings = request.settings;
+    if (!request.scripts.empty())
+      options.policy =
+          compile_script(request.scripts.front(), model_root, prepared.model);
+    try {
+      const fleet::Corridor corridor =
+          fleet::generate_corridor(prepared.model, spec);
+      prepared.jobs = std::move(fleet::fleet_plan(corridor, options).jobs);
+    } catch (const DomainError& e) {
+      throw RequestError("R112", std::string("invalid fleet spec: ") + e.what());
+    }
+    return prepared;
   }
 
   if (!request.has_policy) {
@@ -366,39 +470,13 @@ PreparedRequest prepare(const Request& request, const std::string& model_root) {
   // refs resolve under the same model root — and the same path discipline —
   // as model refs.
   for (const Request::PolicyScript& script : request.scripts) {
-    std::string source = script.text;
-    if (!script.ref.empty()) {
-      if (script.ref.find("..") != std::string::npos || script.ref.front() == '/')
-        throw RequestError("R112",
-                           "policy script ref '" + script.ref +
-                               "' must be a plain name inside the model root",
-                           "absolute paths and '..' segments are rejected");
-      const std::string path = model_root + "/" + script.ref;
-      std::ifstream file(path);
-      if (!file)
-        throw RequestError("R112", "policy script ref '" + script.ref +
-                                       "' not found under '" + model_root + "'");
-      std::ostringstream buffer;
-      buffer << file.rdbuf();
-      source = buffer.str();
-    }
-    Diagnostics diags;
-    std::optional<lang::CompiledPolicy> compiled =
-        lang::compile_policy(source, diags);
-    if (!compiled) throw RequestError("R114", diags.all());
-    // Bind eagerly against the request's model so a script naming missing
-    // components is rejected at admission (R114), not at execution.
-    try {
-      (void)lang::bind_policy(*compiled, lang::apply_policy(*compiled, prepared.model));
-    } catch (const ModelErrors& e) {
-      throw RequestError("R114", e.diagnostics());
-    }
+    std::shared_ptr<const lang::CompiledPolicy> policy =
+        compile_script(script, model_root, prepared.model);
     batch::SweepJob job;
-    job.label = compiled->name;
+    job.label = policy->name;
     job.model = prepared.model;
     job.settings = request.settings;
-    job.settings.policy =
-        std::make_shared<const lang::CompiledPolicy>(*std::move(compiled));
+    job.settings.policy = std::move(policy);
     prepared.jobs.push_back(std::move(job));
   }
   return prepared;

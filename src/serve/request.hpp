@@ -87,6 +87,22 @@ struct Request {
   /// the compiled policy attached, labeled by the script's policy name.
   std::vector<PolicyScript> scripts;
   bool has_policy = false;
+  /// Corridor expansion (the `fleet` member): instantiate `joints` copies of
+  /// the model with seeded parameter jitter and neighbour load-coupling
+  /// (fleet::CorridorSpec semantics), one job per joint labeled
+  /// fleet::joint_name(i). Only the result-relevant knobs appear here —
+  /// render-side quantities (corridor spacing, crew capacity, worst-k) stay
+  /// out of the schema for the same reason threads do. A fleet request may
+  /// carry at most one policy script (applied to every joint) and no
+  /// inspection-frequency grid.
+  struct FleetSpec {
+    std::uint32_t joints = 0;
+    std::uint64_t seed = 0;
+    double jitter = 0.1;
+    double coupling = 0.0;
+  };
+  FleetSpec fleet;
+  bool has_fleet = false;
 };
 
 /// Parses and validates a request document. Throws RequestError (R110/R111/

@@ -170,6 +170,29 @@ double Distribution::cdf(double x) const {
       v_);
 }
 
+Distribution Distribution::scaled(double factor) const {
+  require(std::isfinite(factor) && factor > 0, "scale factor must be positive");
+  return std::visit(
+      [factor](const auto& d) -> Distribution {
+        using T = std::decay_t<decltype(d)>;
+        if constexpr (std::is_same_v<T, Exponential>) {
+          return exponential(d.rate / factor);
+        } else if constexpr (std::is_same_v<T, Erlang>) {
+          return erlang(d.shape, d.rate / factor);
+        } else if constexpr (std::is_same_v<T, Weibull>) {
+          return weibull(d.shape, d.scale * factor);
+        } else if constexpr (std::is_same_v<T, Lognormal>) {
+          return lognormal(d.mu + std::log(factor), d.sigma);
+        } else if constexpr (std::is_same_v<T, UniformDist>) {
+          return uniform(d.lo * factor, d.hi * factor);
+        } else {
+          static_assert(std::is_same_v<T, Deterministic>);
+          return Distribution(Deterministic{d.value * factor});
+        }
+      },
+      v_);
+}
+
 bool Distribution::is_never() const noexcept {
   const auto* det = std::get_if<Deterministic>(&v_);
   return det != nullptr && std::isinf(det->value);

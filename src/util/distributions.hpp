@@ -83,6 +83,13 @@ public:
   /// P(X <= x).
   double cdf(double x) const;
 
+  /// The distribution of factor * X (time rescaling within the same family:
+  /// rates divide by the factor, scales multiply). factor must be positive
+  /// and finite; never() is a fixpoint. Used by fleet generators to jitter
+  /// and couple per-asset degradation speeds without leaving the family —
+  /// so scaled models stay CTMC-convertible and canonically hashable.
+  Distribution scaled(double factor) const;
+
   /// True iff this is a point mass at +infinity.
   bool is_never() const noexcept;
 

@@ -44,7 +44,13 @@ TEST(SweepCheckpoint, EncodeDecodeRoundTrips) {
   ASSERT_EQ(back.jobs.size(), 3u);
   EXPECT_EQ(back.jobs[0].label, "job \"quoted\"");
   EXPECT_EQ(back.jobs[1].status, "failed");
+  // done / failed / pending partition the plan and round-trip exactly: a
+  // failed job must never be folded into either of the other totals.
   EXPECT_EQ(back.jobs_done(), 1u);
+  EXPECT_EQ(back.jobs_failed(), 1u);
+  EXPECT_EQ(back.jobs_pending(), 1u);
+  EXPECT_EQ(back.jobs_done() + back.jobs_failed() + back.jobs_pending(),
+            back.jobs.size());
 }
 
 TEST(SweepCheckpoint, DecodeRejectsGarbage) {

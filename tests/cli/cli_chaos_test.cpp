@@ -138,6 +138,35 @@ TEST(ChaosCliSweep, ResumeReplaysACrashedCacheBitIdentically) {
   EXPECT_EQ(cp->jobs_done(), 2u);
 }
 
+TEST(ChaosCliSweep, ResumeReportsFailedJobsSeparatelyFromDone) {
+  Options o = sweep_opts({0, 2});
+  o.cache_dir = testing::TempDir() + "fmtree_cli_chaos_failed_resume";
+  std::filesystem::remove_all(o.cache_dir);
+
+  // Run 1: one job fails permanently (no retry budget), one succeeds. The
+  // checkpoint must bank them as 1 done + 1 failed, not 2 done.
+  Options failing = o;
+  failing.max_retries = 0;
+  failing.inject_faults = {"sweep.task:error,nth=1,limit=1"};
+  std::ostringstream first;
+  ASSERT_EQ(run_on_text(failing, kSweepModel, first), kExitTruncated);
+  const auto cp = batch::read_checkpoint(batch::checkpoint_path(o.cache_dir));
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->jobs_done(), 1u);
+  EXPECT_EQ(cp->jobs_failed(), 1u);
+  EXPECT_EQ(cp->jobs_pending(), 0u);
+
+  // Run 2 resumes: the preamble reports the failed job as re-running, and
+  // only the genuinely-done job counts as completed.
+  Options resume = o;
+  resume.resume = true;
+  std::ostringstream second;
+  ASSERT_EQ(run_on_text(resume, kSweepModel, second), kExitOk);
+  EXPECT_NE(second.str().find("resuming: 1 of 2 jobs"), std::string::npos);
+  EXPECT_NE(second.str().find("1 failed (will re-run)"), std::string::npos);
+  EXPECT_NE(second.str().find("0 pending"), std::string::npos);
+}
+
 TEST(ChaosCliSweep, ResumeAgainstADifferentPlanWarnsAndRunsFresh) {
   Options o = sweep_opts({0, 2});
   o.cache_dir = testing::TempDir() + "fmtree_cli_chaos_plan_mismatch";

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "data/estimate.hpp"
@@ -148,6 +149,8 @@ TEST(EstimateRate, ZeroEventsLowerBoundZero) {
 TEST(EstimateRate, Validation) {
   EXPECT_THROW(estimate_rate(1, 0.0), DomainError);
   EXPECT_THROW(estimate_rate(1, 10.0, 1.5), DomainError);
+  EXPECT_THROW(estimate_rate(1, std::numeric_limits<double>::infinity()), DomainError);
+  EXPECT_THROW(estimate_rate(1, std::nan("")), DomainError);
 }
 
 TEST(GammaQuantile, RoundTripsThroughGammaP) {
@@ -181,8 +184,39 @@ TEST(FitErlang, ExponentialDataGivesShapeOne) {
 }
 
 TEST(FitErlang, Validation) {
-  EXPECT_THROW(fit_erlang({1.0}), DomainError);
+  EXPECT_THROW(fit_erlang({}), DomainError);
   EXPECT_THROW(fit_erlang({1.0, -1.0}), DomainError);
+  EXPECT_THROW(fit_erlang({1.0, 0.0}), DomainError);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(fit_erlang({1.0, inf}), DomainError);
+  EXPECT_THROW(fit_erlang({1.0, std::nan("")}), DomainError);
+}
+
+TEST(FitErlang, SingleSampleClampsInsteadOfThrowing) {
+  const ErlangFit fit = fit_erlang({4.0});
+  EXPECT_TRUE(fit.degenerate);
+  EXPECT_FALSE(fit.note.empty());
+  EXPECT_EQ(fit.shape, kDegenerateErlangShape);
+  EXPECT_TRUE(std::isfinite(fit.rate));
+  EXPECT_NEAR(fit.mean(), 4.0, 1e-12);
+}
+
+TEST(FitErlang, AllEqualSamplesClampWithFiniteRate) {
+  const ErlangFit fit = fit_erlang({2.5, 2.5, 2.5, 2.5});
+  EXPECT_TRUE(fit.degenerate);
+  EXPECT_EQ(fit.shape, kDegenerateErlangShape);
+  EXPECT_TRUE(std::isfinite(fit.rate));
+  EXPECT_GT(fit.rate, 0.0);
+  EXPECT_NEAR(fit.mean(), 2.5, 1e-12);
+}
+
+TEST(FitErlang, NearZeroVarianceClampsShapeInsteadOfOverflowing) {
+  // Relative spread ~1e-12 gives mean^2/var ~1e24, far past INT_MAX; the
+  // fit must clamp to the ceiling, not overflow the integer cast.
+  const ErlangFit fit = fit_erlang({1.0, 1.0 + 1e-12, 1.0 - 1e-12, 1.0});
+  EXPECT_TRUE(fit.degenerate);
+  EXPECT_EQ(fit.shape, kDegenerateErlangShape);
+  EXPECT_TRUE(std::isfinite(fit.rate));
 }
 
 TEST(FitDegradation, RecoversFullModelFromElicitation) {
@@ -193,6 +227,15 @@ TEST(FitDegradation, RecoversFullModelFromElicitation) {
   EXPECT_EQ(fitted.phases(), 5);
   EXPECT_EQ(fitted.threshold_phase(), 3);
   EXPECT_NEAR(fitted.mean_time_to_failure(), 10.0, 0.3);
+}
+
+TEST(FitDegradation, SingleSampleFitsClampedModel) {
+  const DegradationModel fitted = fit_degradation({{2.0, 5.0}});
+  EXPECT_EQ(fitted.phases(), kDegenerateErlangShape);
+  EXPECT_NEAR(fitted.mean_time_to_failure(), 5.0, 1e-9);
+  EXPECT_THROW(fit_degradation({}), DomainError);
+  EXPECT_THROW(fit_degradation({{std::nan(""), 5.0}}), DomainError);
+  EXPECT_THROW(fit_degradation({{1.0, std::nan("")}}), DomainError);
 }
 
 TEST(FitDegradation, UndetectableModeFitsThresholdPastEnd) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "data/estimate.hpp"
 #include "data/generator.hpp"
@@ -45,8 +47,25 @@ TEST(FitWeibull, DecreasingHazardShapeBelowOne) {
 }
 
 TEST(FitWeibull, Validation) {
-  EXPECT_THROW(fit_weibull({1.0}), DomainError);
+  EXPECT_THROW(fit_weibull({}), DomainError);
   EXPECT_THROW(fit_weibull({1.0, -2.0}), DomainError);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(fit_weibull({1.0, inf}), DomainError);
+  EXPECT_THROW(fit_weibull({1.0, std::nan("")}), DomainError);
+}
+
+TEST(FitWeibull, DegenerateSamplesClampInsteadOfThrowing) {
+  // A single sample and an all-equal sample both have zero spread: the MLE
+  // shape diverges, so the fit clamps to the ceiling with a diagnostic.
+  for (const std::vector<double>& s :
+       {std::vector<double>{3.0}, std::vector<double>{3.0, 3.0, 3.0}}) {
+    const WeibullFit fit = fit_weibull(s);
+    EXPECT_TRUE(fit.degenerate);
+    EXPECT_FALSE(fit.note.empty());
+    EXPECT_DOUBLE_EQ(fit.shape, kMaxWeibullShape);
+    EXPECT_DOUBLE_EQ(fit.scale, 3.0);
+    EXPECT_TRUE(std::isfinite(fit.log_likelihood));
+  }
 }
 
 TEST(LogLikelihoods, MleBeatsPerturbedParameters) {

@@ -1,0 +1,154 @@
+// The fleet determinism matrix: a 50-joint corridor produces bit-identical
+// per-joint reports and aggregate KPIs at 1 thread vs N threads, on the
+// scalar AND the batch engine, whether executed in-process
+// (fleet::analyze_fleet) or through the daemon's service layer
+// (serve::prepare + serve::Session, the exact code path `fmtree serve`
+// drives) — the corridor-scale extension of the per-model bitwise
+// determinism contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../batch/report_bits.hpp"
+#include "fleet/fleet.hpp"
+#include "fmt/parser.hpp"
+#include "serve/request.hpp"
+#include "serve/session.hpp"
+#include "smc/kpi.hpp"
+
+namespace fmtree::fleet {
+namespace {
+
+using batch_test::same_bits;
+
+const char* kModel = R"(
+  toplevel T;
+  T or A B;
+  A ebe phases=3 mean=6 threshold=2 repair_cost=100;
+  B be exp(0.05);
+  inspection I period=0.5 cost=20 targets A;
+  corrective cost=5000 delay=0.02;
+)";
+
+constexpr std::size_t kJoints = 50;
+
+CorridorSpec corridor_spec() {
+  CorridorSpec spec;
+  spec.joints = kJoints;
+  spec.seed = 17;
+  spec.jitter = 0.12;
+  spec.coupling = 0.3;
+  return spec;
+}
+
+FleetOptions options_for(Engine engine, unsigned threads) {
+  FleetOptions options;
+  options.settings.horizon = 4.0;
+  options.settings.trajectories = 60;
+  options.settings.seed = 3;
+  options.settings.engine = engine;
+  options.threads = threads;
+  return options;
+}
+
+void expect_same_kpis(const FleetKpis& a, const FleetKpis& b) {
+  EXPECT_EQ(a.joints, b.joints);
+  EXPECT_TRUE(same_bits(a.failures_per_year, b.failures_per_year));
+  EXPECT_TRUE(same_bits(a.cost_per_year, b.cost_per_year));
+  EXPECT_TRUE(same_bits(a.cost_per_km_year, b.cost_per_km_year));
+  EXPECT_TRUE(same_bits(a.inspections_per_year, b.inspections_per_year));
+  EXPECT_TRUE(same_bits(a.repairs_per_year, b.repairs_per_year));
+  EXPECT_TRUE(same_bits(a.replacements_per_year, b.replacements_per_year));
+  EXPECT_TRUE(same_bits(a.crew_visits_per_year, b.crew_visits_per_year));
+  EXPECT_TRUE(same_bits(a.crew_utilisation, b.crew_utilisation));
+  EXPECT_EQ(a.worst, b.worst);
+}
+
+void expect_same_outcome(const FleetOutcome& a, const FleetOutcome& b) {
+  ASSERT_EQ(a.joints.size(), b.joints.size());
+  for (std::size_t i = 0; i < a.joints.size(); ++i) {
+    EXPECT_EQ(a.joints[i].name, b.joints[i].name);
+    EXPECT_TRUE(same_bits(a.joints[i].scale, b.joints[i].scale)) << i;
+    EXPECT_TRUE(same_bits(a.joints[i].report, b.joints[i].report)) << i;
+  }
+  expect_same_kpis(a.kpis, b.kpis);
+}
+
+/// The daemon's code path for the same corridor: expand the request through
+/// serve::prepare (which routes through fleet::fleet_plan) and execute it on
+/// a serve::Session, then reassemble per-joint summaries in corridor order.
+FleetOutcome via_service(const Corridor& corridor, const FleetOptions& options) {
+  serve::Request request;
+  request.model_text = kModel;
+  request.settings = options.settings;
+  request.has_fleet = true;
+  request.fleet.joints = static_cast<std::uint32_t>(corridor.spec.joints);
+  request.fleet.seed = corridor.spec.seed;
+  request.fleet.jitter = corridor.spec.jitter;
+  request.fleet.coupling = corridor.spec.coupling;
+
+  serve::SessionConfig config;
+  config.threads = options.threads;
+  config.queue_limit = kJoints;
+  serve::Session session(std::move(config));
+  serve::PreparedRequest prepared = serve::prepare(request, "models");
+  serve::Ticket ticket = session.submit_jobs(std::move(prepared.jobs));
+  const serve::Response response = ticket.take();
+
+  FleetOutcome outcome;
+  outcome.joints.reserve(corridor.joints.size());
+  for (std::size_t i = 0; i < corridor.joints.size(); ++i) {
+    JointSummary summary;
+    summary.name = corridor.joints[i].name;
+    summary.scale = corridor.joints[i].scale;
+    EXPECT_EQ(response.jobs[i].label, summary.name) << i;
+    if (response.jobs[i].state == serve::JobState::Done)
+      summary.report = response.jobs[i].report;
+    outcome.joints.push_back(std::move(summary));
+  }
+  outcome.kpis = aggregate_fleet(corridor, outcome.joints, options);
+  return outcome;
+}
+
+TEST(FleetDeterminism, FiftyJointMatrixThreadsEnginesAndExecutor) {
+  const fmt::FaultMaintenanceTree base = fmt::parse_fmt(kModel);
+  const Corridor corridor = generate_corridor(base, corridor_spec());
+  for (const Engine engine : {Engine::Scalar, Engine::Batch}) {
+    const FleetOutcome serial = analyze_fleet(corridor, options_for(engine, 1));
+    const FleetOutcome pooled = analyze_fleet(corridor, options_for(engine, 4));
+    const FleetOutcome served = via_service(corridor, options_for(engine, 4));
+    expect_same_outcome(serial, pooled);
+    expect_same_outcome(serial, served);
+  }
+}
+
+// The engines draw from different RNG families, so they are never compared
+// bit-for-bit (see tests/smc/engine_equivalence_test.cpp); at corridor scale
+// the contract is that every joint's scalar and batch KPI estimates overlap.
+TEST(FleetDeterminism, EnginesAgreeStatisticallyPerJoint) {
+  const fmt::FaultMaintenanceTree base = fmt::parse_fmt(kModel);
+  CorridorSpec spec = corridor_spec();
+  spec.joints = 4;
+  const Corridor corridor = generate_corridor(base, spec);
+  FleetOptions scalar_options = options_for(Engine::Scalar, 2);
+  FleetOptions batch_options = options_for(Engine::Batch, 2);
+  scalar_options.settings.trajectories = 2000;
+  batch_options.settings.trajectories = 2000;
+  const FleetOutcome scalar = analyze_fleet(corridor, scalar_options);
+  const FleetOutcome batch = analyze_fleet(corridor, batch_options);
+  const auto overlaps = [](const ConfidenceInterval& a,
+                           const ConfidenceInterval& b) {
+    return a.lo <= b.hi && b.lo <= a.hi;
+  };
+  for (std::size_t i = 0; i < corridor.joints.size(); ++i) {
+    const smc::KpiReport& s = scalar.joints[i].report;
+    const smc::KpiReport& b = batch.joints[i].report;
+    EXPECT_TRUE(overlaps(s.failures_per_year, b.failures_per_year)) << i;
+    EXPECT_TRUE(overlaps(s.cost_per_year, b.cost_per_year)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fmtree::fleet

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "batch/fingerprint.hpp"
+#include "fmt/canonical.hpp"
 #include "serve/request.hpp"
 #include "util/error.hpp"
 
@@ -155,6 +156,81 @@ TEST(ServeRequest, PrepareRejectsEscapingModelRefsAndBadModels) {
     corrective cost=100 delay=0;
   )";
   EXPECT_EQ(expect_code([&] { prepare(uninspectable, "models"); }), "R112");
+}
+
+Request fleet_request() {
+  Request r;
+  r.model_text = kModel;
+  r.settings.horizon = 4.0;
+  r.settings.trajectories = 40;
+  r.settings.seed = 3;
+  r.has_fleet = true;
+  r.fleet.joints = 6;
+  r.fleet.seed = 17;
+  r.fleet.jitter = 0.12;
+  r.fleet.coupling = 0.3;
+  return r;
+}
+
+TEST(ServeRequest, FleetMemberRoundTripsBitExactly) {
+  const Request original = fleet_request();
+  const std::string text = encode_request(original);
+  const Request parsed = parse_request(text);
+  ASSERT_TRUE(parsed.has_fleet);
+  EXPECT_EQ(parsed.fleet.joints, 6u);
+  EXPECT_EQ(parsed.fleet.seed, 17u);
+  EXPECT_TRUE(parsed.fleet.jitter == original.fleet.jitter);
+  EXPECT_TRUE(parsed.fleet.coupling == original.fleet.coupling);
+  EXPECT_EQ(encode_request(parsed), text);
+}
+
+TEST(ServeRequest, FleetSchemaViolationsAreR112) {
+  // joints is required and bounded; unknown fleet members are rejected; a
+  // fleet request cannot also sweep a frequency grid.
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"ref": "x"}, "fleet": {}})");
+            }),
+            "R112");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"ref": "x"},
+                                "fleet": {"joints": 0}})");
+            }),
+            "R112");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"ref": "x"},
+                                "fleet": {"joints": 4, "crews": 2}})");
+            }),
+            "R112");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"ref": "x"},
+                                "fleet": {"joints": 4, "jitter": -0.5}})");
+            }),
+            "R112");
+  EXPECT_EQ(expect_code([] {
+              parse_request(R"({"schema": "fmtree.request/v1",
+                                "model": {"ref": "x"},
+                                "fleet": {"joints": 4},
+                                "policy": {"frequencies": [1, 2]}})");
+            }),
+            "R112");
+}
+
+TEST(ServeRequest, PrepareExpandsAFleetIntoJointLabelledJobs) {
+  const PreparedRequest prepared = prepare(fleet_request(), "models");
+  ASSERT_EQ(prepared.jobs.size(), 6u);
+  // The daemon routes through fleet::fleet_plan, so its jobs carry exactly
+  // the corridor's joint names (and hence the same cache keys as an
+  // in-process `fmtree fleet` run).
+  EXPECT_EQ(prepared.jobs.front().label, "joint-0000");
+  EXPECT_EQ(prepared.jobs.back().label, "joint-0005");
+  // Jitter perturbs the lifetimes: the shards are distinct models, so they
+  // hash to distinct cache keys.
+  EXPECT_FALSE(fmt::canonical_hash(prepared.jobs[0].model) ==
+               fmt::canonical_hash(prepared.jobs[1].model));
 }
 
 }  // namespace

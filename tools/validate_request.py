@@ -16,6 +16,7 @@ Reads the document from stdin when the file argument is "-", so the CLI can
 be piped straight in:
 
     fmtree sweep model.fmt --emit-request | validate_request.py -
+    fmtree fleet model.fmt --joints 100 --emit-request | validate_request.py -
 
 Exit code 0 = valid, 1 = invalid, 2 = usage/IO error.
 """
